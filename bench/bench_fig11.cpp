@@ -1,0 +1,72 @@
+// Fig. 11: accuracy of the SIMPLIFIED thermal models — identify a reduced
+// second-order model over the selected sensors and measure how well its
+// open-loop predictions track the measured cluster means, for SMS / SRS /
+// RS across cluster counts.
+//
+// Paper: models built on SMS/SRS-selected sensors predict the cluster
+// means more accurately than RS-based ones, and the error falls as the
+// cluster count (hence model size) grows.
+
+#include "bench_common.hpp"
+
+using namespace auditherm;
+
+namespace {
+
+double reduced_model_p99(const sim::AuditoriumDataset& dataset,
+                         const core::DataSplit& split,
+                         core::SelectionStrategy strategy, std::size_t k,
+                         std::uint64_t seed) {
+  core::PipelineConfig config;
+  config.strategy = strategy;
+  config.spectral.cluster_count = k;
+  config.selection_seed = seed;
+  const core::ThermalModelingPipeline pipeline(config);
+  const auto result =
+      pipeline.run(dataset.trace, dataset.schedule, split,
+                   dataset.wireless_ids(), dataset.input_ids(),
+                   dataset.thermostat_ids());
+  return result.cluster_mean_errors.percentile(99.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 11: reduced-model accuracy vs cluster count");
+  const auto dataset = bench::make_standard_dataset();
+  const auto split = bench::standard_split(dataset);
+
+  std::printf("%-10s %-10s %-10s %-10s\n", "clusters", "SMS", "SRS", "RS");
+  linalg::Vector sms_curve, srs_curve, rs_curve;
+  constexpr int kSeeds = 5;  // reduced models are costlier than raw selection
+  for (std::size_t k = 2; k <= 8; ++k) {
+    const double sms = reduced_model_p99(
+        dataset, split, core::SelectionStrategy::kStratifiedNearMean, k, 1);
+    double srs = 0.0, rs = 0.0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      srs += reduced_model_p99(dataset, split,
+                               core::SelectionStrategy::kStratifiedRandom, k,
+                               static_cast<std::uint64_t>(seed));
+      rs += reduced_model_p99(dataset, split,
+                              core::SelectionStrategy::kSimpleRandom, k,
+                              static_cast<std::uint64_t>(seed));
+    }
+    srs /= kSeeds;
+    rs /= kSeeds;
+    std::printf("%-10zu %-10.3f %-10.3f %-10.3f\n", k, sms, srs, rs);
+    sms_curve.push_back(sms);
+    srs_curve.push_back(srs);
+    rs_curve.push_back(rs);
+  }
+
+  std::size_t sms_wins = 0, srs_wins = 0;
+  for (std::size_t i = 0; i < sms_curve.size(); ++i) {
+    if (sms_curve[i] < rs_curve[i]) ++sms_wins;
+    if (srs_curve[i] < rs_curve[i]) ++srs_wins;
+  }
+  const bool improves = sms_curve.back() < sms_curve.front();
+  std::printf("\nshape checks: SMS beats RS at %zu/7 cluster counts | SRS "
+              "beats RS at %zu/7 | SMS error falls as clusters grow: %s\n",
+              sms_wins, srs_wins, improves ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 2: spatial temperature snapshot during a fully-occupied seminar
+// with active HVAC.
+//
+// Paper: Fri Mar 22, 2013 12:30pm — roughly 2 degC between the warmest
+// sensor (27, back seating) and the coolest readings (the front-wall
+// thermostats 40/41); the front of the room runs cool, the back warm.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace auditherm;
+
+int main() {
+  bench::print_header("Fig. 2: occupied-seminar spatial snapshot");
+  const auto dataset = bench::make_standard_dataset();
+
+  // Find the best-attended Friday noon on a clean day (the analogue of the
+  // paper's seminar snapshot).
+  const auto occ_col = dataset.trace.require_channel(
+      sim::DatasetChannels::kOccupancy);
+  timeseries::Minutes best_time = -1;
+  double best_occupancy = -1.0;
+  for (std::size_t k = 0; k < dataset.trace.size(); ++k) {
+    const auto t = dataset.trace.grid()[k];
+    if (timeseries::minute_of_day(t) != 12 * 60 + 30) continue;
+    if (!dataset.trace.valid(k, occ_col)) continue;
+    const double occ = dataset.trace.value(k, occ_col);
+    if (occ > best_occupancy) {
+      best_occupancy = occ;
+      best_time = t;
+    }
+  }
+  std::printf("snapshot at %s with %.0f occupants\n",
+              timeseries::format_time(best_time).c_str(), best_occupancy);
+
+  const auto snapshot = sim::snapshot_at(dataset, best_time);
+  double lo = 1e9, hi = -1e9;
+  timeseries::ChannelId lo_id = 0, hi_id = 0;
+  std::printf("%-8s %-14s %-10s\n", "sensor", "position(m)", "temp(degC)");
+  for (const auto& [id, temp] : snapshot) {
+    const auto& site = dataset.plan.site(id);
+    if (std::isnan(temp)) {
+      std::printf("%-8d (%4.1f, %4.1f)   (dropout)\n", id, site.position.x,
+                  site.position.y);
+      continue;
+    }
+    std::printf("%-8d (%4.1f, %4.1f)   %6.2f%s\n", id, site.position.x,
+                site.position.y, temp, site.is_thermostat ? "  [thermostat]"
+                                                          : "");
+    if (temp < lo) {
+      lo = temp;
+      lo_id = id;
+    }
+    if (temp > hi) {
+      hi = temp;
+      hi_id = id;
+    }
+  }
+
+  std::printf("\nspread: %.2f degC (sensor %d at %.2f .. sensor %d at %.2f)\n",
+              hi - lo, lo_id, lo, hi_id, hi);
+  bench::print_row("max-min spread (degC)", 2.0, hi - lo);
+  const auto& hi_site = dataset.plan.site(hi_id);
+  const auto& lo_site = dataset.plan.site(lo_id);
+  std::printf("shape checks: warmest sensor in the back half: %s | "
+              "coolest in the front half: %s\n",
+              hi_site.position.y > 6.0 ? "yes" : "NO",
+              lo_site.position.y < 6.0 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 8: correlation-based clustering quality at k = 2, 3, 4, 5.
+//
+// Paper: at the eigengap's k=2 both clusters have max temperature
+// differences clearly below the all-sensor baseline, and — unlike the
+// Euclidean grouping of Fig. 7 — sensors within a cluster correlate
+// strongly with each other.
+
+#include "bench_cluster_quality.hpp"
+
+using namespace auditherm;
+
+int main() {
+  bench::print_header("Fig. 8: correlation clustering quality");
+  const auto dataset = bench::make_standard_dataset();
+  const auto split = bench::standard_split(dataset);
+  const auto mode_mask = dataset.schedule.mode_mask(dataset.trace.grid(),
+                                                    hvac::Mode::kOccupied);
+  const auto training = dataset.trace.filter_rows(
+      core::and_masks(split.train_mask, mode_mask));
+
+  const auto graph = clustering::build_similarity_graph(
+      training, dataset.wireless_ids(), {});  // correlation default
+  const auto eigengap_k =
+      clustering::analyze_spectrum(graph.weights).eigengap_cluster_count();
+
+  bench::report_metric_quality(dataset, training,
+                               clustering::SimilarityMetric::kCorrelation,
+                               {2, 3, 4, 5}, eigengap_k);
+
+  // Shape checks at the eigengap's k=2: every cluster tighter than the
+  // room, and intra-cluster correlation high.
+  clustering::SpectralOptions spec;
+  spec.cluster_count = 2;
+  const auto result = clustering::spectral_cluster(graph, spec);
+  const auto overall = linalg::percentile(
+      timeseries::pairwise_max_differences(training, dataset.wireless_ids()),
+      95.0);
+  bool all_tighter = true;
+  double min_corr = 1.0;
+  for (const auto& cluster : result.clusters()) {
+    const auto diffs = timeseries::pairwise_max_differences(training, cluster);
+    if (!diffs.empty() && linalg::percentile(diffs, 95.0) >= overall) {
+      all_tighter = false;
+    }
+    min_corr = std::min(min_corr,
+                        bench::mean_intra_correlation(training, cluster));
+  }
+  std::printf("\nshape checks: every k=2 cluster tighter than the room: %s | "
+              "high intra-cluster correlation (min %.2f >= 0.5): %s\n",
+              all_tighter ? "yes" : "NO", min_corr,
+              min_corr >= 0.5 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 9: SRS cluster-mean prediction error vs the number of sensors
+// selected per cluster (2 correlation clusters).
+//
+// Paper: the 99th-percentile error decreases steadily as more sensors per
+// cluster are averaged, from ~0.75 degC at one sensor toward ~0.1 at
+// eight.
+
+#include "bench_common.hpp"
+
+using namespace auditherm;
+
+int main() {
+  bench::print_header("Fig. 9: SRS error vs sensors per cluster");
+  const auto dataset = bench::make_standard_dataset();
+  const auto split = bench::standard_split(dataset);
+  const auto mode_mask = dataset.schedule.mode_mask(dataset.trace.grid(),
+                                                    hvac::Mode::kOccupied);
+  const auto training = dataset.trace.filter_rows(
+      core::and_masks(split.train_mask, mode_mask));
+  const auto validation = dataset.trace.filter_rows(
+      core::and_masks(split.validation_mask, mode_mask));
+
+  const auto graph = clustering::build_similarity_graph(
+      training, dataset.wireless_ids(), {});
+  clustering::SpectralOptions spec;
+  spec.cluster_count = 2;
+  const auto clusters = clustering::spectral_cluster(graph, spec).clusters();
+
+  std::printf("%-18s %-24s\n", "sensors/cluster",
+              "99th-pct error (degC, mean over 25 seeds)");
+  linalg::Vector errors;
+  for (std::size_t per_cluster = 1; per_cluster <= 8; ++per_cluster) {
+    double total = 0.0;
+    constexpr int kSeeds = 25;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      const auto sel = selection::stratified_random(
+          clusters, static_cast<std::uint64_t>(seed), per_cluster);
+      total += selection::evaluate_cluster_mean_prediction(validation,
+                                                           clusters, sel)
+                   .percentile(99.0);
+    }
+    errors.push_back(total / kSeeds);
+    std::printf("%-18zu %-24.3f\n", per_cluster, errors.back());
+  }
+
+  bool decreasing = true;
+  for (std::size_t i = 1; i < errors.size(); ++i) {
+    if (errors[i] > errors[i - 1] + 0.02) decreasing = false;
+  }
+  std::printf("\nshape checks: error decreases with more sensors: %s | "
+              "8-sensor error under half the 1-sensor error: %s\n",
+              decreasing ? "yes" : "NO",
+              errors.back() < 0.5 * errors.front() ? "yes" : "NO");
+  return 0;
+}

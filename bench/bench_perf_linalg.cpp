@@ -1,0 +1,112 @@
+// Performance microbenchmarks for the numeric kernels (google-benchmark):
+// matrix products, the three factorizations, least squares and the Jacobi
+// eigensolver at the sizes the pipeline actually uses (27 sensors -> 27-61
+// column regressions, 27x27 Laplacians, 54x54 augmented systems).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "auditherm/linalg/decompositions.hpp"
+#include "auditherm/linalg/least_squares.hpp"
+
+namespace linalg = auditherm::linalg;
+using linalg::Matrix;
+
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = dist(rng);
+  return m;
+}
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  const auto a = random_matrix(n + 4, n, seed);
+  auto spd = linalg::gram(a, a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  return spd;
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 1);
+  const auto b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(8)->Arg(16)->Arg(27)->Arg(54)->Complexity();
+
+void BM_Gram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(1000, n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::gram(a, a));
+  }
+}
+BENCHMARK(BM_Gram)->Arg(16)->Arg(34)->Arg(61);
+
+void BM_QrFactorize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(1000, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::QrDecomposition(a));
+  }
+}
+BENCHMARK(BM_QrFactorize)->Arg(16)->Arg(34)->Arg(61);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_spd(n, 5);
+  const auto b = random_matrix(n, 27, 6);
+  for (auto _ : state) {
+    linalg::CholeskyDecomposition chol(a);
+    benchmark::DoNotOptimize(chol.solve(b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(16)->Arg(34)->Arg(61);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 7);
+  const auto b = random_matrix(n, 1, 8);
+  for (auto _ : state) {
+    linalg::LuDecomposition lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(16)->Arg(27)->Arg(54);
+
+void BM_EigenSymmetric(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_spd(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigen_symmetric(a));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EigenSymmetric)->Arg(8)->Arg(16)->Arg(27)->Arg(54)->Complexity();
+
+void BM_LeastSquaresRidge(benchmark::State& state) {
+  // The exact shape of the paper's second-order occupied-mode regression:
+  // ~1800 transitions x 61 parameters, 27 outputs.
+  const auto z = random_matrix(1800, 61, 10);
+  const auto y = random_matrix(1800, 27, 11);
+  linalg::LeastSquaresOptions opts;
+  opts.ridge = 1e-7;
+  opts.relative_ridge = true;
+  opts.prefer_qr = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::solve_least_squares(z, y, opts));
+  }
+}
+BENCHMARK(BM_LeastSquaresRidge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

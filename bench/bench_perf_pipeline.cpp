@@ -1,0 +1,135 @@
+// Performance benchmarks for the end-to-end machinery (google-benchmark):
+// dataset generation, similarity graphs, spectral clustering, model
+// identification, multi-step evaluation, and the full pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "auditherm/auditherm.hpp"
+
+using namespace auditherm;
+
+namespace {
+
+/// Shared 28-day dataset; generated once.
+const sim::AuditoriumDataset& dataset() {
+  static const sim::AuditoriumDataset ds = [] {
+    sim::DatasetConfig config;
+    config.days = 28;
+    config.failure_days = 4;
+    return sim::generate_dataset(config);
+  }();
+  return ds;
+}
+
+const core::DataSplit& split() {
+  static const core::DataSplit s = [] {
+    auto required = dataset().sensor_ids();
+    const auto inputs = dataset().input_ids();
+    required.insert(required.end(), inputs.begin(), inputs.end());
+    return core::split_dataset(dataset().trace, required, dataset().schedule,
+                               hvac::Mode::kOccupied);
+  }();
+  return s;
+}
+
+const std::vector<bool>& occupied_mask() {
+  static const std::vector<bool> m = dataset().schedule.mode_mask(
+      dataset().trace.grid(), hvac::Mode::kOccupied);
+  return m;
+}
+
+void BM_GenerateDataset(benchmark::State& state) {
+  sim::DatasetConfig config;
+  config.days = static_cast<std::size_t>(state.range(0));
+  config.failure_days = config.days / 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::generate_dataset(config));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.days));
+}
+BENCHMARK(BM_GenerateDataset)->Arg(7)->Arg(28)->Unit(benchmark::kMillisecond);
+
+void BM_SimilarityGraph(benchmark::State& state) {
+  const auto training = dataset().trace.filter_rows(
+      core::and_masks(split().train_mask, occupied_mask()));
+  const auto metric = state.range(0) == 0
+                          ? clustering::SimilarityMetric::kCorrelation
+                          : clustering::SimilarityMetric::kEuclidean;
+  clustering::SimilarityOptions opts;
+  opts.metric = metric;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::build_similarity_graph(
+        training, dataset().wireless_ids(), opts));
+  }
+}
+BENCHMARK(BM_SimilarityGraph)->Arg(0)->Arg(1);
+
+void BM_SpectralCluster(benchmark::State& state) {
+  const auto training = dataset().trace.filter_rows(
+      core::and_masks(split().train_mask, occupied_mask()));
+  const auto graph = clustering::build_similarity_graph(
+      training, dataset().wireless_ids(), {});
+  clustering::SpectralOptions opts;
+  opts.cluster_count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::spectral_cluster(graph, opts));
+  }
+}
+BENCHMARK(BM_SpectralCluster)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FitModel(benchmark::State& state) {
+  const auto order = state.range(0) == 1 ? sysid::ModelOrder::kFirst
+                                         : sysid::ModelOrder::kSecond;
+  sysid::ModelEstimator estimator(dataset().sensor_ids(),
+                                  dataset().input_ids(), order);
+  const auto mask = core::and_masks(split().train_mask, occupied_mask());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.fit(dataset().trace, mask));
+  }
+}
+BENCHMARK(BM_FitModel)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluatePrediction(benchmark::State& state) {
+  sysid::ModelEstimator estimator(dataset().sensor_ids(),
+                                  dataset().input_ids(),
+                                  sysid::ModelOrder::kSecond);
+  const auto model = estimator.fit(
+      dataset().trace, core::and_masks(split().train_mask, occupied_mask()));
+  auto mask = core::and_masks(split().validation_mask, occupied_mask());
+  mask = core::and_masks(mask, timeseries::rows_with_all_valid(
+                                   dataset().trace, dataset().input_ids()));
+  const auto windows = timeseries::find_segments(mask, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sysid::evaluate_prediction(model, dataset().trace, windows, {}));
+  }
+}
+BENCHMARK(BM_EvaluatePrediction);
+
+void BM_GpPlacement(benchmark::State& state) {
+  const auto training = dataset().trace.filter_rows(
+      core::and_masks(split().train_mask, occupied_mask()));
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selection::gp_mutual_information_selection(
+        training, dataset().wireless_ids(), count));
+  }
+}
+BENCHMARK(BM_GpPlacement)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  core::PipelineConfig config;
+  const core::ThermalModelingPipeline pipeline(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.run(
+        dataset().trace, dataset().schedule, split(),
+        dataset().wireless_ids(), dataset().input_ids(),
+        dataset().thermostat_ids()));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

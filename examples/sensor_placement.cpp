@@ -1,0 +1,94 @@
+// Sensor placement study: how many sensors does the auditorium actually
+// need, and where should they sit?
+//
+// Walks the paper's Section V-VI workflow as a facility-engineering tool:
+// simulate a dense pilot deployment, cluster it, compare selection
+// strategies, and print a deployment recommendation (which sensors to
+// keep for long-term operation).
+
+#include <cstdio>
+
+#include "auditherm/auditherm.hpp"
+
+using namespace auditherm;
+
+int main() {
+  // --- Pilot deployment: a full season with the dense network. ----------
+  sim::DatasetConfig config;
+  config.days = 70;
+  config.failure_days = 12;
+  const auto dataset = sim::generate_dataset(config);
+
+  auto required = dataset.sensor_ids();
+  const auto inputs = dataset.input_ids();
+  required.insert(required.end(), inputs.begin(), inputs.end());
+  const auto split = core::split_dataset(dataset.trace, required,
+                                         dataset.schedule,
+                                         hvac::Mode::kOccupied);
+  const auto mode_mask = dataset.schedule.mode_mask(dataset.trace.grid(),
+                                                    hvac::Mode::kOccupied);
+  const auto training = dataset.trace.filter_rows(
+      core::and_masks(split.train_mask, mode_mask));
+  const auto validation = dataset.trace.filter_rows(
+      core::and_masks(split.validation_mask, mode_mask));
+
+  // --- Step 1: how many thermal zones does the room have? ---------------
+  const auto graph = clustering::build_similarity_graph(
+      training, dataset.wireless_ids(), {});
+  const auto analysis = clustering::analyze_spectrum(graph.weights);
+  const auto result = clustering::spectral_cluster(graph);
+  std::printf("thermal zones found: %zu (largest log-eigengap)\n",
+              result.cluster_count);
+  const auto clusters = result.clusters();
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    double mean_depth = 0.0;
+    for (auto id : clusters[c]) {
+      mean_depth += dataset.plan.site(id).position.y;
+    }
+    mean_depth /= static_cast<double>(clusters[c].size());
+    std::printf("  zone %zu: %zu sensors, mean depth %.1f m (%s of room)\n",
+                c + 1, clusters[c].size(), mean_depth,
+                mean_depth < 6.0 ? "front" : "back");
+  }
+
+  // --- Step 2: compare the selection strategies on validation data. -----
+  const auto p99 = [&](const selection::Selection& sel) {
+    return selection::evaluate_cluster_mean_prediction(validation, clusters,
+                                                       sel)
+        .percentile(99.0);
+  };
+  const auto sms = selection::stratified_near_mean(training, clusters);
+  std::printf("\nstrategy comparison (99th-pct cluster-mean error):\n");
+  std::printf("  SMS (near-mean):    %.3f degC\n", p99(sms));
+  std::printf("  SRS (random/zone):  %.3f degC\n",
+              p99(selection::stratified_random(clusters, 1)));
+  std::printf("  thermostats only:   %.3f degC\n",
+              p99(selection::thermostat_baseline(dataset.thermostat_ids(),
+                                                 clusters.size())));
+  const auto gp = selection::gp_mutual_information_selection(
+      training, dataset.wireless_ids(), clusters.size());
+  std::printf("  GP placement:       %.3f degC\n",
+              p99(selection::assign_to_clusters(training, clusters, gp)));
+
+  // --- Step 3: the deployment recommendation. ---------------------------
+  std::printf("\nrecommended long-term deployment (SMS):\n");
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (auto id : sms.per_cluster[c]) {
+      const auto& site = dataset.plan.site(id);
+      std::printf("  keep sensor %2d at (%.1f, %.1f) m  [zone %zu]\n", id,
+                  site.position.x, site.position.y, c + 1);
+    }
+  }
+  std::printf("the other %zu sensors can be removed after the pilot.\n",
+              dataset.wireless_ids().size() -
+                  sms.flattened().size());
+
+  // How much accuracy does each extra sensor per zone buy?
+  std::printf("\naccuracy vs sensors kept per zone (SMS):\n");
+  for (std::size_t n = 1; n <= 4; ++n) {
+    const auto sel = selection::stratified_near_mean(training, clusters, n);
+    std::printf("  %zu per zone (%zu total): %.3f degC\n", n,
+                sel.flattened().size(), p99(sel));
+  }
+  return 0;
+}

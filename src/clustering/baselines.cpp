@@ -1,0 +1,119 @@
+#include "auditherm/clustering/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace auditherm::clustering {
+
+ClusteringResult kmeans_trace_cluster(
+    const timeseries::MultiTrace& trace,
+    const std::vector<timeseries::ChannelId>& channels, std::size_t k,
+    const KMeansOptions& options) {
+  if (channels.empty()) {
+    throw std::invalid_argument("kmeans_trace_cluster: no channels");
+  }
+  if (k == 0 || k > channels.size()) {
+    throw std::invalid_argument("kmeans_trace_cluster: bad k");
+  }
+  const auto sub = trace.select_channels(channels);
+  const std::size_t p = channels.size();
+  const std::size_t n = sub.size();
+
+  // Feature matrix: one row per sensor; gaps imputed with the channel
+  // mean so they carry no signal.
+  linalg::Matrix features(p, n);
+  for (std::size_t c = 0; c < p; ++c) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t kk = 0; kk < n; ++kk) {
+      if (sub.valid(kk, c)) {
+        sum += sub.value(kk, c);
+        ++count;
+      }
+    }
+    const double mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+    for (std::size_t kk = 0; kk < n; ++kk) {
+      features(c, kk) = sub.valid(kk, c) ? sub.value(kk, c) : mean;
+    }
+  }
+
+  const auto km = kmeans(features, k, options);
+  ClusteringResult result;
+  result.channels = channels;
+  result.labels = km.labels;
+  result.cluster_count = k;
+  return result;
+}
+
+ClusteringResult single_linkage_cluster(const SimilarityGraph& graph,
+                                        std::size_t k) {
+  const std::size_t n = graph.channels.size();
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("single_linkage_cluster: bad k");
+  }
+
+  // Union-find over vertices; merge along edges in decreasing weight.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  struct Edge {
+    double weight;
+    std::size_t a, b;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (graph.weights(i, j) > 0.0) {
+        edges.push_back({graph.weights(i, j), i, j});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+
+  std::size_t clusters = n;
+  for (const auto& edge : edges) {
+    if (clusters <= k) break;
+    const auto ra = find(edge.a);
+    const auto rb = find(edge.b);
+    if (ra != rb) {
+      parent[ra] = rb;
+      --clusters;
+    }
+  }
+  // A disconnected graph can stall above k; that is a faithful property of
+  // single linkage, so we simply return the components we have.
+
+  // Compact the labels.
+  std::vector<std::size_t> roots;
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = find(i);
+    std::size_t label = roots.size();
+    for (std::size_t x = 0; x < roots.size(); ++x) {
+      if (roots[x] == r) {
+        label = x;
+        break;
+      }
+    }
+    if (label == roots.size()) roots.push_back(r);
+    labels[i] = label;
+  }
+
+  ClusteringResult result;
+  result.channels = graph.channels;
+  result.labels = std::move(labels);
+  result.cluster_count = roots.size();
+  return result;
+}
+
+}  // namespace auditherm::clustering

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file baselines.hpp
+/// Traditional clustering baselines the paper compares spectral clustering
+/// against in spirit ("compared to the traditional clustering algorithms
+/// such as k-means or single linkage, spectral clustering can derive
+/// higher quality results"): direct k-means on the sensor traces and
+/// single-linkage agglomerative clustering on the similarity graph.
+
+#include "auditherm/clustering/kmeans.hpp"
+#include "auditherm/clustering/similarity.hpp"
+#include "auditherm/clustering/spectral.hpp"
+
+namespace auditherm::clustering {
+
+/// Direct k-means on per-sensor feature vectors.
+///
+/// Each sensor's feature vector is its (gap-filled by channel mean,
+/// standardized per row) trace over the training window — clustering in
+/// signal space rather than on the graph spectrum. Throws
+/// std::invalid_argument on empty channels or k outside [1, #channels].
+[[nodiscard]] ClusteringResult kmeans_trace_cluster(
+    const timeseries::MultiTrace& trace,
+    const std::vector<timeseries::ChannelId>& channels, std::size_t k,
+    const KMeansOptions& options = {});
+
+/// Single-linkage agglomerative clustering on a similarity graph: start
+/// from singletons and repeatedly merge the pair of clusters joined by the
+/// strongest remaining edge, until k clusters remain. The classic
+/// "chaining" failure mode (one giant cluster plus singletons) is exactly
+/// what the paper's comparison alludes to. Throws std::invalid_argument
+/// when k is outside [1, #vertices].
+[[nodiscard]] ClusteringResult single_linkage_cluster(
+    const SimilarityGraph& graph, std::size_t k);
+
+}  // namespace auditherm::clustering

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file kmeans.hpp
+/// k-means with k-means++ seeding on the rows of a matrix. Used as the
+/// final grouping step of spectral clustering (on the Laplacian
+/// eigenvector embedding), and usable standalone.
+
+#include <cstdint>
+#include <vector>
+
+#include "auditherm/linalg/matrix.hpp"
+
+namespace auditherm::clustering {
+
+/// k-means configuration.
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 10;  ///< independent k-means++ seedings; best kept
+  std::uint64_t seed = 1;
+};
+
+/// k-means result.
+struct KMeansResult {
+  std::vector<std::size_t> labels;  ///< cluster index per row, in [0, k)
+  linalg::Matrix centroids;         ///< k x dims
+  double inertia = 0.0;             ///< sum of squared distances to centroid
+  std::size_t iterations = 0;       ///< iterations of the best restart
+};
+
+/// Cluster the rows of `points` into k groups.
+///
+/// Guarantees every cluster is non-empty (empty clusters are reseeded from
+/// the farthest point). Throws std::invalid_argument when k == 0 or
+/// k > #rows or points is empty.
+[[nodiscard]] KMeansResult kmeans(const linalg::Matrix& points, std::size_t k,
+                                  const KMeansOptions& options = {});
+
+}  // namespace auditherm::clustering

@@ -1,0 +1,144 @@
+#include "auditherm/clustering/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace auditherm::clustering {
+
+namespace {
+
+double sq_distance_to_row(const linalg::Matrix& points, std::size_t row,
+                          const linalg::Matrix& centroids,
+                          std::size_t centroid) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < points.cols(); ++j) {
+    const double d = points(row, j) - centroids(centroid, j);
+    s += d * d;
+  }
+  return s;
+}
+
+/// One full k-means run from a k-means++ seeding.
+KMeansResult run_once(const linalg::Matrix& points, std::size_t k,
+                      const KMeansOptions& options, std::mt19937_64& rng) {
+  const std::size_t n = points.rows();
+  const std::size_t dims = points.cols();
+
+  // --- k-means++ seeding. ---------------------------------------------
+  linalg::Matrix centroids(k, dims);
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  {
+    std::uniform_int_distribution<std::size_t> uni(0, n - 1);
+    const std::size_t first = uni(rng);
+    centroids.set_row(0, points.row_vector(first));
+    for (std::size_t c = 1; c < k; ++c) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        min_sq[i] = std::min(min_sq[i],
+                             sq_distance_to_row(points, i, centroids, c - 1));
+        total += min_sq[i];
+      }
+      std::size_t chosen = 0;
+      if (total > 0.0) {
+        std::uniform_real_distribution<double> u(0.0, total);
+        double target = u(rng);
+        for (std::size_t i = 0; i < n; ++i) {
+          target -= min_sq[i];
+          if (target <= 0.0) {
+            chosen = i;
+            break;
+          }
+        }
+      } else {
+        chosen = uni(rng);  // all points identical; any seed works
+      }
+      centroids.set_row(c, points.row_vector(chosen));
+    }
+  }
+
+  // --- Lloyd iterations. ------------------------------------------------
+  KMeansResult result;
+  result.labels.assign(n, 0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance_to_row(points, i, centroids, c);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.labels[i] != best) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids; reseed empty clusters from the farthest point.
+    linalg::Matrix sums(k, dims);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = result.labels[i];
+      ++counts[c];
+      for (std::size_t j = 0; j < dims; ++j) sums(c, j) += points(i, j);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = sq_distance_to_row(points, i, centroids,
+                                              result.labels[i]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        centroids.set_row(c, points.row_vector(far));
+        result.labels[far] = c;
+        changed = true;
+        continue;
+      }
+      for (std::size_t j = 0; j < dims; ++j) {
+        centroids(c, j) = sums(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed) break;
+  }
+
+  result.centroids = centroids;
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        sq_distance_to_row(points, i, centroids, result.labels[i]);
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const linalg::Matrix& points, std::size_t k,
+                    const KMeansOptions& options) {
+  if (points.rows() == 0) throw std::invalid_argument("kmeans: empty points");
+  if (k == 0 || k > points.rows()) {
+    throw std::invalid_argument("kmeans: k outside [1, #rows]");
+  }
+  if (options.restarts == 0) {
+    throw std::invalid_argument("kmeans: restarts == 0");
+  }
+  std::mt19937_64 rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    KMeansResult run = run_once(points, k, options, rng);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace auditherm::clustering

@@ -1,0 +1,161 @@
+#include "auditherm/clustering/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "auditherm/linalg/decompositions.hpp"
+
+namespace auditherm::clustering {
+
+namespace {
+/// Floor for eigenvalues entering the log: the Laplacian's zero mode would
+/// otherwise dominate every gap.
+constexpr double kLogFloor = 1e-10;
+}  // namespace
+
+linalg::Matrix laplacian(const linalg::Matrix& weights) {
+  if (weights.rows() != weights.cols()) {
+    throw std::invalid_argument("laplacian: weights not square");
+  }
+  const std::size_t n = weights.rows();
+  linalg::Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      degree += weights(i, j);
+      l(i, j) = -weights(i, j);
+    }
+    l(i, i) = degree;
+  }
+  return l;
+}
+
+linalg::Vector SpectralAnalysis::log_eigengaps() const {
+  if (eigenvalues.size() < 2) return {};
+  linalg::Vector gaps(eigenvalues.size() - 1);
+  for (std::size_t i = 0; i + 1 < eigenvalues.size(); ++i) {
+    const double lo = std::max(eigenvalues[i], kLogFloor);
+    const double hi = std::max(eigenvalues[i + 1], kLogFloor);
+    gaps[i] = std::log(hi) - std::log(lo);
+  }
+  return gaps;
+}
+
+std::size_t SpectralAnalysis::eigengap_cluster_count(std::size_t k_min,
+                                                     std::size_t k_max) const {
+  const auto gaps = log_eigengaps();
+  if (gaps.empty()) return 1;
+  k_min = std::max<std::size_t>(k_min, 1);
+  k_max = std::min(k_max, gaps.size());
+  if (k_min > k_max) {
+    throw std::invalid_argument("eigengap_cluster_count: empty search range");
+  }
+  // Choosing k means the gap sits between eigenvalue index k-1 and k
+  // (0-based): eigenvalues 0..k-1 are the "small" group.
+  std::size_t best_k = k_min;
+  double best_gap = -1.0;
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    if (gaps[k - 1] > best_gap) {
+      best_gap = gaps[k - 1];
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+linalg::Matrix normalized_laplacian(const linalg::Matrix& weights) {
+  if (weights.rows() != weights.cols()) {
+    throw std::invalid_argument("normalized_laplacian: weights not square");
+  }
+  const std::size_t n = weights.rows();
+  linalg::Vector inv_sqrt_deg(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) degree += weights(i, j);
+    }
+    inv_sqrt_deg[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
+  }
+  linalg::Matrix l = linalg::Matrix::identity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        l(i, j) = -weights(i, j) * inv_sqrt_deg[i] * inv_sqrt_deg[j];
+      }
+    }
+  }
+  return l;
+}
+
+SpectralAnalysis analyze_spectrum(const linalg::Matrix& weights,
+                                  LaplacianKind kind) {
+  const auto l = kind == LaplacianKind::kUnnormalized
+                     ? laplacian(weights)
+                     : normalized_laplacian(weights);
+  const auto eig = linalg::eigen_symmetric(l);
+  SpectralAnalysis a;
+  a.eigenvalues = eig.eigenvalues;
+  a.eigenvectors = eig.eigenvectors;
+  return a;
+}
+
+std::vector<std::vector<timeseries::ChannelId>> ClusteringResult::clusters()
+    const {
+  std::vector<std::vector<timeseries::ChannelId>> out(cluster_count);
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    out[labels[i]].push_back(channels[i]);
+  }
+  return out;
+}
+
+std::size_t ClusteringResult::cluster_of(timeseries::ChannelId id) const {
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (channels[i] == id) return labels[i];
+  }
+  throw std::invalid_argument("ClusteringResult::cluster_of: unknown channel");
+}
+
+ClusteringResult spectral_cluster(const SimilarityGraph& graph,
+                                  const SpectralOptions& options) {
+  const std::size_t n = graph.channels.size();
+  if (options.cluster_count > n) {
+    throw std::invalid_argument("spectral_cluster: cluster_count > vertices");
+  }
+  const auto analysis = analyze_spectrum(graph.weights, options.laplacian);
+
+  std::size_t k = options.cluster_count;
+  if (k == 0) {
+    k = analysis.eigengap_cluster_count(options.k_min,
+                                        std::min(options.k_max, n - 1));
+  }
+
+  // Spectral embedding: rows of the k eigenvectors of smallest eigenvalue.
+  linalg::Matrix embedding(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    embedding.set_col(j, analysis.eigenvectors.col_vector(j));
+  }
+  if (options.normalize_rows) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double norm = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        norm += embedding(i, j) * embedding(i, j);
+      }
+      norm = std::sqrt(norm);
+      if (norm > 0.0) {
+        for (std::size_t j = 0; j < k; ++j) embedding(i, j) /= norm;
+      }
+    }
+  }
+  const auto km = kmeans(embedding, k, options.kmeans);
+
+  ClusteringResult result;
+  result.channels = graph.channels;
+  result.labels = km.labels;
+  result.cluster_count = k;
+  result.eigenvalues = analysis.eigenvalues;
+  return result;
+}
+
+}  // namespace auditherm::clustering

@@ -1,0 +1,166 @@
+#include "auditherm/control/closed_loop.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "auditherm/hvac/vav.hpp"
+
+namespace auditherm::control {
+
+namespace {
+
+using timeseries::kMinutesPerDay;
+using timeseries::Minutes;
+
+}  // namespace
+
+ClosedLoopMetrics run_closed_loop(const ClosedLoopConfig& config,
+                                  HvacController& controller,
+                                  double setpoint_c) {
+  if (config.days == 0) {
+    throw std::invalid_argument("run_closed_loop: days == 0");
+  }
+  if (config.step <= 0 || std::fmod(config.control_dt_s, 60.0) != 0.0 ||
+      (config.step * 60) % static_cast<Minutes>(config.control_dt_s) != 0) {
+    throw std::invalid_argument("run_closed_loop: inconsistent steps");
+  }
+  if (config.comfort_zones.empty()) {
+    throw std::invalid_argument("run_closed_loop: no comfort zones");
+  }
+
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::WeatherModel weather(config.weather, config.days);
+  sim::OccupancySchedule occupancy(config.occupancy, config.days);
+  sim::ZonalPlant plant(plan, config.plant);
+  std::vector<hvac::VavBox> vavs(plan.vav_count(),
+                                 hvac::VavBox(hvac::VavConfig{}));
+
+  // Sensor index resolution for the controller and the comfort zones.
+  const auto controller_ids = controller.sensor_ids();
+  std::vector<std::size_t> controller_nodes;
+  const auto all_ids = plan.sensor_ids();
+  const auto node_of = [&](timeseries::ChannelId id) {
+    for (std::size_t i = 0; i < all_ids.size(); ++i) {
+      if (all_ids[i] == id) return i;
+    }
+    throw std::invalid_argument("run_closed_loop: controller reads unknown "
+                                "sensor " + std::to_string(id));
+  };
+  for (auto id : controller_ids) controller_nodes.push_back(node_of(id));
+  std::vector<std::vector<std::size_t>> zone_nodes;
+  for (const auto& zone : config.comfort_zones) {
+    zone_nodes.emplace_back();
+    for (auto id : zone) zone_nodes.back().push_back(node_of(id));
+    if (zone_nodes.back().empty()) {
+      throw std::invalid_argument("run_closed_loop: empty comfort zone");
+    }
+  }
+
+  std::mt19937_64 rng(config.seed);
+  std::normal_distribution<double> unit_normal(0.0, 1.0);
+  std::vector<double> turbulence(plant.node_count(), 0.0);
+  const double turb_tau_s = config.turbulence_tau_min * 60.0;
+
+  controller.reset();
+  ClosedLoopMetrics metrics;
+  double sum_abs_dev = 0.0;
+  std::size_t violations = 0;
+
+  const auto control_minutes =
+      static_cast<Minutes>(config.control_dt_s / 60.0);
+  const Minutes total = static_cast<Minutes>(config.days) * kMinutesPerDay;
+  HvacCommand command;  // default trickle until the first decision
+
+  // One warm-up day.
+  for (Minutes t = -kMinutesPerDay; t < total; t += control_minutes) {
+    // Decision instants: every config.step minutes.
+    if (timeseries::minute_of_day(t) % config.step == 0) {
+      ControlContext context;
+      context.time = t;
+      context.step_minutes = static_cast<double>(config.step);
+      context.sensor_temps_c.reserve(controller_nodes.size());
+      for (auto node : controller_nodes) {
+        context.sensor_temps_c.push_back(plant.air_temps()[node]);
+      }
+      // Perfect forecast of the exogenous inputs over the next 8 steps.
+      constexpr std::size_t kForecastSteps = 8;
+      context.exogenous_forecast = linalg::Matrix(kForecastSteps, 3);
+      for (std::size_t f = 0; f < kForecastSteps; ++f) {
+        const auto tf = t + static_cast<Minutes>(f + 1) * config.step;
+        context.exogenous_forecast(f, 0) = occupancy.occupants_at(tf);
+        context.exogenous_forecast(f, 1) = occupancy.lighting_at(tf);
+        context.exogenous_forecast(f, 2) = weather.temperature_at(tf);
+      }
+      command = controller.decide(context);
+    }
+
+    // Advance turbulence (activity-scaled as in the dataset generator).
+    if (config.turbulence_std_w > 0.0) {
+      const double decay = std::exp(-config.control_dt_s / turb_tau_s);
+      const double std_now =
+          config.turbulence_std_w *
+          (config.schedule.occupied_at(t) ? 1.0
+                                          : config.turbulence_night_factor);
+      const double kick = std_now * std::sqrt(1.0 - decay * decay);
+      for (double& x : turbulence) x = decay * x + kick * unit_normal(rng);
+    }
+
+    // Drive the dampers toward the command and step the plant.
+    for (auto& box : vavs) box.command_flow(command.flow_per_vav_m3_s);
+    sim::PlantInputs u;
+    u.vav_flows_m3_s.reserve(vavs.size());
+    for (auto& box : vavs) {
+      u.vav_flows_m3_s.push_back(box.step(config.control_dt_s).flow_m3_s);
+    }
+    u.supply_temp_c = command.supply_temp_c;
+    u.occupants = occupancy.occupants_at(t);
+    u.lighting = occupancy.lighting_at(t);
+    u.ambient_c = weather.temperature_at(t);
+    if (config.turbulence_std_w > 0.0) u.extra_node_heat_w = turbulence;
+
+    // Energy accounting before stepping (inputs held over the step).
+    if (t >= 0) {
+      const double dt_h = config.control_dt_s / 3600.0;
+      metrics.coil_energy_kwh +=
+          std::abs(plant.hvac_power_w(u)) / 1000.0 * dt_h;
+      double total_flow = 0.0;
+      for (double f : u.vav_flows_m3_s) total_flow += f;
+      // Fan laws: power ~ flow^3; calibrated to ~1.5 kW at full 2.4 m^3/s.
+      metrics.fan_energy_kwh +=
+          1.5 * std::pow(total_flow / 2.4, 3.0) * dt_h;
+    }
+
+    plant.step(u, config.control_dt_s);
+
+    // Comfort scoring at decision resolution, occupied with audience.
+    if (t >= 0 && timeseries::minute_of_day(t) % config.step == 0 &&
+        config.schedule.occupied_at(t) &&
+        u.occupants >= config.min_occupants) {
+      for (const auto& nodes : zone_nodes) {
+        double zone_temp = 0.0;
+        for (auto node : nodes) zone_temp += plant.air_temps()[node];
+        zone_temp /= static_cast<double>(nodes.size());
+
+        hvac::ComfortInputs in = config.comfort_model;
+        in.air_temp_c = zone_temp;
+        in.mean_radiant_temp_c = zone_temp;
+        const auto comfort = hvac::predicted_mean_vote(in);
+        if (!hvac::within_comfort_band(comfort)) ++violations;
+        sum_abs_dev += std::abs(zone_temp - setpoint_c);
+        ++metrics.scored_samples;
+      }
+    }
+  }
+
+  if (metrics.scored_samples > 0) {
+    metrics.comfort_violation_fraction =
+        static_cast<double>(violations) /
+        static_cast<double>(metrics.scored_samples);
+    metrics.mean_abs_deviation_c =
+        sum_abs_dev / static_cast<double>(metrics.scored_samples);
+  }
+  return metrics;
+}
+
+}  // namespace auditherm::control

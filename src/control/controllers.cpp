@@ -1,0 +1,165 @@
+#include "auditherm/control/controllers.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "auditherm/linalg/vector_ops.hpp"
+
+namespace auditherm::control {
+
+// ---------------------------------------------------------------------------
+// RuleBasedController
+// ---------------------------------------------------------------------------
+
+RuleBasedController::RuleBasedController(
+    hvac::ThermostatConfig config, hvac::Schedule schedule,
+    std::vector<timeseries::ChannelId> thermostat_ids)
+    : controller_(config, schedule),
+      schedule_(schedule),
+      thermostat_ids_(std::move(thermostat_ids)) {
+  if (thermostat_ids_.empty()) {
+    throw std::invalid_argument("RuleBasedController: no thermostats");
+  }
+  // One proxy box with an effectively instant damper: update() pushes the
+  // commanded flow into it, and we read it back as the decision.
+  hvac::VavConfig proxy;
+  proxy.actuator_tau_s = 1e-3;
+  proxy_boxes_.assign(1, hvac::VavBox(proxy));
+}
+
+HvacCommand RuleBasedController::decide(const ControlContext& context) {
+  std::vector<double> temps(context.sensor_temps_c.begin(),
+                            context.sensor_temps_c.end());
+  controller_.update(proxy_boxes_, temps, context.time,
+                     context.step_minutes * 60.0);
+  proxy_boxes_[0].step(context.step_minutes * 60.0);
+  HvacCommand command;
+  command.flow_per_vav_m3_s = proxy_boxes_[0].flow();
+  command.supply_temp_c = controller_.supply_temp_c();
+  return command;
+}
+
+// ---------------------------------------------------------------------------
+// ModelPredictiveController
+// ---------------------------------------------------------------------------
+
+ModelPredictiveController::ModelPredictiveController(sysid::ThermalModel model,
+                                                     std::size_t vav_count,
+                                                     hvac::Schedule schedule,
+                                                     MpcOptions options)
+    : model_(std::move(model)),
+      vav_count_(vav_count),
+      schedule_(schedule),
+      options_(std::move(options)) {
+  if (vav_count_ == 0) {
+    throw std::invalid_argument("ModelPredictiveController: no VAVs");
+  }
+  if (model_.input_count() != vav_count_ + 4) {
+    throw std::invalid_argument(
+        "ModelPredictiveController: model inputs must be [flows.., "
+        "supply_temp, occupants, lighting, ambient]");
+  }
+  if (options_.flow_levels.empty() || options_.horizon_steps == 0) {
+    throw std::invalid_argument(
+        "ModelPredictiveController: empty flow levels or zero horizon");
+  }
+}
+
+void ModelPredictiveController::reset() {
+  has_previous_ = false;
+  previous_temps_.clear();
+}
+
+double ModelPredictiveController::plan_cost(const ControlContext& context,
+                                            const HvacCommand& command) const {
+  const std::size_t steps =
+      std::min<std::size_t>(options_.horizon_steps,
+                            context.exogenous_forecast.rows());
+  const std::size_t q = model_.input_count();
+
+  linalg::Matrix inputs(steps, q);
+  for (std::size_t k = 0; k < steps; ++k) {
+    for (std::size_t v = 0; v < vav_count_; ++v) {
+      inputs(k, v) = command.flow_per_vav_m3_s;
+    }
+    inputs(k, vav_count_) = command.supply_temp_c;
+    for (std::size_t j = 0; j < 3; ++j) {
+      inputs(k, vav_count_ + 1 + j) = context.exogenous_forecast(k, j);
+    }
+  }
+
+  linalg::Vector delta(model_.state_count(), 0.0);
+  if (has_previous_) {
+    delta = linalg::subtract(context.sensor_temps_c, previous_temps_);
+  }
+  const auto predicted =
+      model_.simulate(context.sensor_temps_c, delta, inputs);
+
+  double cost = 0.0;
+  const double dt_h = context.step_minutes / 60.0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const auto t = context.time +
+                   static_cast<timeseries::Minutes>(
+                       static_cast<double>(k + 1) * context.step_minutes);
+    if (schedule_.occupied_at(t)) {
+      for (std::size_t s = 0; s < model_.state_count(); ++s) {
+        const double dev = predicted(k, s) - options_.objective.setpoint_c;
+        cost += options_.objective.comfort_weight * dev * dev;
+      }
+    }
+    const double total_flow =
+        command.flow_per_vav_m3_s * static_cast<double>(vav_count_);
+    cost += options_.objective.energy_weight * total_flow * total_flow * dt_h;
+  }
+  return cost;
+}
+
+HvacCommand ModelPredictiveController::decide(const ControlContext& context) {
+  if (context.sensor_temps_c.size() != model_.state_count()) {
+    throw std::invalid_argument(
+        "ModelPredictiveController: sensor reading count mismatch");
+  }
+  if (context.exogenous_forecast.cols() != 3 ||
+      context.exogenous_forecast.rows() == 0) {
+    throw std::invalid_argument(
+        "ModelPredictiveController: forecast must be steps x 3");
+  }
+
+  HvacCommand best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  if (!schedule_.occupied_at(context.time)) {
+    // Off-mode: trickle ventilation, like the building's own program.
+    best.flow_per_vav_m3_s = options_.flow_levels.front();
+    best.supply_temp_c = options_.neutral_supply_c;
+    last_plan_cost_ = 0.0;
+  } else {
+    for (double supply :
+         {options_.cooling_supply_c, options_.neutral_supply_c,
+          options_.heating_supply_c}) {
+      for (double flow : options_.flow_levels) {
+        // Heating runs at the ventilation floor only (reheat coil at
+        // minimum airflow), matching the plant-side VAV program.
+        if (supply == options_.heating_supply_c &&
+            flow != options_.flow_levels.front()) {
+          continue;
+        }
+        HvacCommand candidate;
+        candidate.flow_per_vav_m3_s = flow;
+        candidate.supply_temp_c = supply;
+        const double cost = plan_cost(context, candidate);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = candidate;
+        }
+      }
+    }
+    last_plan_cost_ = best_cost;
+  }
+
+  previous_temps_ = context.sensor_temps_c;
+  has_previous_ = true;
+  return best;
+}
+
+}  // namespace auditherm::control

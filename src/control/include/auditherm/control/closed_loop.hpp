@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file closed_loop.hpp
+/// Closed-loop evaluation of HVAC controllers against the zonal plant.
+///
+/// Runs the same physics as the dataset generator, but with an arbitrary
+/// HvacController in the loop instead of the built-in thermostat program,
+/// and scores the run on the two axes a building operator cares about:
+/// occupant comfort (Fanger PMV inside the ASHRAE-55 band, per thermal
+/// zone) and HVAC energy (coil thermal energy + a fan-law term).
+
+#include <memory>
+#include <vector>
+
+#include "auditherm/control/controllers.hpp"
+#include "auditherm/hvac/comfort.hpp"
+#include "auditherm/sim/dataset.hpp"
+
+namespace auditherm::control {
+
+/// Closed-loop run configuration.
+struct ClosedLoopConfig {
+  std::size_t days = 14;
+  timeseries::Minutes step = 30;  ///< control decision period
+  double control_dt_s = 60.0;     ///< plant integration step
+  sim::WeatherConfig weather;
+  sim::OccupancyConfig occupancy;
+  sim::PlantConfig plant;
+  hvac::Schedule schedule;
+  /// Comfort is scored on these sensor groups (thermal zones); occupant
+  /// comfort inputs use the zone-mean temperature.
+  std::vector<std::vector<timeseries::ChannelId>> comfort_zones;
+  /// Personal factors of the audience: seated (1.0 met) in winter indoor
+  /// clothing (1.0 clo), for which a ~21 degC room sits inside the
+  /// ASHRAE-55 band.
+  hvac::ComfortInputs comfort_model{.air_temp_c = 21.0,
+                                    .mean_radiant_temp_c = 21.0,
+                                    .air_velocity_m_s = 0.12,
+                                    .relative_humidity = 0.45,
+                                    .metabolic_rate_met = 1.0,
+                                    .clothing_clo = 1.0,
+                                    .external_work_met = 0.0};
+  /// Occupant threshold: comfort counts only when at least this many
+  /// people are present.
+  double min_occupants = 10.0;
+  std::uint64_t seed = 77;
+  double turbulence_std_w = 40.0;
+  double turbulence_tau_min = 45.0;
+  double turbulence_night_factor = 0.25;
+};
+
+/// Outcome metrics of a closed-loop run.
+struct ClosedLoopMetrics {
+  /// Fraction of scored (occupied, audience present) zone-samples whose
+  /// PMV fell outside |PMV| <= 0.5.
+  double comfort_violation_fraction = 0.0;
+  /// Mean |zone temp - setpoint| over scored zone-samples (degC).
+  double mean_abs_deviation_c = 0.0;
+  /// Thermal energy moved by the coils (kWh, both heating and cooling).
+  double coil_energy_kwh = 0.0;
+  /// Fan energy proxy (kWh), cubic in total flow per the fan laws.
+  double fan_energy_kwh = 0.0;
+  std::size_t scored_samples = 0;
+
+  [[nodiscard]] double total_energy_kwh() const noexcept {
+    return coil_energy_kwh + fan_energy_kwh;
+  }
+};
+
+/// Run `controller` in closed loop for config.days and score it.
+/// Throws std::invalid_argument on inconsistent configuration (zero days,
+/// step not whole control periods, empty comfort zones).
+[[nodiscard]] ClosedLoopMetrics run_closed_loop(const ClosedLoopConfig& config,
+                                                HvacController& controller,
+                                                double setpoint_c = 21.0);
+
+}  // namespace auditherm::control

@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file controllers.hpp
+/// HVAC controllers for closed-loop operation.
+///
+/// The paper's conclusion positions its modeling pipeline as "a practical
+/// foundation for HVAC control and optimization for large open spaces".
+/// This module delivers that step: a receding-horizon controller that
+/// plans on an identified (reduced) thermal model, next to the building's
+/// existing thermostat rule as the baseline.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "auditherm/hvac/schedule.hpp"
+#include "auditherm/hvac/thermostat.hpp"
+#include "auditherm/sysid/model.hpp"
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::control {
+
+/// One actuation decision: a common flow command for all VAVs plus the
+/// supply-air temperature (cooling / heating / neutral).
+struct HvacCommand {
+  double flow_per_vav_m3_s = 0.05;
+  double supply_temp_c = 18.0;
+};
+
+/// Everything a controller may look at when deciding.
+struct ControlContext {
+  timeseries::Minutes time = 0;
+  /// Readings of the controller's own sensors, in the order the
+  /// controller declared via sensor_ids().
+  linalg::Vector sensor_temps_c;
+  /// Perfect short-term forecasts of the exogenous inputs, one row per
+  /// upcoming step: columns are [occupants, lighting, ambient].
+  linalg::Matrix exogenous_forecast;
+  double step_minutes = 30.0;
+};
+
+/// Abstract controller: subclasses declare which sensors they need and map
+/// a context to a command.
+class HvacController {
+ public:
+  virtual ~HvacController() = default;
+
+  /// Channels whose temperatures must appear in
+  /// ControlContext::sensor_temps_c (in this order).
+  [[nodiscard]] virtual std::vector<timeseries::ChannelId> sensor_ids()
+      const = 0;
+
+  /// Decide the actuation for the step starting at context.time.
+  [[nodiscard]] virtual HvacCommand decide(const ControlContext& context) = 0;
+
+  /// Reset any internal state (integrators, histories).
+  virtual void reset() {}
+};
+
+/// The building's existing rule: the PI thermostat loop on the two wall
+/// thermostats (the closed-loop baseline).
+class RuleBasedController final : public HvacController {
+ public:
+  RuleBasedController(hvac::ThermostatConfig config, hvac::Schedule schedule,
+                      std::vector<timeseries::ChannelId> thermostat_ids);
+
+  [[nodiscard]] std::vector<timeseries::ChannelId> sensor_ids()
+      const override {
+    return thermostat_ids_;
+  }
+  [[nodiscard]] HvacCommand decide(const ControlContext& context) override;
+  void reset() override { controller_.reset(); }
+
+ private:
+  hvac::ThermostatController controller_;
+  hvac::Schedule schedule_;
+  std::vector<timeseries::ChannelId> thermostat_ids_;
+  std::vector<hvac::VavBox> proxy_boxes_;  ///< expose the loop's command
+};
+
+/// Objective weights for predictive control.
+struct ControlObjective {
+  double setpoint_c = 21.0;
+  /// Weight on squared zone-temperature deviation from the setpoint
+  /// (occupied steps only).
+  double comfort_weight = 1.0;
+  /// Weight on squared total flow (fan + coil energy proxy).
+  double energy_weight = 0.4;
+};
+
+/// Receding-horizon (MPC-style) controller planning on an identified
+/// thermal model over the selected sensors.
+///
+/// Each step it enumerates a discrete set of candidate commands (flow
+/// level x supply mode), holds each constant over the horizon, simulates
+/// the model with the exogenous forecast, scores comfort + energy, and
+/// applies the first step of the best plan. Discrete enumeration is exact
+/// for this small action set and keeps the controller free of external
+/// solver dependencies.
+/// ModelPredictiveController tuning knobs.
+struct MpcOptions {
+  std::size_t horizon_steps = 6;  ///< 3 h on the 30-minute grid
+  std::vector<double> flow_levels{0.05, 0.15, 0.30, 0.45, 0.60};
+  double cooling_supply_c = 13.0;
+  double heating_supply_c = 28.0;
+  double neutral_supply_c = 18.0;
+  ControlObjective objective;
+};
+
+class ModelPredictiveController final : public HvacController {
+ public:
+  /// `model` must have the extended input layout [h_1..h_m, supply_temp,
+  /// occupants, lighting, ambient] (AuditoriumDataset::extended_input_ids)
+  /// so candidate supply modes produce different predictions; its states
+  /// define the sensors this controller reads. Throws
+  /// std::invalid_argument when the model's input count is not vav_count+4
+  /// or options are inconsistent (empty flow levels, zero horizon).
+  ModelPredictiveController(sysid::ThermalModel model, std::size_t vav_count,
+                            hvac::Schedule schedule,
+                            MpcOptions options = {});
+
+  [[nodiscard]] std::vector<timeseries::ChannelId> sensor_ids()
+      const override {
+    return model_.state_channels();
+  }
+  [[nodiscard]] HvacCommand decide(const ControlContext& context) override;
+  void reset() override;
+
+  /// The cost the last decide() assigned to its chosen plan.
+  [[nodiscard]] double last_plan_cost() const noexcept {
+    return last_plan_cost_;
+  }
+
+ private:
+  /// Cost of holding `command` for the whole horizon from current state.
+  [[nodiscard]] double plan_cost(const ControlContext& context,
+                                 const HvacCommand& command) const;
+
+  sysid::ThermalModel model_;
+  std::size_t vav_count_;
+  hvac::Schedule schedule_;
+  MpcOptions options_;
+  linalg::Vector previous_temps_;  ///< for the second-order delta state
+  bool has_previous_ = false;
+  double last_plan_cost_ = 0.0;
+};
+
+}  // namespace auditherm::control

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// The paper's three-step modeling method (Section VII):
+///   1. cluster the dense sensor network from training data,
+///   2. select representative sensor(s) per cluster,
+///   3. identify a simplified dynamic model over the selected sensors,
+/// plus the evaluation of the reduced model against measured cluster means
+/// (Fig. 11).
+
+#include <cstdint>
+#include <vector>
+
+#include "auditherm/clustering/spectral.hpp"
+#include "auditherm/core/split.hpp"
+#include "auditherm/selection/evaluation.hpp"
+#include "auditherm/selection/gp_placement.hpp"
+#include "auditherm/selection/strategies.hpp"
+#include "auditherm/sysid/estimator.hpp"
+#include "auditherm/sysid/evaluation.hpp"
+
+namespace auditherm::core {
+
+/// Which representative-selection strategy step 2 uses.
+enum class SelectionStrategy {
+  kStratifiedNearMean,  ///< SMS — the paper's recommendation
+  kStratifiedRandom,    ///< SRS
+  kSimpleRandom,        ///< RS baseline
+  kThermostats,         ///< the HVAC's own thermostats
+  kGaussianProcess,     ///< Krause et al. MI placement
+};
+
+/// Pipeline configuration.
+struct PipelineConfig {
+  clustering::SimilarityOptions similarity;  ///< correlation metric default
+  clustering::SpectralOptions spectral;      ///< eigengap-chosen k default
+  SelectionStrategy strategy = SelectionStrategy::kStratifiedNearMean;
+  std::size_t sensors_per_cluster = 1;
+  std::uint64_t selection_seed = 7;          ///< SRS / RS draws
+  sysid::ModelOrder order = sysid::ModelOrder::kSecond;
+  sysid::EstimationOptions estimation;
+  sysid::EvaluationOptions evaluation;
+  hvac::Mode mode = hvac::Mode::kOccupied;
+};
+
+/// Everything the pipeline produces.
+struct PipelineResult {
+  clustering::ClusteringResult clustering;
+  selection::Selection selection;
+  sysid::ThermalModel reduced_model;
+  /// Reduced-model prediction errors vs the selected sensors' own readings.
+  sysid::PredictionEvaluation reduced_eval;
+  /// Reduced-model predictions vs measured cluster means (Fig. 11 metric).
+  selection::ClusterMeanErrors cluster_mean_errors;
+};
+
+/// The three-step pipeline.
+class ThermalModelingPipeline {
+ public:
+  /// Throws std::invalid_argument when sensors_per_cluster == 0.
+  explicit ThermalModelingPipeline(PipelineConfig config);
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Run on one trace with a prepared split.
+  ///
+  /// `sensor_ids` are the dense-network temperature channels, `input_ids`
+  /// the [h; o; l; w] block, `thermostat_ids` the HVAC thermostats (used
+  /// only by the kThermostats strategy; may be empty otherwise).
+  [[nodiscard]] PipelineResult run(
+      const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+      const DataSplit& split,
+      const std::vector<timeseries::ChannelId>& sensor_ids,
+      const std::vector<timeseries::ChannelId>& input_ids,
+      const std::vector<timeseries::ChannelId>& thermostat_ids = {}) const;
+
+ private:
+  PipelineConfig config_;
+};
+
+/// Evaluate a reduced model's cluster-mean predictions (Fig. 11 metric):
+/// simulate the model over each window, average the predicted selected
+/// sensors per cluster, and compare against the measured all-sensor
+/// cluster mean wherever it exists.
+[[nodiscard]] selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
+    const sysid::ThermalModel& model, const timeseries::MultiTrace& trace,
+    const selection::ClusterSets& clusters,
+    const selection::Selection& selection,
+    const std::vector<timeseries::Segment>& windows,
+    const sysid::EvaluationOptions& options);
+
+}  // namespace auditherm::core

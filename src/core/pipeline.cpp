@@ -1,0 +1,169 @@
+#include "auditherm/core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace auditherm::core {
+
+namespace {
+
+using timeseries::ChannelId;
+
+/// Deduplicate while preserving order (a sensor may represent two
+/// clusters under the thermostat baseline).
+std::vector<ChannelId> unique_ordered(const std::vector<ChannelId>& ids) {
+  std::vector<ChannelId> out;
+  for (ChannelId id : ids) {
+    if (std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ThermalModelingPipeline::ThermalModelingPipeline(PipelineConfig config)
+    : config_(std::move(config)) {
+  if (config_.sensors_per_cluster == 0) {
+    throw std::invalid_argument(
+        "ThermalModelingPipeline: sensors_per_cluster == 0");
+  }
+}
+
+PipelineResult ThermalModelingPipeline::run(
+    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+    const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
+    const std::vector<ChannelId>& input_ids,
+    const std::vector<ChannelId>& thermostat_ids) const {
+  const auto mode_mask = schedule.mode_mask(trace.grid(), config_.mode);
+
+  // Training view: training days in the configured mode, rows reindexed.
+  // Clustering and selection only need cross-sectional statistics, so the
+  // reindexing is harmless.
+  const auto training =
+      trace.filter_rows(and_masks(split.train_mask, mode_mask));
+
+  PipelineResult result;
+
+  // --- Step 1: spectral clustering of the dense network. ---------------
+  const auto graph = clustering::build_similarity_graph(training, sensor_ids,
+                                                        config_.similarity);
+  result.clustering = clustering::spectral_cluster(graph, config_.spectral);
+  const auto clusters = result.clustering.clusters();
+
+  // --- Step 2: representative selection. --------------------------------
+  switch (config_.strategy) {
+    case SelectionStrategy::kStratifiedNearMean:
+      result.selection = selection::stratified_near_mean(
+          training, clusters, config_.sensors_per_cluster);
+      break;
+    case SelectionStrategy::kStratifiedRandom:
+      result.selection = selection::stratified_random(
+          clusters, config_.selection_seed, config_.sensors_per_cluster);
+      break;
+    case SelectionStrategy::kSimpleRandom:
+      result.selection =
+          selection::simple_random(training, clusters, config_.selection_seed,
+                                   config_.sensors_per_cluster);
+      break;
+    case SelectionStrategy::kThermostats:
+      result.selection =
+          selection::thermostat_baseline(thermostat_ids, clusters.size());
+      break;
+    case SelectionStrategy::kGaussianProcess: {
+      const auto chosen = selection::gp_mutual_information_selection(
+          training, sensor_ids,
+          std::min(config_.sensors_per_cluster * clusters.size(),
+                   sensor_ids.size()));
+      result.selection = selection::assign_to_clusters(
+          training, clusters, chosen, config_.sensors_per_cluster);
+      break;
+    }
+  }
+
+  // --- Step 3: identify the reduced model over the selected sensors. ----
+  const auto states = unique_ordered(result.selection.flattened());
+  const sysid::ModelEstimator estimator(states, input_ids, config_.order,
+                                        config_.estimation);
+  result.reduced_model =
+      estimator.fit(trace, and_masks(split.train_mask, mode_mask));
+
+  // --- Evaluation on the validation days. --------------------------------
+  std::vector<ChannelId> required = input_ids;  // windows need valid inputs
+  auto window_mask = and_masks(split.validation_mask, mode_mask);
+  const auto valid_inputs = timeseries::rows_with_all_valid(trace, required);
+  window_mask = and_masks(window_mask, valid_inputs);
+  const auto windows = timeseries::find_segments(
+      window_mask, std::max<std::size_t>(config_.evaluation.min_steps, 2));
+
+  result.reduced_eval = sysid::evaluate_prediction(result.reduced_model, trace,
+                                                   windows, config_.evaluation);
+  result.cluster_mean_errors = evaluate_reduced_model_cluster_mean(
+      result.reduced_model, trace, clusters, result.selection, windows,
+      config_.evaluation);
+  return result;
+}
+
+selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
+    const sysid::ThermalModel& model, const timeseries::MultiTrace& trace,
+    const selection::ClusterSets& clusters,
+    const selection::Selection& selection,
+    const std::vector<timeseries::Segment>& windows,
+    const sysid::EvaluationOptions& options) {
+  if (selection.per_cluster.size() != clusters.size()) {
+    throw std::invalid_argument(
+        "evaluate_reduced_model_cluster_mean: cluster count mismatch");
+  }
+
+  // Map each cluster to the model-state indices of its selected sensors.
+  std::vector<std::vector<std::size_t>> cluster_state_idx(clusters.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (ChannelId id : selection.per_cluster[c]) {
+      const auto& states = model.state_channels();
+      const auto it = std::find(states.begin(), states.end(), id);
+      if (it == states.end()) {
+        throw std::invalid_argument(
+            "evaluate_reduced_model_cluster_mean: selected sensor not a "
+            "model state");
+      }
+      cluster_state_idx[c].push_back(
+          static_cast<std::size_t>(it - states.begin()));
+    }
+    if (cluster_state_idx[c].empty()) {
+      throw std::invalid_argument(
+          "evaluate_reduced_model_cluster_mean: cluster with no selection");
+    }
+  }
+
+  // Measured all-sensor mean per cluster over the whole trace.
+  std::vector<linalg::Vector> cluster_means;
+  cluster_means.reserve(clusters.size());
+  for (const auto& members : clusters) {
+    cluster_means.push_back(timeseries::row_mean(trace, members));
+  }
+
+  selection::ClusterMeanErrors errors;
+  errors.per_cluster_abs.resize(clusters.size());
+  for (const auto& window : windows) {
+    const auto wp = sysid::predict_window(model, trace, window, options);
+    if (!wp) continue;
+    for (std::size_t k = 0; k < wp->predicted.rows(); ++k) {
+      const std::size_t row = wp->first_row + k;
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        const double target = cluster_means[c][row];
+        if (std::isnan(target)) continue;
+        double pred = 0.0;
+        for (std::size_t s : cluster_state_idx[c]) {
+          pred += wp->predicted(k, s);
+        }
+        pred /= static_cast<double>(cluster_state_idx[c].size());
+        errors.per_cluster_abs[c].push_back(std::abs(pred - target));
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace auditherm::core

@@ -1,0 +1,120 @@
+#include "auditherm/hvac/comfort.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace auditherm::hvac {
+
+ComfortResult predicted_mean_vote(const ComfortInputs& in) {
+  if (in.relative_humidity < 0.0 || in.relative_humidity > 1.0) {
+    throw std::invalid_argument("predicted_mean_vote: humidity outside [0,1]");
+  }
+  if (in.metabolic_rate_met <= 0.0 || in.clothing_clo < 0.0 ||
+      in.air_velocity_m_s < 0.0) {
+    throw std::invalid_argument("predicted_mean_vote: bad personal inputs");
+  }
+
+  const double ta = in.air_temp_c;
+  const double tr = in.mean_radiant_temp_c;
+  const double vel = in.air_velocity_m_s;
+  // Water vapour partial pressure (Pa), Antoine-style fit used by ISO 7730.
+  const double pa =
+      in.relative_humidity * 1000.0 * std::exp(16.6536 - 4030.183 / (ta + 235.0));
+
+  const double icl = 0.155 * in.clothing_clo;  // m^2 K / W
+  const double m = in.metabolic_rate_met * 58.15;
+  const double w = in.external_work_met * 58.15;
+  const double mw = m - w;
+
+  const double fcl = icl <= 0.078 ? 1.0 + 1.29 * icl : 1.05 + 0.645 * icl;
+  const double hcf = 12.1 * std::sqrt(vel);
+  const double taa = ta + 273.0;
+  const double tra = tr + 273.0;
+
+  // Iterate for the clothing surface temperature.
+  double tcla = taa + (35.5 - ta) / (3.5 * icl + 0.1);
+  const double p1 = icl * fcl;
+  const double p2 = p1 * 3.96;
+  const double p3 = p1 * 100.0;
+  const double p4 = p1 * taa;
+  const double p5 = 308.7 - 0.028 * mw + p2 * std::pow(tra / 100.0, 4.0);
+
+  double xn = tcla / 100.0;
+  double xf = tcla / 50.0;
+  double hc = hcf;
+  constexpr double kEps = 1e-5;
+  int iterations = 0;
+  while (std::abs(xn - xf) > kEps) {
+    if (++iterations > 300) {
+      throw std::domain_error(
+          "predicted_mean_vote: surface temperature iteration diverged");
+    }
+    xf = (xf + xn) / 2.0;
+    const double hcn = 2.38 * std::pow(std::abs(100.0 * xf - taa), 0.25);
+    hc = std::max(hcf, hcn);
+    xn = (p5 + p4 * hc - p2 * std::pow(xf, 4.0)) / (100.0 + p3 * hc);
+  }
+  const double tcl = 100.0 * xn - 273.0;
+
+  // Heat-loss components (W/m^2).
+  const double hl1 = 3.05e-3 * (5733.0 - 6.99 * mw - pa);  // skin diffusion
+  const double hl2 = mw > 58.15 ? 0.42 * (mw - 58.15) : 0.0;  // sweating
+  const double hl3 = 1.7e-5 * m * (5867.0 - pa);              // latent resp.
+  const double hl4 = 0.0014 * m * (34.0 - ta);                // dry resp.
+  const double hl5 =
+      3.96 * fcl * (std::pow(xn, 4.0) - std::pow(tra / 100.0, 4.0));  // radiation
+  const double hl6 = fcl * hc * (tcl - ta);                           // convection
+
+  const double ts = 0.303 * std::exp(-0.036 * m) + 0.028;
+  ComfortResult r;
+  r.pmv = ts * (mw - hl1 - hl2 - hl3 - hl4 - hl5 - hl6);
+  r.ppd = 100.0 -
+          95.0 * std::exp(-0.03353 * std::pow(r.pmv, 4.0) -
+                          0.2179 * r.pmv * r.pmv);
+  return r;
+}
+
+bool within_comfort_band(const ComfortResult& r) noexcept {
+  return std::abs(r.pmv) <= 0.5;
+}
+
+double neutral_temperature(ComfortInputs inputs) {
+  const auto pmv_at = [&inputs](double t) {
+    inputs.air_temp_c = t;
+    inputs.mean_radiant_temp_c = t;
+    return predicted_mean_vote(inputs).pmv;
+  };
+  double lo = 5.0;
+  double hi = 40.0;
+  double f_lo = pmv_at(lo);
+  double f_hi = pmv_at(hi);
+  if (f_lo > 0.0 || f_hi < 0.0) {
+    throw std::domain_error(
+        "neutral_temperature: PMV does not cross zero in [5, 40] degC");
+  }
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (pmv_at(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double pmv_temperature_sensitivity(ComfortInputs inputs, double delta_c) {
+  if (delta_c <= 0.0) {
+    throw std::invalid_argument("pmv_temperature_sensitivity: delta <= 0");
+  }
+  ComfortInputs hi = inputs;
+  ComfortInputs lo = inputs;
+  hi.air_temp_c += delta_c;
+  hi.mean_radiant_temp_c += delta_c;
+  lo.air_temp_c -= delta_c;
+  lo.mean_radiant_temp_c -= delta_c;
+  return (predicted_mean_vote(hi).pmv - predicted_mean_vote(lo).pmv) /
+         (2.0 * delta_c);
+}
+
+}  // namespace auditherm::hvac

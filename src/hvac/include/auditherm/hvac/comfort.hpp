@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file comfort.hpp
+/// Fanger thermal-comfort model (PMV/PPD, ISO 7730 / ASHRAE 55).
+///
+/// Section V of the paper motivates clustering with the PMV model: a 2 degC
+/// spatial spread moves PMV by ~0.5, enough to flip occupants from
+/// "comfortable" to "slightly cool/warm". This is the full iterative Fanger
+/// computation, not a lookup approximation.
+
+namespace auditherm::hvac {
+
+/// Environmental + personal inputs to the PMV computation.
+struct ComfortInputs {
+  double air_temp_c = 21.0;          ///< dry-bulb air temperature
+  double mean_radiant_temp_c = 21.0; ///< mean radiant temperature
+  double air_velocity_m_s = 0.10;    ///< relative air speed
+  double relative_humidity = 0.50;   ///< in [0, 1]
+  double metabolic_rate_met = 1.0;   ///< seated audience ~= 1.0 met
+  double clothing_clo = 0.8;         ///< typical winter indoor clothing
+  double external_work_met = 0.0;    ///< usually 0
+};
+
+/// PMV on the 7-point ASHRAE scale (-3 cold .. +3 hot) and the predicted
+/// percentage dissatisfied.
+struct ComfortResult {
+  double pmv = 0.0;
+  double ppd = 0.0;  ///< percent, in [5, 100]
+};
+
+/// Compute PMV/PPD via Fanger's heat-balance equations.
+///
+/// Throws std::invalid_argument on out-of-range inputs (humidity outside
+/// [0,1], non-positive met, negative clo or velocity) and std::domain_error
+/// if the clothing-surface-temperature iteration fails to converge.
+[[nodiscard]] ComfortResult predicted_mean_vote(const ComfortInputs& inputs);
+
+/// ASHRAE-55 comfort band check: |PMV| <= 0.5 (PPD <= ~10%).
+[[nodiscard]] bool within_comfort_band(const ComfortResult& r) noexcept;
+
+/// Air temperature (with mean radiant tied to it) at which PMV = 0 for
+/// the given personal factors, found by bisection on [5, 40] degC.
+/// Throws std::domain_error when the bracket has no sign change (extreme
+/// met/clo combinations).
+[[nodiscard]] double neutral_temperature(ComfortInputs inputs);
+
+/// Convenience: PMV sensitivity to air temperature, d(PMV)/dT, by central
+/// difference at the given operating point. The paper's ~0.5 PMV per 2 degC
+/// claim corresponds to a sensitivity of ~0.25/K for seated occupants.
+[[nodiscard]] double pmv_temperature_sensitivity(ComfortInputs inputs,
+                                                 double delta_c = 0.5);
+
+}  // namespace auditherm::hvac

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file schedule.hpp
+/// HVAC operating-mode schedule.
+///
+/// The paper's auditorium HVAC switches from off to on at 6:00 and back at
+/// 21:00 every day; the analysis splits the trace into an *occupied* mode
+/// (6:00-21:00, HVAC actively controlling) and an *unoccupied* mode
+/// (21:00-6:00, minimal airflow), and fits separate models per mode.
+
+#include <vector>
+
+#include "auditherm/timeseries/time_grid.hpp"
+
+namespace auditherm::hvac {
+
+/// HVAC operating mode.
+enum class Mode {
+  kOccupied,    ///< HVAC on, active temperature control
+  kUnoccupied,  ///< HVAC off-mode: low constant ventilation only
+};
+
+/// Daily on/off schedule defined by switch-on and switch-off minutes.
+class Schedule {
+ public:
+  /// Default: the paper's 6:00 on / 21:00 off program.
+  Schedule() = default;
+
+  /// Custom daily program. Both in minutes-of-day [0, 1440); on must come
+  /// before off (no overnight-on programs needed for this building).
+  /// Throws std::invalid_argument otherwise.
+  Schedule(timeseries::Minutes on_minute, timeseries::Minutes off_minute);
+
+  [[nodiscard]] timeseries::Minutes on_minute() const noexcept { return on_; }
+  [[nodiscard]] timeseries::Minutes off_minute() const noexcept { return off_; }
+
+  /// Mode at absolute time t.
+  [[nodiscard]] Mode mode_at(timeseries::Minutes t) const noexcept;
+
+  /// True when the HVAC is in occupied (on) mode at time t.
+  [[nodiscard]] bool occupied_at(timeseries::Minutes t) const noexcept {
+    return mode_at(t) == Mode::kOccupied;
+  }
+
+  /// Row mask over a grid selecting samples in the given mode.
+  [[nodiscard]] std::vector<bool> mode_mask(const timeseries::TimeGrid& grid,
+                                            Mode mode) const;
+
+ private:
+  timeseries::Minutes on_ = 6 * timeseries::kMinutesPerHour;
+  timeseries::Minutes off_ = 21 * timeseries::kMinutesPerHour;
+};
+
+}  // namespace auditherm::hvac

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file thermostat.hpp
+/// Thermostat feedback controller for the VAV boxes.
+///
+/// The building's HVAC drives its VAV dampers from two wall thermostats.
+/// We model that loop as a PI controller on the mean thermostat reading:
+/// too warm -> more (cool) airflow. In unoccupied mode the controller
+/// commands the off-mode minimum regardless of temperature, matching the
+/// paper's "maintains a low level of air flow" description.
+
+#include <vector>
+
+#include "auditherm/hvac/schedule.hpp"
+#include "auditherm/hvac/vav.hpp"
+
+namespace auditherm::hvac {
+
+/// Controller gains, setpoint and supply-air program.
+struct ThermostatConfig {
+  double setpoint_c = 20.8;     ///< occupied-mode target temperature
+  double deadband_c = 0.3;      ///< no modulation within +/- deadband
+  double kp = 0.30;             ///< proportional gain (m^3/s per K)
+  double ki = 0.002;            ///< integral gain (m^3/s per K*s)
+  /// Occupied-mode ventilation floor per VAV; cooling demand modulates the
+  /// dampers above this, heating engages reheat AT this flow.
+  double base_flow_m3_s = 0.08;
+  double integrator_limit = 0.5;///< anti-windup clamp on the I-term (m^3/s)
+  double cooling_supply_c = 13.0;  ///< discharge air when cooling
+  double heating_supply_c = 28.0;  ///< discharge air when heating (reheat)
+  double neutral_supply_c = 18.0;  ///< tempered air inside the deadband
+};
+
+/// PI thermostat loop commanding a bank of VAV boxes.
+class ThermostatController {
+ public:
+  /// Throws std::invalid_argument on non-positive gains or base flow < 0.
+  explicit ThermostatController(const ThermostatConfig& config,
+                                Schedule schedule = {});
+
+  [[nodiscard]] const ThermostatConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Compute and apply flow commands for all boxes.
+  ///
+  /// `thermostat_temps_c` are the current thermostat readings (their mean
+  /// drives the loop); `t` selects the mode via the schedule; `dt_s`
+  /// advances the integral term. Throws std::invalid_argument on empty
+  /// readings or dt <= 0.
+  void update(std::vector<VavBox>& boxes,
+              const std::vector<double>& thermostat_temps_c,
+              timeseries::Minutes t, double dt_s);
+
+  /// Supply-air temperature selected by the last update(): the cooling,
+  /// heating or neutral discharge temperature.
+  [[nodiscard]] double supply_temp_c() const noexcept { return supply_temp_; }
+
+  /// Current integral-term contribution (m^3/s), for diagnostics.
+  [[nodiscard]] double integrator() const noexcept { return integral_; }
+
+  /// Reset controller state (integrator and supply selection).
+  void reset() noexcept {
+    integral_ = 0.0;
+    supply_temp_ = config_.neutral_supply_c;
+  }
+
+ private:
+  ThermostatConfig config_;
+  Schedule schedule_;
+  double integral_ = 0.0;
+  double supply_temp_ = 18.0;
+};
+
+}  // namespace auditherm::hvac

@@ -1,0 +1,31 @@
+#include "auditherm/hvac/schedule.hpp"
+
+#include <stdexcept>
+
+namespace auditherm::hvac {
+
+Schedule::Schedule(timeseries::Minutes on_minute,
+                   timeseries::Minutes off_minute)
+    : on_(on_minute), off_(off_minute) {
+  if (on_minute < 0 || on_minute >= timeseries::kMinutesPerDay ||
+      off_minute < 0 || off_minute >= timeseries::kMinutesPerDay ||
+      on_minute >= off_minute) {
+    throw std::invalid_argument("Schedule: need 0 <= on < off < 1440");
+  }
+}
+
+Mode Schedule::mode_at(timeseries::Minutes t) const noexcept {
+  const auto m = timeseries::minute_of_day(t);
+  return (m >= on_ && m < off_) ? Mode::kOccupied : Mode::kUnoccupied;
+}
+
+std::vector<bool> Schedule::mode_mask(const timeseries::TimeGrid& grid,
+                                      Mode mode) const {
+  std::vector<bool> mask(grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    mask[k] = mode_at(grid[k]) == mode;
+  }
+  return mask;
+}
+
+}  // namespace auditherm::hvac

@@ -1,0 +1,69 @@
+#include "auditherm/hvac/thermostat.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace auditherm::hvac {
+
+ThermostatController::ThermostatController(const ThermostatConfig& config,
+                                           Schedule schedule)
+    : config_(config),
+      schedule_(schedule),
+      supply_temp_(config.neutral_supply_c) {
+  if (config.kp <= 0.0 || config.ki < 0.0 || config.base_flow_m3_s < 0.0 ||
+      config.integrator_limit < 0.0 || config.deadband_c < 0.0 ||
+      config.cooling_supply_c >= config.heating_supply_c) {
+    throw std::invalid_argument("ThermostatController: inconsistent config");
+  }
+}
+
+void ThermostatController::update(std::vector<VavBox>& boxes,
+                                  const std::vector<double>& thermostat_temps_c,
+                                  timeseries::Minutes t, double dt_s) {
+  if (thermostat_temps_c.empty()) {
+    throw std::invalid_argument("ThermostatController: no thermostat readings");
+  }
+  if (dt_s <= 0.0) {
+    throw std::invalid_argument("ThermostatController: dt must be > 0");
+  }
+
+  if (!schedule_.occupied_at(t)) {
+    integral_ = 0.0;
+    supply_temp_ = config_.neutral_supply_c;
+    for (auto& box : boxes) box.command_flow(0.0);  // clamps to min flow
+    return;
+  }
+
+  const double mean_temp =
+      std::accumulate(thermostat_temps_c.begin(), thermostat_temps_c.end(),
+                      0.0) /
+      static_cast<double>(thermostat_temps_c.size());
+  const double error = mean_temp - config_.setpoint_c;
+
+  // Single-duct VAV-with-reheat program: cooling modulates airflow with
+  // the excursion past the deadband; heating engages the reheat coil at
+  // the base airflow (dampers do not open for heat); inside the deadband
+  // tempered air flows at the base rate. Airflow therefore keeps one
+  // physical meaning — "cooling effort" — which is what the thermal
+  // models' h(k) input assumes.
+  double excursion = 0.0;
+  if (error > config_.deadband_c) {
+    if (supply_temp_ != config_.cooling_supply_c) integral_ = 0.0;
+    supply_temp_ = config_.cooling_supply_c;
+    excursion = error - config_.deadband_c;
+  } else if (error < -config_.deadband_c) {
+    if (supply_temp_ != config_.heating_supply_c) integral_ = 0.0;
+    supply_temp_ = config_.heating_supply_c;
+  } else {
+    supply_temp_ = config_.neutral_supply_c;
+    integral_ = 0.0;
+  }
+  integral_ = std::clamp(integral_ + config_.ki * excursion * dt_s, 0.0,
+                         config_.integrator_limit);
+  const double flow =
+      config_.base_flow_m3_s + config_.kp * excursion + integral_;
+  for (auto& box : boxes) box.command_flow(flow);
+}
+
+}  // namespace auditherm::hvac

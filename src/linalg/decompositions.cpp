@@ -1,0 +1,318 @@
+#include "auditherm/linalg/decompositions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace auditherm::linalg {
+
+// ---------------------------------------------------------------------------
+// QR
+// ---------------------------------------------------------------------------
+
+QrDecomposition::QrDecomposition(const Matrix& a)
+    : m_(a.rows()), n_(a.cols()), qr_(a), rdiag_(a.cols(), 0.0) {
+  if (m_ < n_) {
+    throw std::invalid_argument("QrDecomposition: requires rows >= cols");
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Householder vector for column k: reflect x to -sign(x0)*||x|| e1.
+    double nrm = 0.0;
+    for (std::size_t i = k; i < m_; ++i) nrm = std::hypot(nrm, qr_(i, k));
+    if (nrm != 0.0) {
+      if (qr_(k, k) < 0.0) nrm = -nrm;
+      for (std::size_t i = k; i < m_; ++i) qr_(i, k) /= nrm;
+      qr_(k, k) += 1.0;
+      // Apply reflector to remaining columns.
+      for (std::size_t j = k + 1; j < n_; ++j) {
+        double s = 0.0;
+        for (std::size_t i = k; i < m_; ++i) s += qr_(i, k) * qr_(i, j);
+        s = -s / qr_(k, k);
+        for (std::size_t i = k; i < m_; ++i) qr_(i, j) += s * qr_(i, k);
+      }
+    }
+    rdiag_[k] = -nrm;
+  }
+}
+
+bool QrDecomposition::rank_deficient(double tol) const noexcept {
+  double dmax = 0.0;
+  for (double d : rdiag_) dmax = std::max(dmax, std::abs(d));
+  if (dmax == 0.0) return true;
+  for (double d : rdiag_) {
+    if (std::abs(d) <= tol * dmax) return true;
+  }
+  return false;
+}
+
+void QrDecomposition::apply_reflectors(Vector& b) const {
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (qr_(k, k) == 0.0) continue;
+    double s = 0.0;
+    for (std::size_t i = k; i < m_; ++i) s += qr_(i, k) * b[i];
+    s = -s / qr_(k, k);
+    for (std::size_t i = k; i < m_; ++i) b[i] += s * qr_(i, k);
+  }
+}
+
+Vector QrDecomposition::solve(const Vector& b) const {
+  if (b.size() != m_) {
+    throw std::invalid_argument("QrDecomposition::solve: rhs length mismatch");
+  }
+  if (rank_deficient()) {
+    throw std::domain_error("QrDecomposition::solve: rank-deficient matrix");
+  }
+  Vector y = b;
+  apply_reflectors(y);  // y = Q^T b
+  Vector x(n_);
+  for (std::size_t kk = n_; kk-- > 0;) {
+    double s = y[kk];
+    for (std::size_t j = kk + 1; j < n_; ++j) s -= qr_(kk, j) * x[j];
+    x[kk] = s / rdiag_[kk];
+  }
+  return x;
+}
+
+Matrix QrDecomposition::solve(const Matrix& b) const {
+  if (b.rows() != m_) {
+    throw std::invalid_argument("QrDecomposition::solve: rhs rows mismatch");
+  }
+  Matrix x(n_, b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    x.set_col(j, solve(b.col_vector(j)));
+  }
+  return x;
+}
+
+Matrix QrDecomposition::r() const {
+  Matrix r(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    r(i, i) = rdiag_[i];
+    for (std::size_t j = i + 1; j < n_; ++j) r(i, j) = qr_(i, j);
+  }
+  return r;
+}
+
+Matrix QrDecomposition::thin_q() const {
+  Matrix q(m_, n_);
+  for (std::size_t col = n_; col-- > 0;) {
+    Vector e(m_, 0.0);
+    e[col] = 1.0;
+    // q_col = H_0 H_1 ... H_{n-1} e_col applied in reverse order.
+    for (std::size_t k = n_; k-- > 0;) {
+      if (qr_(k, k) == 0.0) continue;
+      double s = 0.0;
+      for (std::size_t i = k; i < m_; ++i) s += qr_(i, k) * e[i];
+      s = -s / qr_(k, k);
+      for (std::size_t i = k; i < m_; ++i) e[i] += s * qr_(i, k);
+    }
+    q.set_col(col, e);
+  }
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Cholesky
+// ---------------------------------------------------------------------------
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("CholeskyDecomposition: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) {
+      throw std::domain_error(
+          "CholeskyDecomposition: matrix not positive definite");
+    }
+    l_(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / l_(j, j);
+    }
+  }
+}
+
+Vector CholeskyDecomposition::solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("CholeskyDecomposition::solve: rhs mismatch");
+  }
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix CholeskyDecomposition::solve(const Matrix& b) const {
+  if (b.rows() != l_.rows()) {
+    throw std::invalid_argument("CholeskyDecomposition::solve: rhs mismatch");
+  }
+  Matrix x(l_.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col_vector(j)));
+  return x;
+}
+
+double CholeskyDecomposition::log_determinant() const noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+// ---------------------------------------------------------------------------
+// LU
+// ---------------------------------------------------------------------------
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a), perm_(a.rows()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuDecomposition: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t p = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(lu_(i, k)) > std::abs(lu_(p, k))) p = i;
+    }
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(p, j), lu_(k, j));
+      std::swap(perm_[p], perm_[k]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    if (lu_(k, k) == 0.0) {
+      throw std::domain_error("LuDecomposition: singular matrix");
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      lu_(i, k) /= lu_(k, k);
+      const double f = lu_(i, k);
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= f * lu_(k, j);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("LuDecomposition::solve: rhs mismatch");
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) x[i] -= lu_(i, k) * x[k];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t k = ii + 1; k < n; ++k) x[ii] -= lu_(ii, k) * x[k];
+    x[ii] /= lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  if (b.rows() != lu_.rows()) {
+    throw std::invalid_argument("LuDecomposition::solve: rhs mismatch");
+  }
+  Matrix x(lu_.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col_vector(j)));
+  return x;
+}
+
+double LuDecomposition::determinant() const noexcept {
+  double d = pivot_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Jacobi eigensolver
+// ---------------------------------------------------------------------------
+
+SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eigen_symmetric: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  // Symmetrize to absorb roundoff asymmetry from upstream products.
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+
+  Matrix v = Matrix::identity(n);
+  if (n <= 1) {
+    SymmetricEigen out;
+    out.eigenvalues = n == 1 ? Vector{s(0, 0)} : Vector{};
+    out.eigenvectors = v;
+    return out;
+  }
+
+  const double scale = std::max(s.max_abs(), 1e-300);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += s(i, j) * s(i, j);
+    if (std::sqrt(off) <= 1e-14 * scale * static_cast<double>(n)) break;
+    if (sweep + 1 == max_sweeps) {
+      throw std::domain_error("eigen_symmetric: Jacobi did not converge");
+    }
+    for (std::size_t p = 0; p < n - 1; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = s(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (s(q, q) - s(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double sn = t * c;
+        // Rotate rows/cols p and q of S.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double skp = s(k, p);
+          const double skq = s(k, q);
+          s(k, p) = c * skp - sn * skq;
+          s(k, q) = sn * skp + c * skq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double spk = s(p, k);
+          const double sqk = s(q, k);
+          s(p, k) = c * spk - sn * sqk;
+          s(q, k) = sn * spk + c * sqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - sn * vkq;
+          v(k, q) = sn * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return s(i, i) < s(j, j); });
+
+  SymmetricEigen out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = s(order[j], order[j]);
+    out.eigenvectors.set_col(j, v.col_vector(order[j]));
+  }
+  return out;
+}
+
+}  // namespace auditherm::linalg

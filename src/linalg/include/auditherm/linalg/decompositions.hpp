@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file decompositions.hpp
+/// Matrix factorizations: Householder QR, Cholesky, partial-pivot LU, and a
+/// Jacobi eigensolver for symmetric matrices.
+///
+/// These are the direct solvers behind the paper's convex least-squares
+/// identification problem (eq. 4) and the spectral-clustering Laplacian
+/// eigendecomposition (Section V).
+
+#include <cstddef>
+
+#include "auditherm/linalg/matrix.hpp"
+
+namespace auditherm::linalg {
+
+/// Householder QR factorization A = Q R of an m x n matrix with m >= n.
+///
+/// Stores the Householder reflectors compactly; Q is never formed unless
+/// requested. The main consumer is least-squares solving.
+class QrDecomposition {
+ public:
+  /// Factorize `a` (m x n, m >= n). Throws std::invalid_argument otherwise.
+  explicit QrDecomposition(const Matrix& a);
+
+  /// Minimum-residual solution x of A x = b (b has m entries).
+  /// Throws std::domain_error if A is numerically rank-deficient.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Column-wise least-squares solve for multiple right-hand sides.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// The n x n upper-triangular factor R.
+  [[nodiscard]] Matrix r() const;
+
+  /// The m x n thin orthonormal factor Q.
+  [[nodiscard]] Matrix thin_q() const;
+
+  /// True when some |R_ii| is below `tol * max_j |R_jj|`.
+  [[nodiscard]] bool rank_deficient(double tol = 1e-12) const noexcept;
+
+ private:
+  void apply_reflectors(Vector& b) const;  // b := Q^T b (length m)
+
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  Matrix qr_;     // packed reflectors below diagonal, R on/above diagonal
+  Vector rdiag_;  // diagonal of R
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+class CholeskyDecomposition {
+ public:
+  /// Factorize `a`; throws std::domain_error when `a` is not (numerically)
+  /// positive definite, std::invalid_argument when not square.
+  explicit CholeskyDecomposition(const Matrix& a);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-wise.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Lower-triangular factor L.
+  [[nodiscard]] const Matrix& l() const noexcept { return l_; }
+
+  /// log(det A) via 2 * sum(log L_ii); useful for GP marginal likelihoods.
+  [[nodiscard]] double log_determinant() const noexcept;
+
+ private:
+  Matrix l_;
+};
+
+/// Partial-pivoting LU factorization P A = L U for square systems.
+class LuDecomposition {
+ public:
+  /// Factorize square `a`; throws std::invalid_argument when not square,
+  /// std::domain_error when singular to working precision.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// Solve A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-wise.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Determinant of A (sign-corrected for row swaps).
+  [[nodiscard]] double determinant() const noexcept;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int pivot_sign_ = 1;
+};
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Robust and simple; perfectly adequate for the <=100-dimensional
+/// Laplacians and state matrices this library works with.
+struct SymmetricEigen {
+  Vector eigenvalues;   ///< ascending order
+  Matrix eigenvectors;  ///< column j pairs with eigenvalues[j]; orthonormal
+};
+
+/// Compute all eigenpairs of symmetric `a`.
+///
+/// `a` is symmetrized as (A + A^T)/2 first, so tiny asymmetries from
+/// accumulated roundoff are tolerated. Throws std::invalid_argument when
+/// `a` is not square. Converges or throws std::domain_error after
+/// `max_sweeps` Jacobi sweeps (default is generous).
+[[nodiscard]] SymmetricEigen eigen_symmetric(const Matrix& a,
+                                             std::size_t max_sweeps = 100);
+
+}  // namespace auditherm::linalg

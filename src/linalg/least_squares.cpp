@@ -1,0 +1,47 @@
+#include "auditherm/linalg/least_squares.hpp"
+
+#include <stdexcept>
+
+#include "auditherm/linalg/decompositions.hpp"
+#include "auditherm/linalg/vector_ops.hpp"
+
+namespace auditherm::linalg {
+
+Matrix solve_least_squares(const Matrix& a, const Matrix& b,
+                           const LeastSquaresOptions& opts) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("solve_least_squares: row count mismatch");
+  }
+  if (a.rows() < a.cols()) {
+    throw std::invalid_argument(
+        "solve_least_squares: underdetermined system (rows < cols)");
+  }
+  if (opts.ridge < 0.0) {
+    throw std::invalid_argument("solve_least_squares: negative ridge");
+  }
+  if (opts.ridge == 0.0 && opts.prefer_qr) {
+    return QrDecomposition(a).solve(b);
+  }
+  // Normal equations: (A^T A + ridge I) X = A^T B.
+  Matrix ata = gram(a, a);
+  double lambda = opts.ridge;
+  if (opts.relative_ridge) {
+    double tr = 0.0;
+    for (std::size_t i = 0; i < ata.rows(); ++i) tr += ata(i, i);
+    lambda *= tr / static_cast<double>(ata.rows());
+  }
+  for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += lambda;
+  const Matrix atb = gram(a, b);
+  return CholeskyDecomposition(ata).solve(atb);
+}
+
+Vector solve_least_squares(const Matrix& a, const Vector& b,
+                           const LeastSquaresOptions& opts) {
+  return solve_least_squares(a, Matrix::column(b), opts).col_vector(0);
+}
+
+double residual_norm(const Matrix& a, const Vector& x, const Vector& b) {
+  return norm2(subtract(a * x, b));
+}
+
+}  // namespace auditherm::linalg

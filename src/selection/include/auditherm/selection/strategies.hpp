@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file strategies.hpp
+/// Representative-sensor selection strategies (Section VI.A).
+///
+/// Given the sensor clusters from spectral clustering, pick sensors whose
+/// readings stand in for each cluster's thermal mean:
+///  * SMS (stratified near-mean): the sensor(s) whose trace is closest to
+///    the cluster-mean trace — the paper's best strategy;
+///  * SRS (stratified random): uniform draw within each cluster;
+///  * RS  (simple random): baseline ignoring clusters entirely;
+///  * thermostats: the HVAC's own two wall thermostats;
+///  * GP placement lives in gp_placement.hpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::selection {
+
+/// Sensors grouped by cluster index.
+using ClusterSets = std::vector<std::vector<timeseries::ChannelId>>;
+
+/// Chosen representatives, aligned with the cluster indices.
+struct Selection {
+  ClusterSets per_cluster;  ///< chosen sensor(s) for each cluster
+
+  /// All chosen sensors in cluster order.
+  [[nodiscard]] std::vector<timeseries::ChannelId> flattened() const;
+};
+
+/// SMS: pick the `per_cluster` sensors whose training traces are closest
+/// (RMS distance over shared-valid rows) to the cluster-mean trace.
+/// Throws std::invalid_argument on empty clusters or per_cluster == 0;
+/// clusters smaller than per_cluster contribute all their sensors.
+[[nodiscard]] Selection stratified_near_mean(
+    const timeseries::MultiTrace& training, const ClusterSets& clusters,
+    std::size_t per_cluster = 1);
+
+/// SRS: uniform random draw (without replacement) inside each cluster.
+[[nodiscard]] Selection stratified_random(const ClusterSets& clusters,
+                                          std::uint64_t seed,
+                                          std::size_t per_cluster = 1);
+
+/// RS: draw `per_cluster * #clusters` sensors uniformly from the union of
+/// all clusters, ignoring the grouping, then assign them to clusters by
+/// best match against the cluster-mean training traces (the paper's
+/// baseline: the draw may still land every sensor in one physical zone,
+/// which is what makes RS lose).
+[[nodiscard]] Selection simple_random(const timeseries::MultiTrace& training,
+                                      const ClusterSets& clusters,
+                                      std::uint64_t seed,
+                                      std::size_t per_cluster = 1);
+
+/// Thermostat baseline: assign the HVAC's own thermostats to the clusters
+/// round-robin (both sit in the cool front zone, which is the point of the
+/// comparison). Throws std::invalid_argument when no thermostats given.
+[[nodiscard]] Selection thermostat_baseline(
+    const std::vector<timeseries::ChannelId>& thermostat_ids,
+    std::size_t cluster_count);
+
+/// Assign externally chosen sensors (e.g., GP placement output) to
+/// clusters: each cluster greedily receives the unassigned sensor whose
+/// training trace best matches the cluster-mean trace. Chosen sensors
+/// that are left over after every cluster has `per_cluster` members are
+/// dropped.
+[[nodiscard]] Selection assign_to_clusters(
+    const timeseries::MultiTrace& training, const ClusterSets& clusters,
+    const std::vector<timeseries::ChannelId>& chosen,
+    std::size_t per_cluster = 1);
+
+}  // namespace auditherm::selection

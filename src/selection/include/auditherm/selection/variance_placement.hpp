@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file variance_placement.hpp
+/// Maximum-variance greedy sensor selection — the simplest of the
+/// statistical placement criteria the paper's related work surveys
+/// (entropy-style designs pick the most uncertain locations). Serves as a
+/// second statistical baseline next to the GP mutual-information method:
+/// variance placement chases the noisiest sensors, which is exactly why
+/// cluster-aware selection beats it on representing zone means.
+
+#include <cstddef>
+#include <vector>
+
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::selection {
+
+/// Choose `count` sensors by descending training variance, skipping
+/// sensors whose correlation with an already-chosen sensor exceeds
+/// `redundancy_cap` (a crude entropy-style diversity guard; 1.0 disables
+/// it). Throws std::invalid_argument when count is outside
+/// [1, #candidates].
+[[nodiscard]] std::vector<timeseries::ChannelId> max_variance_selection(
+    const timeseries::MultiTrace& training,
+    const std::vector<timeseries::ChannelId>& candidates, std::size_t count,
+    double redundancy_cap = 0.97);
+
+}  // namespace auditherm::selection

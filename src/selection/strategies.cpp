@@ -1,0 +1,160 @@
+#include "auditherm/selection/strategies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace auditherm::selection {
+
+namespace {
+
+using timeseries::ChannelId;
+
+void validate(const ClusterSets& clusters, std::size_t per_cluster) {
+  if (clusters.empty()) {
+    throw std::invalid_argument("selection: no clusters");
+  }
+  if (per_cluster == 0) {
+    throw std::invalid_argument("selection: per_cluster == 0");
+  }
+  for (const auto& c : clusters) {
+    if (c.empty()) throw std::invalid_argument("selection: empty cluster");
+  }
+}
+
+/// RMS distance between a channel and the mean trace of a cluster, over
+/// rows where both are defined.
+double distance_to_cluster_mean(const timeseries::MultiTrace& trace,
+                                ChannelId id,
+                                const linalg::Vector& mean_series) {
+  const std::size_t col = trace.require_channel(id);
+  double sq = 0.0;
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    if (!trace.valid(k, col) || std::isnan(mean_series[k])) continue;
+    const double d = trace.value(k, col) - mean_series[k];
+    sq += d * d;
+    ++n;
+  }
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(sq / static_cast<double>(n));
+}
+
+}  // namespace
+
+std::vector<ChannelId> Selection::flattened() const {
+  std::vector<ChannelId> out;
+  for (const auto& c : per_cluster) out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+Selection stratified_near_mean(const timeseries::MultiTrace& training,
+                               const ClusterSets& clusters,
+                               std::size_t per_cluster) {
+  validate(clusters, per_cluster);
+  Selection sel;
+  sel.per_cluster.resize(clusters.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const auto mean_series = timeseries::row_mean(training, clusters[c]);
+    std::vector<std::pair<double, ChannelId>> ranked;
+    ranked.reserve(clusters[c].size());
+    for (ChannelId id : clusters[c]) {
+      ranked.emplace_back(distance_to_cluster_mean(training, id, mean_series),
+                          id);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    const std::size_t take = std::min(per_cluster, ranked.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      sel.per_cluster[c].push_back(ranked[i].second);
+    }
+  }
+  return sel;
+}
+
+Selection stratified_random(const ClusterSets& clusters, std::uint64_t seed,
+                            std::size_t per_cluster) {
+  validate(clusters, per_cluster);
+  std::mt19937_64 rng(seed);
+  Selection sel;
+  sel.per_cluster.resize(clusters.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    auto pool = clusters[c];
+    std::shuffle(pool.begin(), pool.end(), rng);
+    const std::size_t take = std::min(per_cluster, pool.size());
+    sel.per_cluster[c].assign(pool.begin(),
+                              pool.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return sel;
+}
+
+Selection simple_random(const timeseries::MultiTrace& training,
+                        const ClusterSets& clusters, std::uint64_t seed,
+                        std::size_t per_cluster) {
+  validate(clusters, per_cluster);
+  std::mt19937_64 rng(seed);
+  std::vector<ChannelId> pool;
+  for (const auto& c : clusters) pool.insert(pool.end(), c.begin(), c.end());
+  std::shuffle(pool.begin(), pool.end(), rng);
+  const std::size_t take =
+      std::min(per_cluster * clusters.size(), pool.size());
+  pool.resize(take);
+  return assign_to_clusters(training, clusters, pool, per_cluster);
+}
+
+Selection thermostat_baseline(const std::vector<ChannelId>& thermostat_ids,
+                              std::size_t cluster_count) {
+  if (thermostat_ids.empty()) {
+    throw std::invalid_argument("thermostat_baseline: no thermostats");
+  }
+  if (cluster_count == 0) {
+    throw std::invalid_argument("thermostat_baseline: no clusters");
+  }
+  Selection sel;
+  sel.per_cluster.resize(cluster_count);
+  for (std::size_t c = 0; c < cluster_count; ++c) {
+    sel.per_cluster[c].push_back(thermostat_ids[c % thermostat_ids.size()]);
+  }
+  return sel;
+}
+
+Selection assign_to_clusters(const timeseries::MultiTrace& training,
+                             const ClusterSets& clusters,
+                             const std::vector<ChannelId>& chosen,
+                             std::size_t per_cluster) {
+  validate(clusters, per_cluster);
+  if (chosen.empty()) {
+    throw std::invalid_argument("assign_to_clusters: nothing chosen");
+  }
+  std::vector<linalg::Vector> means;
+  means.reserve(clusters.size());
+  for (const auto& c : clusters) {
+    means.push_back(timeseries::row_mean(training, c));
+  }
+
+  Selection sel;
+  sel.per_cluster.resize(clusters.size());
+  std::vector<bool> used(chosen.size(), false);
+  for (std::size_t round = 0; round < per_cluster; ++round) {
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_i = chosen.size();
+      for (std::size_t i = 0; i < chosen.size(); ++i) {
+        if (used[i]) continue;
+        const double d = distance_to_cluster_mean(training, chosen[i],
+                                                  means[c]);
+        if (d < best) {
+          best = d;
+          best_i = i;
+        }
+      }
+      if (best_i == chosen.size()) break;  // ran out of chosen sensors
+      used[best_i] = true;
+      sel.per_cluster[c].push_back(chosen[best_i]);
+    }
+  }
+  return sel;
+}
+
+}  // namespace auditherm::selection

@@ -1,0 +1,56 @@
+#include "auditherm/selection/variance_placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "auditherm/timeseries/trace_stats.hpp"
+
+namespace auditherm::selection {
+
+std::vector<timeseries::ChannelId> max_variance_selection(
+    const timeseries::MultiTrace& training,
+    const std::vector<timeseries::ChannelId>& candidates, std::size_t count,
+    double redundancy_cap) {
+  if (count == 0 || count > candidates.size()) {
+    throw std::invalid_argument(
+        "max_variance_selection: count outside [1, #candidates]");
+  }
+  const auto sub = training.select_channels(candidates);
+  const auto cov = timeseries::covariance_matrix(sub);
+  const auto corr = timeseries::correlation_matrix(sub);
+
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cov(a, a) > cov(b, b);
+  });
+
+  std::vector<std::size_t> chosen;
+  // First pass honors the redundancy cap; a second pass tops up with the
+  // highest-variance leftovers if the cap was too strict.
+  for (std::size_t idx : order) {
+    if (chosen.size() == count) break;
+    bool redundant = false;
+    for (std::size_t prev : chosen) {
+      if (corr(idx, prev) > redundancy_cap) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) chosen.push_back(idx);
+  }
+  for (std::size_t idx : order) {
+    if (chosen.size() == count) break;
+    if (std::find(chosen.begin(), chosen.end(), idx) == chosen.end()) {
+      chosen.push_back(idx);
+    }
+  }
+
+  std::vector<timeseries::ChannelId> out;
+  out.reserve(count);
+  for (std::size_t idx : chosen) out.push_back(candidates[idx]);
+  return out;
+}
+
+}  // namespace auditherm::selection

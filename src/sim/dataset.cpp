@@ -1,0 +1,269 @@
+#include "auditherm/sim/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace auditherm::sim {
+
+namespace {
+
+using timeseries::ChannelId;
+using timeseries::kMinutesPerDay;
+using timeseries::Minutes;
+
+/// Sorted, per-sensor wireless outage windows in absolute minutes.
+struct OutageWindow {
+  Minutes start = 0;
+  Minutes end = 0;
+};
+
+bool in_outage(const std::vector<OutageWindow>& windows, Minutes t) {
+  for (const auto& w : windows) {
+    if (t >= w.start && t < w.end) return true;
+    if (w.start > t) break;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ChannelId> AuditoriumDataset::vav_ids() const {
+  std::vector<ChannelId> ids;
+  for (std::size_t v = 0; v < plan.vav_count(); ++v) {
+    ids.push_back(DatasetChannels::kVavBase + static_cast<ChannelId>(v));
+  }
+  return ids;
+}
+
+std::vector<ChannelId> AuditoriumDataset::input_ids() const {
+  auto ids = vav_ids();
+  ids.push_back(DatasetChannels::kOccupancy);
+  ids.push_back(DatasetChannels::kLighting);
+  ids.push_back(DatasetChannels::kAmbient);
+  return ids;
+}
+
+std::vector<ChannelId> AuditoriumDataset::extended_input_ids() const {
+  auto ids = vav_ids();
+  ids.push_back(DatasetChannels::kSupplyTemp);
+  ids.push_back(DatasetChannels::kOccupancy);
+  ids.push_back(DatasetChannels::kLighting);
+  ids.push_back(DatasetChannels::kAmbient);
+  return ids;
+}
+
+AuditoriumDataset generate_dataset(const DatasetConfig& config) {
+  if (config.days == 0) {
+    throw std::invalid_argument("generate_dataset: days == 0");
+  }
+  if (config.sample_step <= 0 || config.hvac_log_step <= 0 ||
+      config.control_dt_s <= 0.0) {
+    throw std::invalid_argument("generate_dataset: non-positive steps");
+  }
+  const double sample_seconds = static_cast<double>(config.sample_step) * 60.0;
+  if (std::fmod(sample_seconds, config.control_dt_s) != 0.0) {
+    throw std::invalid_argument(
+        "generate_dataset: sample step must be a multiple of the control step");
+  }
+  if (config.failure_days > config.days) {
+    throw std::invalid_argument("generate_dataset: failure_days > days");
+  }
+
+  AuditoriumDataset ds;
+  ds.plan = FloorPlan::brauer_auditorium();
+  ds.schedule = hvac::Schedule();
+
+  const auto sensor_ids = ds.plan.sensor_ids();
+  const std::size_t n_sensors = sensor_ids.size();
+  const std::size_t n_vavs = ds.plan.vav_count();
+
+  // Mix the top-level seed into the sub-model seeds so one DatasetConfig
+  // seed controls the whole generation (sub-config seeds still matter for
+  // users who want to vary one source independently).
+  WeatherConfig weather_config = config.weather;
+  weather_config.seed ^= config.seed * 0x9E3779B97F4A7C15ull;
+  OccupancyConfig occupancy_config = config.occupancy;
+  occupancy_config.seed ^= config.seed * 0xD1B54A32D192ED03ull;
+  WeatherModel weather(weather_config, config.days);
+  OccupancySchedule occupancy(occupancy_config, config.days);
+  ZonalPlant plant(ds.plan, config.plant);
+  hvac::ThermostatController controller(config.thermostat, ds.schedule);
+  std::vector<hvac::VavBox> vavs(n_vavs, hvac::VavBox(config.vav));
+
+  std::mt19937_64 rng(config.seed);
+
+  // --- Failure days (server outages). ---------------------------------
+  {
+    std::vector<std::size_t> all_days(config.days);
+    for (std::size_t d = 0; d < config.days; ++d) all_days[d] = d;
+    std::shuffle(all_days.begin(), all_days.end(), rng);
+    ds.failure_days.assign(all_days.begin(),
+                           all_days.begin() +
+                               static_cast<std::ptrdiff_t>(config.failure_days));
+    std::sort(ds.failure_days.begin(), ds.failure_days.end());
+  }
+  std::vector<bool> day_failed(config.days, false);
+  for (std::size_t d : ds.failure_days) day_failed[d] = true;
+
+  // --- Per-sensor wireless dropout windows. ----------------------------
+  std::vector<std::vector<OutageWindow>> outages(n_sensors);
+  {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_int_distribution<Minutes> start_min(0, kMinutesPerDay - 60);
+    std::uniform_int_distribution<Minutes> duration_min(60, 6 * 60);
+    for (std::size_t s = 0; s < n_sensors; ++s) {
+      for (std::size_t d = 0; d < config.days; ++d) {
+        if (coin(rng) >= config.sensor_dropout_probability) continue;
+        const Minutes day0 = static_cast<Minutes>(d) * kMinutesPerDay;
+        const Minutes begin = day0 + start_min(rng);
+        outages[s].push_back({begin, begin + duration_min(rng)});
+      }
+    }
+  }
+
+  // --- Trace containers. ------------------------------------------------
+  const std::size_t samples =
+      static_cast<std::size_t>(static_cast<Minutes>(config.days) *
+                               kMinutesPerDay / config.sample_step);
+  timeseries::TimeGrid grid(0, config.sample_step, samples);
+
+  std::vector<ChannelId> channels = sensor_ids;
+  for (std::size_t v = 0; v < n_vavs; ++v) {
+    channels.push_back(DatasetChannels::kVavBase + static_cast<ChannelId>(v));
+  }
+  channels.push_back(DatasetChannels::kOccupancy);
+  channels.push_back(DatasetChannels::kLighting);
+  channels.push_back(DatasetChannels::kAmbient);
+  channels.push_back(DatasetChannels::kSupplyTemp);
+  channels.push_back(DatasetChannels::kCo2);
+
+  ds.trace = timeseries::MultiTrace(grid, channels);
+  ds.truth = timeseries::MultiTrace(grid, sensor_ids);
+
+  std::vector<SensorChannel> sensor_channels(
+      n_sensors, SensorChannel(config.sensor_noise));
+
+  // Thermostat node indices for the control loop (wired, read directly).
+  const auto thermostat_ids = ds.plan.thermostat_ids();
+
+  // Per-node OU turbulence state, advanced once per control step.
+  std::vector<double> turbulence(sensor_ids.size(), 0.0);
+  std::normal_distribution<double> unit_normal(0.0, 1.0);
+  const double turb_tau_s = config.turbulence_tau_min * 60.0;
+  const auto advance_turbulence = [&](Minutes t) {
+    if (config.turbulence_std_w <= 0.0) return;
+    const double dt = config.control_dt_s;
+    const double decay = std::exp(-dt / turb_tau_s);
+    const double std_now =
+        config.turbulence_std_w *
+        (ds.schedule.occupied_at(t) ? 1.0 : config.turbulence_night_factor);
+    const double kick = std_now * std::sqrt(1.0 - decay * decay);
+    for (double& x : turbulence) {
+      x = decay * x + kick * unit_normal(rng);
+    }
+  };
+
+  const auto plant_inputs = [&](Minutes t,
+                                const std::vector<double>& flows) {
+    PlantInputs u;
+    u.vav_flows_m3_s = flows;
+    // Occupied: either the fixed AHU discharge setpoint or the thermostat
+    // loop's dual-mode selection; off-mode the AHU delivers unconditioned
+    // tempered air.
+    if (ds.schedule.occupied_at(t)) {
+      u.supply_temp_c = config.use_controller_supply
+                            ? controller.supply_temp_c()
+                            : config.vav.supply_temp_c;
+    } else {
+      u.supply_temp_c = config.idle_supply_temp_c;
+    }
+    u.occupants = occupancy.occupants_at(t);
+    u.lighting = occupancy.lighting_at(t);
+    u.ambient_c = weather.temperature_at(t);
+    if (config.turbulence_std_w > 0.0) u.extra_node_heat_w = turbulence;
+    return u;
+  };
+
+  const auto control_step = [&](Minutes t) {
+    advance_turbulence(t);
+    std::vector<double> thermostat_temps;
+    thermostat_temps.reserve(thermostat_ids.size());
+    for (ChannelId id : thermostat_ids) {
+      thermostat_temps.push_back(plant.air_temp_of(id));
+    }
+    controller.update(vavs, thermostat_temps, t, config.control_dt_s);
+    std::vector<double> flows(n_vavs);
+    for (std::size_t v = 0; v < n_vavs; ++v) {
+      flows[v] = vavs[v].step(config.control_dt_s).flow_m3_s;
+    }
+    plant.step(plant_inputs(t, flows), config.control_dt_s);
+    return flows;
+  };
+
+  if (std::fmod(config.control_dt_s, 60.0) != 0.0) {
+    throw std::invalid_argument(
+        "generate_dataset: control step must be whole minutes");
+  }
+  const auto control_minutes = static_cast<Minutes>(config.control_dt_s / 60.0);
+
+  // --- Warm-up: one unrecorded day to settle the thermal mass. ---------
+  for (Minutes t = -kMinutesPerDay; t < 0; t += control_minutes) {
+    (void)control_step(t);
+  }
+
+  // --- Main closed-loop run. -------------------------------------------
+  std::vector<double> last_logged_flows(n_vavs, vavs[0].flow());
+  std::size_t next_sample = 0;
+  for (Minutes t = 0; t < static_cast<Minutes>(config.days) * kMinutesPerDay;
+       t += control_minutes) {
+    const auto flows = control_step(t);
+    if (timeseries::minute_of_day(t) % config.hvac_log_step == 0) {
+      last_logged_flows = flows;
+    }
+
+    const Minutes t_next = t + control_minutes;
+    if (next_sample < samples && grid[next_sample] <= t_next) {
+      const std::size_t k = next_sample++;
+      const Minutes ts = grid[k];
+      const auto day = static_cast<std::size_t>(timeseries::day_of(ts));
+      const bool failed = day < day_failed.size() && day_failed[day];
+
+      for (std::size_t s = 0; s < n_sensors; ++s) {
+        const double truth = plant.air_temps()[s];
+        ds.truth.set(k, s, truth);
+        if (failed || in_outage(outages[s], ts)) continue;  // stays NaN
+        ds.trace.set(k, s, sensor_channels[s].observe(truth, rng));
+      }
+      if (!failed) {
+        for (std::size_t v = 0; v < n_vavs; ++v) {
+          ds.trace.set(k, n_sensors + v, last_logged_flows[v]);
+        }
+        ds.trace.set(k, n_sensors + n_vavs + 0, occupancy.occupants_at(ts));
+        ds.trace.set(k, n_sensors + n_vavs + 1, occupancy.lighting_at(ts));
+        ds.trace.set(k, n_sensors + n_vavs + 2, weather.temperature_at(ts));
+        ds.trace.set(k, n_sensors + n_vavs + 3,
+                     plant_inputs(ts, flows).supply_temp_c);
+        ds.trace.set(k, n_sensors + n_vavs + 4, plant.co2_ppm());
+      }
+    }
+  }
+  return ds;
+}
+
+std::vector<std::pair<ChannelId, double>> snapshot_at(
+    const AuditoriumDataset& dataset, Minutes t) {
+  const auto& grid = dataset.trace.grid();
+  if (grid.empty()) return {};
+  std::size_t k = grid.index_at_or_after(t);
+  if (k >= grid.size()) k = grid.size() - 1;
+  std::vector<std::pair<ChannelId, double>> out;
+  for (ChannelId id : dataset.sensor_ids()) {
+    const std::size_t c = dataset.trace.require_channel(id);
+    out.emplace_back(id, dataset.trace.value(k, c));
+  }
+  return out;
+}
+
+}  // namespace auditherm::sim

@@ -1,0 +1,156 @@
+#include "auditherm/sim/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace auditherm::sim {
+
+double distance(const Position& a, const Position& b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double distance(const Position& p, const Diffuser& d) noexcept {
+  const double vx = d.end.x - d.start.x;
+  const double vy = d.end.y - d.start.y;
+  const double len2 = vx * vx + vy * vy;
+  if (len2 == 0.0) return distance(p, d.start);
+  double t = ((p.x - d.start.x) * vx + (p.y - d.start.y) * vy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return std::hypot(p.x - (d.start.x + t * vx), p.y - (d.start.y + t * vy));
+}
+
+FloorPlan::FloorPlan(double width_m, double depth_m,
+                     std::vector<SensorSite> sensors,
+                     std::vector<Diffuser> air_outlets, std::size_t vav_count,
+                     double seating_front_y, double seating_back_y)
+    : width_(width_m),
+      depth_(depth_m),
+      sensors_(std::move(sensors)),
+      outlets_(std::move(air_outlets)),
+      vav_count_(vav_count),
+      seating_front_y_(seating_front_y),
+      seating_back_y_(seating_back_y) {
+  if (width_ <= 0.0 || depth_ <= 0.0) {
+    throw std::invalid_argument("FloorPlan: non-positive dimensions");
+  }
+  if (sensors_.empty()) {
+    throw std::invalid_argument("FloorPlan: no sensors");
+  }
+  if (vav_count_ == 0 || outlets_.empty()) {
+    throw std::invalid_argument("FloorPlan: HVAC supply missing");
+  }
+  if (seating_front_y_ < 0.0 || seating_back_y_ > depth_ ||
+      seating_front_y_ >= seating_back_y_) {
+    throw std::invalid_argument("FloorPlan: bad seating band");
+  }
+  std::unordered_set<timeseries::ChannelId> seen;
+  for (const auto& s : sensors_) {
+    if (!seen.insert(s.id).second) {
+      throw std::invalid_argument("FloorPlan: duplicate sensor id");
+    }
+    if (s.position.x < 0.0 || s.position.x > width_ || s.position.y < 0.0 ||
+        s.position.y > depth_) {
+      throw std::invalid_argument("FloorPlan: sensor outside room");
+    }
+  }
+  for (const auto& o : outlets_) {
+    for (const auto& p : {o.start, o.end}) {
+      if (p.x < 0.0 || p.x > width_ || p.y < 0.0 || p.y > depth_) {
+        throw std::invalid_argument("FloorPlan: outlet outside room");
+      }
+    }
+  }
+}
+
+FloorPlan FloorPlan::brauer_auditorium() {
+  // Reconstruction of the paper's Fig. 1 layout. Front (y ~ 0) holds the
+  // podium, thermostats and the two air outlets; seating fills the back.
+  std::vector<SensorSite> sensors = {
+      // Front (HVAC-dominated, cool) group — the paper's correlation
+      // cluster 2: {3, 6, 7, 8, 13, 14, 17, 23, 28, 33, 38}.
+      {3, {2.0, 1.0}, false},
+      {6, {6.0, 2.5}, false},
+      {7, {10.0, 1.5}, false},
+      {8, {14.0, 2.0}, false},
+      {13, {4.0, 2.0}, false},
+      {14, {8.0, 2.8}, false},
+      {17, {12.0, 2.5}, false},
+      {23, {6.5, 1.2}, false},
+      {28, {9.5, 3.2}, false},
+      {33, {3.0, 3.0}, false},
+      {38, {13.0, 3.4}, false},
+      // Back (occupant-dominated, warm) group — correlation cluster 1:
+      // {1, 12, 15, 16, 18, 19, 20, 26, 27, 30, 31, 32, 34, 37}.
+      {1, {8.0, 6.0}, false},
+      {12, {2.5, 7.0}, false},
+      {15, {5.0, 8.0}, false},
+      {16, {11.0, 7.5}, false},
+      {18, {13.5, 8.5}, false},
+      {19, {3.5, 9.0}, false},
+      {20, {9.0, 8.0}, false},
+      {26, {6.0, 10.0}, false},
+      {27, {8.5, 10.8}, false},  // deepest seat block: warmest in Fig. 2
+      {30, {12.0, 10.2}, false},
+      {31, {10.5, 9.3}, false},
+      {32, {7.0, 9.0}, false},
+      {34, {4.5, 10.5}, false},
+      {37, {2.0, 10.8}, false},
+      // The HVAC's own thermostats on both sides of the front wall.
+      {40, {0.5, 0.8}, true},
+      {41, {15.5, 0.8}, true},
+  };
+  // Two linear ceiling diffusers spanning the room's width: one over the
+  // podium/front area, one over the mid seating; the deep back rows sit
+  // farthest from conditioned air, which (with the audience heat) makes
+  // them the warm zone of Fig. 2.
+  std::vector<Diffuser> outlets = {{{1.0, 1.5}, {15.0, 1.5}},
+                                   {{1.0, 6.0}, {15.0, 6.0}}};
+  return FloorPlan(16.0, 12.0, std::move(sensors), std::move(outlets),
+                   /*vav_count=*/4, /*seating_front_y=*/4.0,
+                   /*seating_back_y=*/11.5);
+}
+
+std::vector<timeseries::ChannelId> FloorPlan::sensor_ids() const {
+  std::vector<timeseries::ChannelId> ids;
+  ids.reserve(sensors_.size());
+  for (const auto& s : sensors_) ids.push_back(s.id);
+  return ids;
+}
+
+std::vector<timeseries::ChannelId> FloorPlan::wireless_ids() const {
+  std::vector<timeseries::ChannelId> ids;
+  for (const auto& s : sensors_) {
+    if (!s.is_thermostat) ids.push_back(s.id);
+  }
+  return ids;
+}
+
+std::vector<timeseries::ChannelId> FloorPlan::thermostat_ids() const {
+  std::vector<timeseries::ChannelId> ids;
+  for (const auto& s : sensors_) {
+    if (s.is_thermostat) ids.push_back(s.id);
+  }
+  return ids;
+}
+
+const SensorSite& FloorPlan::site(timeseries::ChannelId id) const {
+  for (const auto& s : sensors_) {
+    if (s.id == id) return s;
+  }
+  throw std::invalid_argument("FloorPlan::site: unknown sensor id " +
+                              std::to_string(id));
+}
+
+bool FloorPlan::in_seating(const Position& p) const noexcept {
+  return p.y >= seating_front_y_ && p.y <= seating_back_y_;
+}
+
+double FloorPlan::wall_distance(const Position& p) const noexcept {
+  const double dx = std::min(p.x, width_ - p.x);
+  const double dy = std::min(p.y, depth_ - p.y);
+  return std::max(0.0, std::min(dx, dy));
+}
+
+}  // namespace auditherm::sim

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file dataset.hpp
+/// Closed-loop simulation of the instrumented auditorium and generation of
+/// the multi-modal dataset the paper's pipeline consumes.
+///
+/// One call to generate_dataset() produces the equivalent of the paper's
+/// 14-week trace: wireless sensor temperatures (with noise, quantization
+/// and dropouts), the HVAC portal log (VAV flows), occupancy, lighting and
+/// ambient temperature, all aligned on one 5-minute grid, plus the
+/// noise-free ground truth for validation.
+
+#include <cstdint>
+#include <vector>
+
+#include "auditherm/hvac/schedule.hpp"
+#include "auditherm/hvac/thermostat.hpp"
+#include "auditherm/hvac/vav.hpp"
+#include "auditherm/sim/floorplan.hpp"
+#include "auditherm/sim/occupancy.hpp"
+#include "auditherm/sim/plant.hpp"
+#include "auditherm/sim/sensor_model.hpp"
+#include "auditherm/sim/weather.hpp"
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::sim {
+
+/// Reserved channel ids for the non-temperature modalities. Sensor
+/// channels use the floor-plan ids (1..41).
+struct DatasetChannels {
+  static constexpr timeseries::ChannelId kVavBase = 101;  ///< 101..100+m
+  static constexpr timeseries::ChannelId kOccupancy = 110;
+  static constexpr timeseries::ChannelId kLighting = 111;
+  static constexpr timeseries::ChannelId kAmbient = 112;
+  /// Supply (discharge) air temperature from the HVAC portal — the paper's
+  /// BMS records "the rate and temperature of air flow blown from the
+  /// HVAC". The paper's models use flows only; the control extension uses
+  /// this too (see AuditoriumDataset::extended_input_ids).
+  static constexpr timeseries::ChannelId kSupplyTemp = 113;
+  /// Room CO2 (ppm) from the HVAC's own sensor — "the ambient temperature
+  /// and CO2 concentrations are also measured and recorded by the HVAC".
+  static constexpr timeseries::ChannelId kCo2 = 114;
+};
+
+/// Everything configurable about a dataset run.
+struct DatasetConfig {
+  std::size_t days = 98;                    ///< the paper's ~14 weeks
+  /// Modeling-grid step. The paper's HVAC portal logs at 10-30 minute
+  /// intervals and the wireless sensors report on change; the identified
+  /// models live on a 30-minute grid aligned with the slowest source.
+  timeseries::Minutes sample_step = 30;
+  timeseries::Minutes hvac_log_step = 15;   ///< HVAC portal logging (10-30 min)
+  double control_dt_s = 60.0;               ///< plant/controller step
+
+  WeatherConfig weather;
+  OccupancyConfig occupancy;
+  PlantConfig plant;
+  hvac::VavConfig vav;
+  hvac::ThermostatConfig thermostat;
+  SensorNoiseConfig sensor_noise;
+
+  double idle_supply_temp_c = 21.0;  ///< tempered off-mode supply air
+
+  /// When true (default), the thermostat loop's dual-mode supply selection
+  /// (cooling at modulated flow / reheat at the ventilation floor /
+  /// neutral) drives the plant — a standard single-duct VAV-with-reheat
+  /// system. The supply temperature is then a function of the *measured
+  /// state* (thermostat feedback), which the linear models of eq. 1-2 can
+  /// partially absorb into A even though their HVAC input is flow only.
+  /// When false, occupied-mode supply is the constant cooling temperature
+  /// from `vav` (a fixed-discharge AHU with no reheat).
+  bool use_controller_supply = true;
+
+  /// Local-turbulence disturbance per node: stationary std (W) and time
+  /// constant of the Ornstein-Uhlenbeck heat processes standing in for
+  /// drafts, door openings and convection plumes. These give each sensor
+  /// idiosyncratic variance; mixing diffuses them to neighbors, which is
+  /// what makes spatial correlation structure emerge realistically.
+  double turbulence_std_w = 40.0;
+  double turbulence_tau_min = 45.0;
+  /// Night scaling of the turbulence std: the disturbances are mostly
+  /// activity-driven (doors, people, plumes off warm bodies), so the
+  /// still unoccupied-mode room gets only this fraction of them.
+  double turbulence_night_factor = 0.25;
+
+  /// Whole-system failure days (server outages); the paper lost 34 of 98.
+  std::size_t failure_days = 34;
+  /// Per sensor-day probability of a multi-hour wireless dropout window.
+  double sensor_dropout_probability = 0.04;
+
+  std::uint64_t seed = 1234;
+};
+
+/// The generated dataset.
+struct AuditoriumDataset {
+  /// All channels on the sampling grid; NaN marks gaps.
+  timeseries::MultiTrace trace;
+  /// Noise-free, gap-free sensor temperatures (same grid, sensor channels
+  /// only); used to validate the measurement model, never by the pipeline.
+  timeseries::MultiTrace truth;
+
+  FloorPlan plan = FloorPlan::brauer_auditorium();
+  hvac::Schedule schedule;
+  std::vector<std::size_t> failure_days;  ///< day indices lost to outages
+
+  /// Wireless sensors + thermostats, in floor-plan order.
+  [[nodiscard]] std::vector<timeseries::ChannelId> sensor_ids() const {
+    return plan.sensor_ids();
+  }
+  [[nodiscard]] std::vector<timeseries::ChannelId> wireless_ids() const {
+    return plan.wireless_ids();
+  }
+  [[nodiscard]] std::vector<timeseries::ChannelId> thermostat_ids() const {
+    return plan.thermostat_ids();
+  }
+  /// VAV flow channels, 101..100+m.
+  [[nodiscard]] std::vector<timeseries::ChannelId> vav_ids() const;
+  /// The model input block [h; o; l; w] of eq. 1: VAVs then occupancy,
+  /// lighting, ambient.
+  [[nodiscard]] std::vector<timeseries::ChannelId> input_ids() const;
+  /// Extended input block [h; s; o; l; w] including the supply-air
+  /// temperature; used by the model-predictive control extension, which
+  /// must distinguish cooling from reheat supply.
+  [[nodiscard]] std::vector<timeseries::ChannelId> extended_input_ids() const;
+};
+
+/// Run the closed-loop simulation and assemble the dataset.
+/// Throws std::invalid_argument on inconsistent configuration (zero days,
+/// sample step not a multiple of the control step, failure_days > days).
+[[nodiscard]] AuditoriumDataset generate_dataset(const DatasetConfig& config);
+
+/// A spatial snapshot (Fig. 2): per-sensor reported temperature at the
+/// sample nearest to `t`, NaN for sensors in dropout.
+[[nodiscard]] std::vector<std::pair<timeseries::ChannelId, double>>
+snapshot_at(const AuditoriumDataset& dataset, timeseries::Minutes t);
+
+}  // namespace auditherm::sim

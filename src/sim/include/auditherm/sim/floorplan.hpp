@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file floorplan.hpp
+/// Geometry of the instrumented auditorium.
+///
+/// Reconstructs the paper's testbed (Brauer Hall basement auditorium,
+/// ~90 seats): the 25 reliable ground-level temperature sensors with the
+/// paper's IDs, the two HVAC thermostats (IDs 40/41) on the front wall,
+/// the two front air outlets fed by four VAVs, and the seating region.
+/// Exact coordinates are our reconstruction from the paper's Fig. 1/2
+/// (the true survey is not published); what matters downstream is the
+/// front/back topology, which drives every spatial result in the paper.
+
+#include <cstddef>
+#include <vector>
+
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::sim {
+
+/// A 2-D position in meters; origin at the front-left corner, x across the
+/// room, y from the front (podium) wall toward the back.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two positions.
+[[nodiscard]] double distance(const Position& a, const Position& b) noexcept;
+
+/// A linear supply-air diffuser. The paper notes the auditorium has four
+/// VAVs but only two air outlets "which span the entire auditorium" —
+/// long ceiling diffusers, not point jets.
+struct Diffuser {
+  Position start;
+  Position end;
+};
+
+/// Distance from a point to the diffuser segment.
+[[nodiscard]] double distance(const Position& p, const Diffuser& d) noexcept;
+
+/// One installed sensor.
+struct SensorSite {
+  timeseries::ChannelId id = 0;
+  Position position;
+  bool is_thermostat = false;  ///< one of the HVAC's own wall thermostats
+};
+
+/// The auditorium floor plan.
+class FloorPlan {
+ public:
+  /// The paper's auditorium: 25 sensors + 2 thermostats, 2 outlets, 4 VAVs.
+  [[nodiscard]] static FloorPlan brauer_auditorium();
+
+  /// Construct a custom plan. Throws std::invalid_argument on empty
+  /// sensors, duplicate ids, non-positive dimensions, or sites/outlets
+  /// outside the room.
+  FloorPlan(double width_m, double depth_m, std::vector<SensorSite> sensors,
+            std::vector<Diffuser> air_outlets, std::size_t vav_count,
+            double seating_front_y, double seating_back_y);
+
+  [[nodiscard]] double width() const noexcept { return width_; }
+  [[nodiscard]] double depth() const noexcept { return depth_; }
+  [[nodiscard]] const std::vector<SensorSite>& sensors() const noexcept {
+    return sensors_;
+  }
+  [[nodiscard]] const std::vector<Diffuser>& air_outlets() const noexcept {
+    return outlets_;
+  }
+  [[nodiscard]] std::size_t vav_count() const noexcept { return vav_count_; }
+
+  /// Sensor ids in site order (the plant's node order).
+  [[nodiscard]] std::vector<timeseries::ChannelId> sensor_ids() const;
+
+  /// Ids of the non-thermostat wireless sensors.
+  [[nodiscard]] std::vector<timeseries::ChannelId> wireless_ids() const;
+
+  /// Ids of the HVAC thermostats (40/41 in the paper).
+  [[nodiscard]] std::vector<timeseries::ChannelId> thermostat_ids() const;
+
+  /// Site lookup by id; throws std::invalid_argument when absent.
+  [[nodiscard]] const SensorSite& site(timeseries::ChannelId id) const;
+
+  /// True when the position lies in the audience seating rows.
+  [[nodiscard]] bool in_seating(const Position& p) const noexcept;
+
+  /// Distance from a position to the nearest wall.
+  [[nodiscard]] double wall_distance(const Position& p) const noexcept;
+
+ private:
+  double width_ = 0.0;
+  double depth_ = 0.0;
+  std::vector<SensorSite> sensors_;
+  std::vector<Diffuser> outlets_;
+  std::size_t vav_count_ = 0;
+  double seating_front_y_ = 0.0;
+  double seating_back_y_ = 0.0;
+};
+
+}  // namespace auditherm::sim

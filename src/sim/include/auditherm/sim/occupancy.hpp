@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file occupancy.hpp
+/// Stochastic event calendar for the auditorium.
+///
+/// Stands in for the paper's webcam-derived occupant counts: the room is a
+/// multifunction space hosting classes, seminars, group meetings and
+/// occasional evening events, up to ~90 occupants. Generates a seeded
+/// calendar of events and exposes the occupant-count o(t) and lighting
+/// state l(t) inputs of the thermal models.
+
+#include <cstdint>
+#include <vector>
+
+#include "auditherm/timeseries/time_grid.hpp"
+
+namespace auditherm::sim {
+
+/// One scheduled event with attendance ramping in/out at the boundaries.
+struct Event {
+  timeseries::Minutes start = 0;  ///< absolute minutes
+  timeseries::Minutes end = 0;
+  int attendance = 0;
+};
+
+/// Calendar generator parameters.
+struct OccupancyConfig {
+  int capacity = 90;
+  /// Day-of-week of dataset day 0; Jan 31, 2013 was a Thursday (=4 with
+  /// Sunday=0).
+  int first_day_of_week = 4;
+  double class_probability = 0.55;   ///< per weekday class slot
+  double evening_probability = 0.15; ///< per weekday evening event
+  double weekend_probability = 0.12; ///< per weekend meeting slot
+  timeseries::Minutes ramp_minutes = 10;  ///< entrance/exit ramp
+  std::uint64_t seed = 4242;
+};
+
+/// Seeded calendar of auditorium events.
+class OccupancySchedule {
+ public:
+  /// Generate `days` days of events. Throws std::invalid_argument on
+  /// days == 0, capacity <= 0, or probabilities outside [0, 1].
+  OccupancySchedule(const OccupancyConfig& config, std::size_t days);
+
+  [[nodiscard]] const OccupancyConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+  /// Occupants present at absolute minute t (with entrance/exit ramps;
+  /// events never overlap so the count never exceeds capacity).
+  [[nodiscard]] double occupants_at(timeseries::Minutes t) const noexcept;
+
+  /// Lighting state at t: 1 when any event is active (with a margin for
+  /// setup/teardown), else 0.
+  [[nodiscard]] double lighting_at(timeseries::Minutes t) const noexcept;
+
+  /// Day-of-week (Sunday = 0) of a dataset day index.
+  [[nodiscard]] int day_of_week(std::int64_t day) const noexcept;
+
+ private:
+  OccupancyConfig config_;
+  std::vector<Event> events_;  ///< sorted by start, non-overlapping
+};
+
+}  // namespace auditherm::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file weather.hpp
+/// Synthetic ambient-temperature generator.
+///
+/// Stands in for the paper's measured St. Louis weather (Jan 31 - May 8,
+/// 2013): a winter-to-spring seasonal ramp, a diurnal cycle with the
+/// minimum near dawn, a per-day weather-system offset, and AR(1) noise.
+/// This is the w(k) input of the thermal models.
+
+#include <cstdint>
+#include <vector>
+
+#include "auditherm/timeseries/time_grid.hpp"
+
+namespace auditherm::timeseries {
+class MultiTrace;
+}
+
+namespace auditherm::sim {
+
+/// Weather generator parameters.
+struct WeatherConfig {
+  double start_mean_c = 1.0;      ///< seasonal mean on day 0 (late January)
+  double end_mean_c = 18.0;       ///< seasonal mean on day `season_days`
+  double season_days = 98.0;      ///< length of the ramp
+  double diurnal_amplitude_c = 5.0;
+  timeseries::Minutes coldest_minute = 6 * 60;  ///< diurnal minimum time
+  double day_offset_std_c = 3.0;  ///< per-day weather-system offset
+  double ar1_coefficient = 0.95;  ///< minute-scale AR(1) persistence
+  double ar1_noise_std_c = 0.08;
+  std::uint64_t seed = 20130131;
+};
+
+/// Deterministic, seeded ambient temperature model.
+///
+/// Day offsets and the AR(1) path are pre-generated on a minute grid so
+/// that temperature_at(t) is a pure function of (config, t): two queries
+/// at the same t always agree, regardless of query order.
+class WeatherModel {
+ public:
+  /// Generate `days` days of weather. Throws std::invalid_argument when
+  /// days == 0 or the config is inconsistent (|ar1| >= 1, negative stds).
+  WeatherModel(const WeatherConfig& config, std::size_t days);
+
+  [[nodiscard]] const WeatherConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t days() const noexcept { return day_offsets_.size(); }
+
+  /// Ambient temperature at absolute minute t (clamped to the generated
+  /// range).
+  [[nodiscard]] double temperature_at(timeseries::Minutes t) const noexcept;
+
+  /// Seasonal + diurnal component only (no stochastic terms).
+  [[nodiscard]] double deterministic_at(timeseries::Minutes t) const noexcept;
+
+ private:
+  WeatherConfig config_;
+  std::vector<double> day_offsets_;  ///< per-day weather-system offset
+  std::vector<double> ar1_path_;     ///< minute-resolution AR(1) noise
+};
+
+}  // namespace auditherm::sim

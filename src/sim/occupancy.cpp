@@ -1,0 +1,128 @@
+#include "auditherm/sim/occupancy.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace auditherm::sim {
+
+namespace {
+
+using timeseries::kMinutesPerDay;
+using timeseries::Minutes;
+
+struct Slot {
+  Minutes start_of_day;
+  Minutes duration;
+  int min_attendance;
+  int max_attendance;
+};
+
+// Weekday teaching slots; the Friday noon slot hosts the well-attended
+// seminar from the paper's Fig. 2 snapshot.
+constexpr Slot kWeekdaySlots[] = {
+    {9 * 60, 90, 15, 55},
+    {11 * 60, 75, 10, 45},
+    {12 * 60 + 0, 90, 20, 60},  // replaced by the seminar on Fridays
+    {14 * 60 + 30, 90, 15, 60},
+    {16 * 60 + 30, 75, 10, 40},
+};
+constexpr Slot kEveningSlot = {19 * 60, 90, 10, 50};
+constexpr Slot kWeekendSlot = {13 * 60, 120, 5, 25};
+
+}  // namespace
+
+OccupancySchedule::OccupancySchedule(const OccupancyConfig& config,
+                                     std::size_t days)
+    : config_(config) {
+  if (days == 0) throw std::invalid_argument("OccupancySchedule: days == 0");
+  if (config.capacity <= 0) {
+    throw std::invalid_argument("OccupancySchedule: capacity <= 0");
+  }
+  for (double p : {config.class_probability, config.evening_probability,
+                   config.weekend_probability}) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("OccupancySchedule: probability outside [0,1]");
+    }
+  }
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  for (std::size_t d = 0; d < days; ++d) {
+    const Minutes day_start = static_cast<Minutes>(d) * kMinutesPerDay;
+    const int dow = day_of_week(static_cast<std::int64_t>(d));
+    const bool weekend = dow == 0 || dow == 6;
+    if (weekend) {
+      if (coin(rng) < config.weekend_probability) {
+        std::uniform_int_distribution<int> att(kWeekendSlot.min_attendance,
+                                               kWeekendSlot.max_attendance);
+        events_.push_back({day_start + kWeekendSlot.start_of_day,
+                           day_start + kWeekendSlot.start_of_day +
+                               kWeekendSlot.duration,
+                           att(rng)});
+      }
+      continue;
+    }
+    for (const Slot& slot : kWeekdaySlots) {
+      const bool seminar = dow == 5 && slot.start_of_day == 12 * 60;
+      const double p = seminar ? 0.9 : config.class_probability;
+      if (coin(rng) >= p) continue;
+      int attendance;
+      if (seminar) {
+        // Popular seminar: near capacity, as in the Fig. 2 snapshot.
+        std::uniform_int_distribution<int> att(60, config.capacity);
+        attendance = att(rng);
+      } else {
+        std::uniform_int_distribution<int> att(slot.min_attendance,
+                                               slot.max_attendance);
+        attendance = att(rng);
+      }
+      events_.push_back({day_start + slot.start_of_day,
+                         day_start + slot.start_of_day + slot.duration,
+                         std::min(attendance, config.capacity)});
+    }
+    if (coin(rng) < config.evening_probability) {
+      std::uniform_int_distribution<int> att(kEveningSlot.min_attendance,
+                                             kEveningSlot.max_attendance);
+      events_.push_back({day_start + kEveningSlot.start_of_day,
+                         day_start + kEveningSlot.start_of_day +
+                             kEveningSlot.duration,
+                         att(rng)});
+    }
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const Event& a, const Event& b) { return a.start < b.start; });
+}
+
+double OccupancySchedule::occupants_at(timeseries::Minutes t) const noexcept {
+  double total = 0.0;
+  const double ramp = static_cast<double>(config_.ramp_minutes);
+  for (const Event& e : events_) {
+    if (t < e.start) break;  // events are sorted by start
+    if (t >= e.end + config_.ramp_minutes) continue;
+    double factor = 1.0;
+    if (ramp > 0.0) {
+      if (t < e.start + config_.ramp_minutes) {
+        factor = static_cast<double>(t - e.start) / ramp;
+      } else if (t >= e.end) {
+        factor = 1.0 - static_cast<double>(t - e.end) / ramp;
+      }
+    }
+    total += factor * e.attendance;
+  }
+  return std::clamp(total, 0.0, static_cast<double>(config_.capacity));
+}
+
+double OccupancySchedule::lighting_at(timeseries::Minutes t) const noexcept {
+  constexpr Minutes kMargin = 15;
+  for (const Event& e : events_) {
+    if (t >= e.start - kMargin && t < e.end + kMargin) return 1.0;
+  }
+  return 0.0;
+}
+
+int OccupancySchedule::day_of_week(std::int64_t day) const noexcept {
+  return static_cast<int>((day + config_.first_day_of_week) % 7);
+}
+
+}  // namespace auditherm::sim

@@ -1,0 +1,245 @@
+#include "auditherm/sim/plant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "auditherm/hvac/vav.hpp"
+
+namespace auditherm::sim {
+
+ZonalPlant::ZonalPlant(const FloorPlan& plan, const PlantConfig& config)
+    : plan_(plan), config_(config) {
+  if (config.air_heat_capacity_j_k <= 0.0 ||
+      config.mass_heat_capacity_j_k <= 0.0 || config.mass_coupling_w_k <= 0.0 ||
+      config.mixing_conductance_w_k <= 0.0 || config.mixing_length_m <= 0.0 ||
+      config.wall_conductance_w_k < 0.0 || config.outlet_spread_m <= 0.0 ||
+      config.mixing_delay_tau_s < 0.0) {
+    throw std::invalid_argument("ZonalPlant: inconsistent config");
+  }
+  const auto& sites = plan_.sensors();
+  const std::size_t n = sites.size();
+  if (config.room_volume_m3 <= 0.0 || config.co2_per_person_m3_s < 0.0) {
+    throw std::invalid_argument("ZonalPlant: inconsistent CO2 config");
+  }
+  air_temps_.assign(n, config.initial_temp_c);
+  mass_temps_.assign(n, config.initial_temp_c);
+  forcing_.assign(n, 0.0);
+  co2_ppm_ = config.initial_co2_ppm;
+
+  // Pairwise air-mixing conductances with a Gaussian distance kernel.
+  mixing_ = linalg::Matrix(n, n);
+  const double two_l2 = 2.0 * config.mixing_length_m * config.mixing_length_m;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = distance(sites[i].position, sites[j].position);
+      const double g = config.mixing_conductance_w_k * std::exp(-d * d / two_l2);
+      mixing_(i, j) = g;
+      mixing_(j, i) = g;
+    }
+  }
+
+  // Wall leakage: nodes within the wall band couple to ambient, stronger
+  // the closer they sit to the envelope.
+  wall_conductance_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wd = plan_.wall_distance(sites[i].position);
+    if (wd < config.wall_band_m) {
+      wall_conductance_[i] =
+          config.wall_conductance_w_k * (1.0 - wd / config.wall_band_m);
+    }
+  }
+
+  // Supply-jet weights: each outlet's air distributes over nodes with a
+  // Gaussian spread; columns normalized so each outlet's flow is conserved.
+  const auto& outlets = plan_.air_outlets();
+  outlet_weights_ = linalg::Matrix(n, outlets.size());
+  const double two_s2 = 2.0 * config.outlet_spread_m * config.outlet_spread_m;
+  for (std::size_t o = 0; o < outlets.size(); ++o) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Distance to the diffuser line, so supply spreads along its span.
+      const double d = distance(sites[i].position, outlets[o]);
+      const double w = std::exp(-d * d / two_s2);
+      outlet_weights_(i, o) = w;
+      sum += w;
+    }
+    for (std::size_t i = 0; i < n; ++i) outlet_weights_(i, o) /= sum;
+  }
+
+  // VAVs split evenly across the outlets (the building has 4 VAVs feeding
+  // 2 outlets spanning the room).
+  vav_to_outlet_.resize(plan_.vav_count());
+  for (std::size_t v = 0; v < plan_.vav_count(); ++v) {
+    vav_to_outlet_[v] = v * outlets.size() / plan_.vav_count();
+  }
+
+  // Occupant heat lands on seating-area nodes, deeper rows weighted more
+  // (audiences fill from the middle/back in this room).
+  occupant_weights_.assign(n, 0.0);
+  double occ_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plan_.in_seating(sites[i].position)) {
+      occupant_weights_[i] = 0.5 + sites[i].position.y / plan_.depth();
+      occ_sum += occupant_weights_[i];
+    }
+  }
+  if (occ_sum == 0.0) {
+    // Degenerate plan without seating nodes: spread occupant heat evenly.
+    occupant_weights_.assign(n, 1.0 / static_cast<double>(n));
+  } else {
+    for (double& w : occupant_weights_) w /= occ_sum;
+  }
+
+  // Lighting heat is near-uniform (ceiling fixtures span the room).
+  lighting_weights_.assign(n, 1.0 / static_cast<double>(n));
+}
+
+double ZonalPlant::air_temp_of(timeseries::ChannelId id) const {
+  const auto& sites = plan_.sensors();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i].id == id) return air_temps_[i];
+  }
+  throw std::invalid_argument("ZonalPlant::air_temp_of: unknown id " +
+                              std::to_string(id));
+}
+
+void ZonalPlant::initialize(double temp_c) noexcept {
+  air_temps_.assign(air_temps_.size(), temp_c);
+  mass_temps_.assign(mass_temps_.size(), temp_c);
+  forcing_.assign(forcing_.size(), 0.0);
+  co2_ppm_ = config_.initial_co2_ppm;
+}
+
+void ZonalPlant::derivative(const linalg::Vector& air,
+                            const linalg::Vector& mass,
+                            const linalg::Vector& forcing,
+                            const PlantInputs& u, linalg::Vector& d_air,
+                            linalg::Vector& d_mass,
+                            linalg::Vector& d_forcing) const {
+  const std::size_t n = air.size();
+  d_air.assign(n, 0.0);
+  d_mass.assign(n, 0.0);
+  d_forcing.assign(n, 0.0);
+
+  // Per-outlet volumetric heat conductance rho*cp*flow (W/K).
+  std::vector<double> outlet_gain(plan_.air_outlets().size(), 0.0);
+  for (std::size_t v = 0; v < u.vav_flows_m3_s.size(); ++v) {
+    outlet_gain[vav_to_outlet_[v]] +=
+        hvac::kAirVolumetricHeatCapacity * u.vav_flows_m3_s[v];
+  }
+
+  const double occ_power = u.occupants * config_.occupant_heat_w;
+  const double light_power = u.lighting * config_.lighting_heat_w;
+  const bool lagged = config_.mixing_delay_tau_s > 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Instantaneous injected power: supply jets + occupants + lighting +
+    // local disturbances.
+    double q_inject = occ_power * occupant_weights_[i] +
+                      light_power * lighting_weights_[i];
+    if (!u.extra_node_heat_w.empty()) q_inject += u.extra_node_heat_w[i];
+    for (std::size_t o = 0; o < outlet_gain.size(); ++o) {
+      q_inject +=
+          outlet_weights_(i, o) * outlet_gain[o] * (u.supply_temp_c - air[i]);
+    }
+
+    double q = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) q += mixing_(i, j) * (air[j] - air[i]);
+    }
+    q += config_.mass_coupling_w_k * (mass[i] - air[i]);
+    q += wall_conductance_[i] * (u.ambient_c - air[i]);
+    if (lagged) {
+      // Injected heat reaches the zone through the mixing lag; the lag
+      // state carries it.
+      q += forcing[i];
+      d_forcing[i] = (q_inject - forcing[i]) / config_.mixing_delay_tau_s;
+    } else {
+      q += q_inject;
+    }
+    d_air[i] = q / config_.air_heat_capacity_j_k;
+    d_mass[i] = config_.mass_coupling_w_k * (air[i] - mass[i]) /
+                config_.mass_heat_capacity_j_k;
+  }
+}
+
+void ZonalPlant::step(const PlantInputs& inputs, double dt_s) {
+  if (dt_s <= 0.0) throw std::invalid_argument("ZonalPlant::step: dt <= 0");
+  if (inputs.vav_flows_m3_s.size() != plan_.vav_count()) {
+    throw std::invalid_argument("ZonalPlant::step: VAV flow count mismatch");
+  }
+  if (!inputs.extra_node_heat_w.empty() &&
+      inputs.extra_node_heat_w.size() != air_temps_.size()) {
+    throw std::invalid_argument(
+        "ZonalPlant::step: disturbance vector size mismatch");
+  }
+  const std::size_t n = air_temps_.size();
+  linalg::Vector k1a, k1m, k1f, k2a, k2m, k2f, k3a, k3m, k3f, k4a, k4m, k4f;
+  linalg::Vector ta(n), tm(n), tf(n);
+
+  derivative(air_temps_, mass_temps_, forcing_, inputs, k1a, k1m, k1f);
+  for (std::size_t i = 0; i < n; ++i) {
+    ta[i] = air_temps_[i] + 0.5 * dt_s * k1a[i];
+    tm[i] = mass_temps_[i] + 0.5 * dt_s * k1m[i];
+    tf[i] = forcing_[i] + 0.5 * dt_s * k1f[i];
+  }
+  derivative(ta, tm, tf, inputs, k2a, k2m, k2f);
+  for (std::size_t i = 0; i < n; ++i) {
+    ta[i] = air_temps_[i] + 0.5 * dt_s * k2a[i];
+    tm[i] = mass_temps_[i] + 0.5 * dt_s * k2m[i];
+    tf[i] = forcing_[i] + 0.5 * dt_s * k2f[i];
+  }
+  derivative(ta, tm, tf, inputs, k3a, k3m, k3f);
+  for (std::size_t i = 0; i < n; ++i) {
+    ta[i] = air_temps_[i] + dt_s * k3a[i];
+    tm[i] = mass_temps_[i] + dt_s * k3m[i];
+    tf[i] = forcing_[i] + dt_s * k3f[i];
+  }
+  derivative(ta, tm, tf, inputs, k4a, k4m, k4f);
+  for (std::size_t i = 0; i < n; ++i) {
+    air_temps_[i] +=
+        dt_s / 6.0 * (k1a[i] + 2.0 * k2a[i] + 2.0 * k3a[i] + k4a[i]);
+    mass_temps_[i] +=
+        dt_s / 6.0 * (k1m[i] + 2.0 * k2m[i] + 2.0 * k3m[i] + k4m[i]);
+    forcing_[i] +=
+        dt_s / 6.0 * (k1f[i] + 2.0 * k2f[i] + 2.0 * k3f[i] + k4f[i]);
+  }
+
+  // Well-mixed CO2 balance (exact exponential update for the linear ODE
+  // V dC/dt = G*1e6 - Q (C - C_out), inputs held constant over the step):
+  double total_flow = 0.0;
+  for (double f : inputs.vav_flows_m3_s) total_flow += f;
+  const double generation_ppm_s =
+      inputs.occupants * config_.co2_per_person_m3_s * 1e6 /
+      config_.room_volume_m3;
+  const double exchange_rate = total_flow / config_.room_volume_m3;  // 1/s
+  if (exchange_rate > 0.0) {
+    const double equilibrium =
+        config_.co2_outdoor_ppm + generation_ppm_s / exchange_rate;
+    const double decay = std::exp(-exchange_rate * dt_s);
+    co2_ppm_ = equilibrium + (co2_ppm_ - equilibrium) * decay;
+  } else {
+    co2_ppm_ += generation_ppm_s * dt_s;
+  }
+}
+
+double ZonalPlant::hvac_power_w(const PlantInputs& inputs) const {
+  if (inputs.vav_flows_m3_s.size() != plan_.vav_count()) {
+    throw std::invalid_argument("ZonalPlant::hvac_power_w: flow count");
+  }
+  std::vector<double> outlet_gain(plan_.air_outlets().size(), 0.0);
+  for (std::size_t v = 0; v < inputs.vav_flows_m3_s.size(); ++v) {
+    outlet_gain[vav_to_outlet_[v]] +=
+        hvac::kAirVolumetricHeatCapacity * inputs.vav_flows_m3_s[v];
+  }
+  double power = 0.0;
+  for (std::size_t i = 0; i < air_temps_.size(); ++i) {
+    for (std::size_t o = 0; o < outlet_gain.size(); ++o) {
+      power += outlet_weights_(i, o) * outlet_gain[o] *
+               (inputs.supply_temp_c - air_temps_[i]);
+    }
+  }
+  return power;
+}
+
+}  // namespace auditherm::sim

@@ -1,0 +1,73 @@
+#include "auditherm/sim/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace auditherm::sim {
+
+WeatherModel::WeatherModel(const WeatherConfig& config, std::size_t days)
+    : config_(config) {
+  if (days == 0) throw std::invalid_argument("WeatherModel: days == 0");
+  if (std::abs(config.ar1_coefficient) >= 1.0 || config.ar1_noise_std_c < 0.0 ||
+      config.day_offset_std_c < 0.0 || config.season_days <= 0.0) {
+    throw std::invalid_argument("WeatherModel: inconsistent config");
+  }
+  std::mt19937_64 rng(config.seed);
+  std::normal_distribution<double> day_noise(0.0, config.day_offset_std_c);
+  day_offsets_.resize(days);
+  // Weather systems persist a few days; smooth the iid draws.
+  std::vector<double> raw(days);
+  for (double& r : raw) r = day_noise(rng);
+  for (std::size_t d = 0; d < days; ++d) {
+    double s = 0.0;
+    double w = 0.0;
+    for (int off = -2; off <= 2; ++off) {
+      const auto idx = static_cast<std::ptrdiff_t>(d) + off;
+      if (idx < 0 || idx >= static_cast<std::ptrdiff_t>(days)) continue;
+      const double weight = 1.0 / (1.0 + std::abs(off));
+      s += weight * raw[static_cast<std::size_t>(idx)];
+      w += weight;
+    }
+    day_offsets_[d] = s / w;
+  }
+
+  std::normal_distribution<double> ar_noise(0.0, config.ar1_noise_std_c);
+  ar1_path_.resize(days * static_cast<std::size_t>(timeseries::kMinutesPerDay));
+  double x = 0.0;
+  for (double& v : ar1_path_) {
+    x = config.ar1_coefficient * x + ar_noise(rng);
+    v = x;
+  }
+}
+
+double WeatherModel::deterministic_at(timeseries::Minutes t) const noexcept {
+  const double day = static_cast<double>(t) /
+                     static_cast<double>(timeseries::kMinutesPerDay);
+  const double season_frac =
+      std::clamp(day / config_.season_days, 0.0, 1.0);
+  const double seasonal =
+      config_.start_mean_c +
+      season_frac * (config_.end_mean_c - config_.start_mean_c);
+  const double phase =
+      2.0 * std::numbers::pi *
+      static_cast<double>(timeseries::minute_of_day(t) -
+                          config_.coldest_minute) /
+      static_cast<double>(timeseries::kMinutesPerDay);
+  // Minimum at coldest_minute: -cos starts at the trough.
+  const double diurnal = -config_.diurnal_amplitude_c * std::cos(phase);
+  return seasonal + diurnal;
+}
+
+double WeatherModel::temperature_at(timeseries::Minutes t) const noexcept {
+  const auto max_minute =
+      static_cast<timeseries::Minutes>(ar1_path_.size()) - 1;
+  const auto tc = std::clamp<timeseries::Minutes>(t, 0, max_minute);
+  const auto day = static_cast<std::size_t>(timeseries::day_of(tc));
+  return deterministic_at(tc) + day_offsets_[std::min(day, days() - 1)] +
+         ar1_path_[static_cast<std::size_t>(tc)];
+}
+
+}  // namespace auditherm::sim

@@ -1,0 +1,142 @@
+#include "auditherm/sysid/diagnostics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "auditherm/timeseries/segmentation.hpp"
+
+namespace auditherm::sysid {
+
+namespace {
+
+std::size_t history_rows(ModelOrder order) {
+  return order == ModelOrder::kSecond ? 2 : 1;
+}
+
+}  // namespace
+
+FitDiagnostics diagnose_fit(const ThermalModel& model,
+                            const timeseries::MultiTrace& trace,
+                            const std::vector<bool>& row_filter) {
+  const std::size_t p = model.state_count();
+  const std::size_t q = model.input_count();
+  const std::size_t h = history_rows(model.order());
+
+  std::vector<timeseries::ChannelId> required = model.state_channels();
+  required.insert(required.end(), model.input_channels().begin(),
+                  model.input_channels().end());
+  auto mask = timeseries::rows_with_all_valid(trace, required);
+  if (!row_filter.empty()) {
+    if (row_filter.size() != trace.size()) {
+      throw std::invalid_argument("diagnose_fit: row_filter size mismatch");
+    }
+    for (std::size_t k = 0; k < mask.size(); ++k) {
+      mask[k] = mask[k] && row_filter[k];
+    }
+  }
+  const auto segments = timeseries::find_segments(mask, h + 1);
+
+  std::vector<std::size_t> state_cols(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    state_cols[i] = trace.require_channel(model.state_channels()[i]);
+  }
+  std::vector<std::size_t> input_cols(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    input_cols[i] = trace.require_channel(model.input_channels()[i]);
+  }
+
+  linalg::Vector sse(p, 0.0);      // model residual sum of squares
+  linalg::Vector sst(p, 0.0);      // persistence residual sum of squares
+  std::size_t transitions = 0;
+
+  linalg::Vector temps(p), delta(p), inputs(q);
+  for (const auto& seg : segments) {
+    for (std::size_t k = seg.first + h - 1; k + 1 < seg.last; ++k) {
+      for (std::size_t i = 0; i < p; ++i) {
+        temps[i] = trace.value(k, state_cols[i]);
+        delta[i] = h == 2 ? temps[i] - trace.value(k - 1, state_cols[i]) : 0.0;
+      }
+      for (std::size_t i = 0; i < q; ++i) {
+        inputs[i] = trace.value(k, input_cols[i]);
+      }
+      const auto predicted = model.predict_next(temps, delta, inputs);
+      for (std::size_t i = 0; i < p; ++i) {
+        const double actual = trace.value(k + 1, state_cols[i]);
+        const double model_err = predicted[i] - actual;
+        const double persist_err = temps[i] - actual;
+        sse[i] += model_err * model_err;
+        sst[i] += persist_err * persist_err;
+      }
+      ++transitions;
+    }
+  }
+  if (transitions == 0) {
+    throw std::runtime_error("diagnose_fit: no usable transitions");
+  }
+
+  FitDiagnostics diag;
+  diag.channels = model.state_channels();
+  diag.transitions = transitions;
+  diag.parameters = (model.order() == ModelOrder::kSecond ? 2 * p : p) + q;
+  diag.residual_std.resize(p);
+  diag.r_squared_vs_persistence.resize(p);
+  const double n = static_cast<double>(transitions);
+  double log_likelihood = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double variance = std::max(sse[i] / n, 1e-12);
+    diag.residual_std[i] = std::sqrt(variance);
+    diag.r_squared_vs_persistence[i] =
+        sst[i] > 0.0 ? 1.0 - sse[i] / sst[i] : 0.0;
+    // Gaussian log-likelihood of the per-channel residuals.
+    log_likelihood += -0.5 * n * (std::log(2.0 * M_PI * variance) + 1.0);
+  }
+  const double total_params = static_cast<double>(diag.parameters * p);
+  diag.aic = 2.0 * total_params - 2.0 * log_likelihood;
+  diag.bic = std::log(n) * total_params - 2.0 * log_likelihood;
+  return diag;
+}
+
+OrderComparison compare_orders(
+    const std::vector<timeseries::ChannelId>& state_ids,
+    const std::vector<timeseries::ChannelId>& input_ids,
+    const timeseries::MultiTrace& trace, const std::vector<bool>& row_filter,
+    const EstimationOptions& options) {
+  // Score both orders on second-order-usable transitions so the
+  // information criteria see the same data.
+  std::vector<timeseries::ChannelId> required = state_ids;
+  required.insert(required.end(), input_ids.begin(), input_ids.end());
+  auto mask = timeseries::rows_with_all_valid(trace, required);
+  if (!row_filter.empty()) {
+    for (std::size_t k = 0; k < mask.size(); ++k) {
+      mask[k] = mask[k] && row_filter[k];
+    }
+  }
+  // Keep only rows belonging to runs long enough for second-order use.
+  const auto segments = timeseries::find_segments(mask, 3);
+  std::vector<bool> usable(trace.size(), false);
+  for (const auto& seg : segments) {
+    for (std::size_t k = seg.first; k < seg.last; ++k) usable[k] = true;
+  }
+
+  // For an apples-to-apples comparison, the first-order model must fit
+  // and score the exact transitions the second-order model can use; drop
+  // each segment's leading row from the first-order mask (the second-order
+  // machinery consumes it as history).
+  std::vector<bool> trimmed(trace.size(), false);
+  for (const auto& seg : segments) {
+    for (std::size_t k = seg.first + 1; k < seg.last; ++k) trimmed[k] = true;
+  }
+
+  OrderComparison cmp;
+  const ModelEstimator first(state_ids, input_ids, ModelOrder::kFirst,
+                             options);
+  const ModelEstimator second(state_ids, input_ids, ModelOrder::kSecond,
+                              options);
+  const auto m1 = first.fit(trace, trimmed);
+  const auto m2 = second.fit(trace, usable);
+  cmp.first = diagnose_fit(m1, trace, trimmed);
+  cmp.second = diagnose_fit(m2, trace, usable);
+  return cmp;
+}
+
+}  // namespace auditherm::sysid

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file diagnostics.hpp
+/// Model-quality diagnostics beyond raw prediction error: one-step
+/// residual statistics, per-channel coefficients of determination, and
+/// information criteria for comparing model orders on equal footing.
+
+#include <vector>
+
+#include "auditherm/sysid/estimator.hpp"
+#include "auditherm/sysid/model.hpp"
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::sysid {
+
+/// One-step (equation-error) fit diagnostics over a trace.
+struct FitDiagnostics {
+  std::vector<timeseries::ChannelId> channels;  ///< model state order
+  /// Per-channel one-step residual standard deviation (degC).
+  linalg::Vector residual_std;
+  /// Per-channel coefficient of determination of the one-step prediction
+  /// against a predict-the-previous-value baseline: 1 - SSE/SST where SST
+  /// uses T(k+1) - T(k). Values > 0 mean the model beats persistence.
+  linalg::Vector r_squared_vs_persistence;
+  std::size_t transitions = 0;  ///< transitions evaluated
+  std::size_t parameters = 0;   ///< estimated parameters per output row
+
+  /// Akaike information criterion under a Gaussian residual model, summed
+  /// over channels; lower is better. Comparable across model orders fit
+  /// on the SAME transitions.
+  double aic = 0.0;
+  /// Bayesian information criterion; penalizes parameters harder.
+  double bic = 0.0;
+};
+
+/// Compute one-step diagnostics of `model` on `trace` (optionally row-
+/// filtered, same semantics as ModelEstimator::fit). Transitions are the
+/// in-segment rows where every model channel is valid. Throws
+/// std::runtime_error when no transitions exist.
+[[nodiscard]] FitDiagnostics diagnose_fit(
+    const ThermalModel& model, const timeseries::MultiTrace& trace,
+    const std::vector<bool>& row_filter = {});
+
+/// Convenience: fit first- and second-order models on the same data and
+/// report which order the information criteria prefer.
+struct OrderComparison {
+  FitDiagnostics first;
+  FitDiagnostics second;
+  /// true when the second-order model wins on AIC (and almost always BIC).
+  [[nodiscard]] bool second_order_preferred() const noexcept {
+    return second.aic < first.aic;
+  }
+};
+
+[[nodiscard]] OrderComparison compare_orders(
+    const std::vector<timeseries::ChannelId>& state_ids,
+    const std::vector<timeseries::ChannelId>& input_ids,
+    const timeseries::MultiTrace& trace,
+    const std::vector<bool>& row_filter = {},
+    const EstimationOptions& options = {});
+
+}  // namespace auditherm::sysid

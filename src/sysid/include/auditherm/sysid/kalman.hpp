@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file kalman.hpp
+/// Kalman filtering on identified thermal models.
+///
+/// The paper removes most sensors after the pilot; a Kalman filter on the
+/// dense identified model turns the few kept sensors back into a full
+/// spatial picture ("virtual sensing"): predict all temperatures with the
+/// model, then correct with whatever measurements exist. This is the
+/// natural state estimator for the control extension and for monitoring
+/// the de-instrumented room.
+
+#include <vector>
+
+#include "auditherm/linalg/matrix.hpp"
+#include "auditherm/sysid/model.hpp"
+
+namespace auditherm::sysid {
+
+/// Noise assumptions for the filter.
+struct KalmanOptions {
+  /// Process-noise variance added per temperature state per step
+  /// (degC^2): model error + unmodeled disturbances.
+  double process_noise = 0.02;
+  /// Measurement-noise variance of a wireless sensor reading (degC^2);
+  /// the testbed's noise+quantization is ~0.15 degC std.
+  double measurement_noise = 0.0225;
+  /// Initial state variance (degC^2) around the reset temperatures.
+  double initial_variance = 1.0;
+};
+
+/// Time-varying Kalman filter over a ThermalModel.
+///
+/// The internal state is the model's temperature vector, augmented with
+/// the delta block for second-order models. Measurements are direct
+/// observations of a subset of the temperature states.
+class KalmanFilter {
+ public:
+  /// Throws std::invalid_argument on non-positive noise variances.
+  KalmanFilter(ThermalModel model, KalmanOptions options = {});
+
+  [[nodiscard]] const ThermalModel& model() const noexcept { return model_; }
+
+  /// Re-initialize the estimate at the given temperatures (deltas zero)
+  /// with the configured initial variance. Throws std::invalid_argument
+  /// on size mismatch.
+  void reset(const linalg::Vector& initial_temps);
+
+  /// Time update: propagate the estimate through the model with inputs u.
+  /// Throws std::invalid_argument on input size mismatch or before
+  /// reset().
+  void predict(const linalg::Vector& inputs);
+
+  /// Measurement update: `measured_states` are indices into the model's
+  /// state vector; `measurements` the corresponding readings. Throws
+  /// std::invalid_argument on size mismatch or out-of-range indices.
+  void update(const std::vector<std::size_t>& measured_states,
+              const linalg::Vector& measurements);
+
+  /// Current temperature estimates (model state order).
+  [[nodiscard]] linalg::Vector temperatures() const;
+
+  /// Current estimate variance of each temperature state.
+  [[nodiscard]] linalg::Vector temperature_variances() const;
+
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+ private:
+  [[nodiscard]] std::size_t augmented_size() const noexcept;
+
+  ThermalModel model_;
+  KalmanOptions options_;
+  linalg::Vector state_;       ///< [T] or [T; dT]
+  linalg::Matrix covariance_;  ///< P over the augmented state
+  linalg::Matrix transition_;  ///< augmented A
+  linalg::Matrix input_map_;   ///< augmented B
+  bool initialized_ = false;
+};
+
+}  // namespace auditherm::sysid

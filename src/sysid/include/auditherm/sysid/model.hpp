@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file model.hpp
+/// The paper's thermal model structures (Section IV.A).
+///
+/// First order (eq. 1):   T(k+1) = A T(k) + B u(k)
+/// Second order (eq. 2):  T(k+1) = A1 T(k) + A2 dT(k) + B u(k),
+///                        dT(k) = T(k) - T(k-1)
+///
+/// where T stacks the sensor temperatures and u = [h; o; l; w] stacks the
+/// VAV airflows, occupant count, lighting state and ambient temperature.
+/// The second-order form is eq. 2 with the structural bottom block
+/// (dT(k+1) = T(k+1) - T(k)) left implicit.
+
+#include <vector>
+
+#include "auditherm/linalg/matrix.hpp"
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::sysid {
+
+/// Dynamic order of the identified model.
+enum class ModelOrder {
+  kFirst,
+  kSecond,
+};
+
+/// An identified linear thermal model over named channels.
+///
+/// Invariants (checked at construction): a is p x p; a2 is p x p for
+/// second-order models and empty otherwise; b is p x q with q ==
+/// input_channels.size() and p == state_channels.size().
+class ThermalModel {
+ public:
+  ThermalModel() = default;
+
+  /// Assemble a model; throws std::invalid_argument on shape violations.
+  ThermalModel(ModelOrder order, linalg::Matrix a, linalg::Matrix a2,
+               linalg::Matrix b,
+               std::vector<timeseries::ChannelId> state_channels,
+               std::vector<timeseries::ChannelId> input_channels);
+
+  [[nodiscard]] ModelOrder order() const noexcept { return order_; }
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return state_channels_.size();
+  }
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return input_channels_.size();
+  }
+  [[nodiscard]] const linalg::Matrix& a() const noexcept { return a_; }
+  [[nodiscard]] const linalg::Matrix& a2() const noexcept { return a2_; }
+  [[nodiscard]] const linalg::Matrix& b() const noexcept { return b_; }
+  [[nodiscard]] const std::vector<timeseries::ChannelId>& state_channels()
+      const noexcept {
+    return state_channels_;
+  }
+  [[nodiscard]] const std::vector<timeseries::ChannelId>& input_channels()
+      const noexcept {
+    return input_channels_;
+  }
+
+  /// One-step prediction. `delta` is T(k) - T(k-1) and is ignored by
+  /// first-order models. Throws std::invalid_argument on size mismatches.
+  [[nodiscard]] linalg::Vector predict_next(const linalg::Vector& temps,
+                                            const linalg::Vector& delta,
+                                            const linalg::Vector& inputs) const;
+
+  /// Multi-step open-loop simulation.
+  ///
+  /// `initial` is T at step 0; `initial_delta` is T(0) - T(-1) (pass zeros
+  /// when unknown; first-order models ignore it). `inputs` is N x q, one
+  /// row per step. Returns an N x p matrix whose row k is the prediction
+  /// of T(k+1) after applying input row k (i.e., row 0 is one step ahead).
+  [[nodiscard]] linalg::Matrix simulate(const linalg::Vector& initial,
+                                        const linalg::Vector& initial_delta,
+                                        const linalg::Matrix& inputs) const;
+
+  /// Spectral radius of the (augmented, for second order) state-transition
+  /// matrix; < 1 means the identified dynamics are asymptotically stable.
+  [[nodiscard]] double spectral_radius_bound() const;
+
+ private:
+  ModelOrder order_ = ModelOrder::kFirst;
+  linalg::Matrix a_;
+  linalg::Matrix a2_;
+  linalg::Matrix b_;
+  std::vector<timeseries::ChannelId> state_channels_;
+  std::vector<timeseries::ChannelId> input_channels_;
+};
+
+}  // namespace auditherm::sysid

@@ -1,0 +1,171 @@
+#include "auditherm/sysid/kalman.hpp"
+
+#include <stdexcept>
+
+#include "auditherm/linalg/decompositions.hpp"
+
+namespace auditherm::sysid {
+
+namespace {
+
+/// Augmented transition for [T; dT]:
+///   T(k+1)  = A1 T + A2 dT + B u
+///   dT(k+1) = T(k+1) - T(k) = (A1 - I) T + A2 dT + B u
+linalg::Matrix augmented_transition(const ThermalModel& model) {
+  const std::size_t p = model.state_count();
+  if (model.order() == ModelOrder::kFirst) return model.a();
+  linalg::Matrix t(2 * p, 2 * p);
+  t.set_block(0, 0, model.a());
+  t.set_block(0, p, model.a2());
+  linalg::Matrix a1_minus_i = model.a();
+  for (std::size_t i = 0; i < p; ++i) a1_minus_i(i, i) -= 1.0;
+  t.set_block(p, 0, a1_minus_i);
+  t.set_block(p, p, model.a2());
+  return t;
+}
+
+linalg::Matrix augmented_input_map(const ThermalModel& model) {
+  const std::size_t p = model.state_count();
+  if (model.order() == ModelOrder::kFirst) return model.b();
+  linalg::Matrix b(2 * p, model.input_count());
+  b.set_block(0, 0, model.b());
+  b.set_block(p, 0, model.b());  // dT(k+1) includes the same B u term
+  return b;
+}
+
+}  // namespace
+
+KalmanFilter::KalmanFilter(ThermalModel model, KalmanOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      transition_(augmented_transition(model_)),
+      input_map_(augmented_input_map(model_)) {
+  if (options.process_noise <= 0.0 || options.measurement_noise <= 0.0 ||
+      options.initial_variance <= 0.0) {
+    throw std::invalid_argument("KalmanFilter: non-positive noise variance");
+  }
+}
+
+std::size_t KalmanFilter::augmented_size() const noexcept {
+  return model_.order() == ModelOrder::kSecond ? 2 * model_.state_count()
+                                               : model_.state_count();
+}
+
+void KalmanFilter::reset(const linalg::Vector& initial_temps) {
+  const std::size_t p = model_.state_count();
+  if (initial_temps.size() != p) {
+    throw std::invalid_argument("KalmanFilter::reset: size mismatch");
+  }
+  const std::size_t n = augmented_size();
+  state_.assign(n, 0.0);
+  for (std::size_t i = 0; i < p; ++i) state_[i] = initial_temps[i];
+  covariance_ = linalg::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    covariance_(i, i) = options_.initial_variance;
+  }
+  initialized_ = true;
+}
+
+void KalmanFilter::predict(const linalg::Vector& inputs) {
+  if (!initialized_) {
+    throw std::invalid_argument("KalmanFilter::predict: reset() first");
+  }
+  if (inputs.size() != model_.input_count()) {
+    throw std::invalid_argument("KalmanFilter::predict: input size mismatch");
+  }
+  // x = A x + B u.
+  linalg::Vector next = transition_ * state_;
+  const linalg::Vector bu = input_map_ * inputs;
+  for (std::size_t i = 0; i < next.size(); ++i) next[i] += bu[i];
+  state_ = std::move(next);
+
+  // P = A P A^T + Q (process noise enters the temperature block).
+  covariance_ = transition_ * covariance_ * transition_.transposed();
+  for (std::size_t i = 0; i < model_.state_count(); ++i) {
+    covariance_(i, i) += options_.process_noise;
+  }
+  // A touch of noise on the delta block keeps it observable too.
+  for (std::size_t i = model_.state_count(); i < augmented_size(); ++i) {
+    covariance_(i, i) += options_.process_noise;
+  }
+}
+
+void KalmanFilter::update(const std::vector<std::size_t>& measured_states,
+                          const linalg::Vector& measurements) {
+  if (!initialized_) {
+    throw std::invalid_argument("KalmanFilter::update: reset() first");
+  }
+  if (measured_states.size() != measurements.size()) {
+    throw std::invalid_argument("KalmanFilter::update: size mismatch");
+  }
+  if (measured_states.empty()) return;
+  const std::size_t p = model_.state_count();
+  const std::size_t n = augmented_size();
+  const std::size_t m = measured_states.size();
+  for (std::size_t idx : measured_states) {
+    if (idx >= p) {
+      throw std::invalid_argument("KalmanFilter::update: bad state index");
+    }
+  }
+
+  // Innovation S = H P H^T + R and cross term P H^T, with H selecting rows.
+  linalg::Matrix pht(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      pht(i, j) = covariance_(i, measured_states[j]);
+    }
+  }
+  linalg::Matrix s(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      s(i, j) = covariance_(measured_states[i], measured_states[j]);
+    }
+    s(i, i) += options_.measurement_noise;
+  }
+
+  // Gain K = P H^T S^{-1}: solve S K^T = (P H^T)^T column-wise.
+  const linalg::CholeskyDecomposition chol(s);
+  const linalg::Matrix k_t = chol.solve(pht.transposed());  // m x n
+  const linalg::Matrix gain = k_t.transposed();             // n x m
+
+  // Innovation.
+  linalg::Vector innovation(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    innovation[j] = measurements[j] - state_[measured_states[j]];
+  }
+  const linalg::Vector correction = gain * innovation;
+  for (std::size_t i = 0; i < n; ++i) state_[i] += correction[i];
+
+  // P = (I - K H) P.
+  linalg::Matrix kh(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      kh(i, measured_states[j]) += gain(i, j);
+    }
+  }
+  linalg::Matrix i_minus_kh = linalg::Matrix::identity(n) - kh;
+  covariance_ = i_minus_kh * covariance_;
+  // Symmetrize against roundoff drift.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (covariance_(i, j) + covariance_(j, i));
+      covariance_(i, j) = v;
+      covariance_(j, i) = v;
+    }
+  }
+}
+
+linalg::Vector KalmanFilter::temperatures() const {
+  const std::size_t p = model_.state_count();
+  return linalg::Vector(state_.begin(),
+                        state_.begin() + static_cast<std::ptrdiff_t>(p));
+}
+
+linalg::Vector KalmanFilter::temperature_variances() const {
+  const std::size_t p = model_.state_count();
+  linalg::Vector v(p);
+  for (std::size_t i = 0; i < p; ++i) v[i] = covariance_(i, i);
+  return v;
+}
+
+}  // namespace auditherm::sysid

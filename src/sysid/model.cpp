@@ -1,0 +1,112 @@
+#include "auditherm/sysid/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "auditherm/linalg/vector_ops.hpp"
+
+namespace auditherm::sysid {
+
+ThermalModel::ThermalModel(ModelOrder order, linalg::Matrix a,
+                           linalg::Matrix a2, linalg::Matrix b,
+                           std::vector<timeseries::ChannelId> state_channels,
+                           std::vector<timeseries::ChannelId> input_channels)
+    : order_(order),
+      a_(std::move(a)),
+      a2_(std::move(a2)),
+      b_(std::move(b)),
+      state_channels_(std::move(state_channels)),
+      input_channels_(std::move(input_channels)) {
+  const std::size_t p = state_channels_.size();
+  const std::size_t q = input_channels_.size();
+  if (p == 0) throw std::invalid_argument("ThermalModel: no state channels");
+  if (a_.rows() != p || a_.cols() != p) {
+    throw std::invalid_argument("ThermalModel: A must be p x p");
+  }
+  if (order_ == ModelOrder::kSecond) {
+    if (a2_.rows() != p || a2_.cols() != p) {
+      throw std::invalid_argument("ThermalModel: A2 must be p x p");
+    }
+  } else if (!a2_.empty()) {
+    throw std::invalid_argument("ThermalModel: A2 given for first-order model");
+  }
+  if (b_.rows() != p || b_.cols() != q) {
+    throw std::invalid_argument("ThermalModel: B must be p x q");
+  }
+}
+
+linalg::Vector ThermalModel::predict_next(const linalg::Vector& temps,
+                                          const linalg::Vector& delta,
+                                          const linalg::Vector& inputs) const {
+  if (temps.size() != state_count() || inputs.size() != input_count()) {
+    throw std::invalid_argument("ThermalModel::predict_next: size mismatch");
+  }
+  linalg::Vector next = a_ * temps;
+  if (order_ == ModelOrder::kSecond) {
+    if (delta.size() != state_count()) {
+      throw std::invalid_argument("ThermalModel::predict_next: delta size");
+    }
+    linalg::axpy(1.0, a2_ * delta, next);
+  }
+  linalg::axpy(1.0, b_ * inputs, next);
+  return next;
+}
+
+linalg::Matrix ThermalModel::simulate(const linalg::Vector& initial,
+                                      const linalg::Vector& initial_delta,
+                                      const linalg::Matrix& inputs) const {
+  if (initial.size() != state_count()) {
+    throw std::invalid_argument("ThermalModel::simulate: initial size");
+  }
+  if (inputs.cols() != input_count()) {
+    throw std::invalid_argument("ThermalModel::simulate: input columns");
+  }
+  if (order_ == ModelOrder::kSecond &&
+      initial_delta.size() != state_count()) {
+    throw std::invalid_argument("ThermalModel::simulate: initial delta size");
+  }
+
+  linalg::Matrix predictions(inputs.rows(), state_count());
+  linalg::Vector temps = initial;
+  linalg::Vector delta = order_ == ModelOrder::kSecond
+                             ? initial_delta
+                             : linalg::Vector(state_count(), 0.0);
+  for (std::size_t k = 0; k < inputs.rows(); ++k) {
+    const linalg::Vector next =
+        predict_next(temps, delta, inputs.row_vector(k));
+    predictions.set_row(k, next);
+    delta = linalg::subtract(next, temps);
+    temps = next;
+  }
+  return predictions;
+}
+
+double ThermalModel::spectral_radius_bound() const {
+  // Power-method growth-rate estimate on the (augmented) transition matrix.
+  // Good enough to flag unstable identified dynamics in tests and benches.
+  const std::size_t p = state_count();
+  const std::size_t n = order_ == ModelOrder::kSecond ? 2 * p : p;
+  linalg::Matrix m(n, n);
+  m.set_block(0, 0, a_);
+  if (order_ == ModelOrder::kSecond) {
+    // Augmented form: [T(k+1); dT(k+1)] = [[A1, A2]; [A1 - I, A2]] [T; dT].
+    m.set_block(0, p, a2_);
+    linalg::Matrix a1_minus_i = a_;
+    for (std::size_t i = 0; i < p; ++i) a1_minus_i(i, i) -= 1.0;
+    m.set_block(p, 0, a1_minus_i);
+    m.set_block(p, p, a2_);
+  }
+  linalg::Vector x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  double rate = 0.0;
+  constexpr int kIters = 200;
+  for (int it = 0; it < kIters; ++it) {
+    linalg::Vector y = m * x;
+    const double ny = linalg::norm2(y);
+    if (ny == 0.0) return 0.0;
+    rate = ny;
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / ny;
+  }
+  return rate;
+}
+
+}  // namespace auditherm::sysid

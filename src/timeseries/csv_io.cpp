@@ -1,0 +1,104 @@
+#include "auditherm/timeseries/csv_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace auditherm::timeseries {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const MultiTrace& trace) {
+  os << "time_minutes";
+  for (ChannelId id : trace.channels()) os << ",ch" << id;
+  os << '\n';
+  os.precision(10);
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    os << trace.grid()[k];
+    for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+      os << ',';
+      if (trace.valid(k, c)) os << trace.value(k, c);
+    }
+    os << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const MultiTrace& trace) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(f, trace);
+  if (!f) throw std::runtime_error("write_csv_file: write failed for " + path);
+}
+
+MultiTrace read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("read_csv: empty input");
+  }
+  const auto header = split_csv_line(line);
+  if (header.empty() || header[0] != "time_minutes") {
+    throw std::runtime_error("read_csv: bad header, expected time_minutes");
+  }
+  std::vector<ChannelId> channels;
+  for (std::size_t c = 1; c < header.size(); ++c) {
+    const auto& h = header[c];
+    if (h.size() < 3 || h.compare(0, 2, "ch") != 0) {
+      throw std::runtime_error("read_csv: bad channel header '" + h + "'");
+    }
+    channels.push_back(std::stoi(h.substr(2)));
+  }
+
+  std::vector<Minutes> times;
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto cells = split_csv_line(line);
+    if (cells.size() != header.size()) {
+      throw std::runtime_error("read_csv: ragged row");
+    }
+    times.push_back(static_cast<Minutes>(std::stoll(cells[0])));
+    rows.push_back(std::move(cells));
+  }
+
+  Minutes start = times.empty() ? 0 : times.front();
+  Minutes step = 1;
+  if (times.size() >= 2) {
+    step = times[1] - times[0];
+    if (step <= 0) throw std::runtime_error("read_csv: non-increasing time");
+    for (std::size_t k = 1; k < times.size(); ++k) {
+      if (times[k] - times[k - 1] != step) {
+        throw std::runtime_error("read_csv: non-uniform time step");
+      }
+    }
+  }
+
+  MultiTrace trace(TimeGrid(start, step, rows.size()), channels);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      const std::string& cell = rows[k][c + 1];
+      if (!cell.empty()) trace.set(k, c, std::stod(cell));
+    }
+  }
+  return trace;
+}
+
+MultiTrace read_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(f);
+}
+
+}  // namespace auditherm::timeseries

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file csv_io.hpp
+/// CSV persistence for MultiTrace: one row per sample (`time_minutes`
+/// column first, then one column per channel id), empty cells for gaps.
+/// This is the interchange format for exporting simulated datasets and for
+/// loading a real building trace into the pipeline.
+
+#include <iosfwd>
+#include <string>
+
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::timeseries {
+
+/// Write the trace as CSV to a stream.
+void write_csv(std::ostream& os, const MultiTrace& trace);
+
+/// Write the trace to a file; throws std::runtime_error on I/O failure.
+void write_csv_file(const std::string& path, const MultiTrace& trace);
+
+/// Parse a trace from CSV; the grid step is inferred from the first two
+/// rows (a single-row file gets step 1). Throws std::runtime_error on
+/// malformed input (bad header, ragged rows, non-uniform time steps).
+[[nodiscard]] MultiTrace read_csv(std::istream& is);
+
+/// Read a trace from a file; throws std::runtime_error on I/O failure.
+[[nodiscard]] MultiTrace read_csv_file(const std::string& path);
+
+}  // namespace auditherm::timeseries

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file resample.hpp
+/// Grid-changing utilities: downsampling a trace to a coarser step and
+/// bounded forward-filling of gaps. Real building-management data arrives
+/// on mixed cadences (the paper's HVAC portal logs at 10-30 minutes, the
+/// wireless sensors report on change), so aligning everything onto one
+/// modeling grid is a first-class operation.
+
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::timeseries {
+
+/// How a downsampling bucket is reduced to one value.
+enum class ResampleMethod {
+  kMean,  ///< average of the valid samples in the bucket
+  kHold,  ///< last valid sample in the bucket (sample-and-hold)
+};
+
+/// Downsample `trace` onto a grid with step `factor` times coarser.
+/// A bucket with no valid samples stays a gap. Throws
+/// std::invalid_argument when factor == 0.
+[[nodiscard]] MultiTrace downsample(const MultiTrace& trace,
+                                    std::size_t factor,
+                                    ResampleMethod method = ResampleMethod::kMean);
+
+/// Fill gaps by carrying the last valid value forward, for at most
+/// `max_fill` consecutive rows per gap (0 = unlimited). Leading gaps
+/// (before the first observation) stay gaps.
+[[nodiscard]] MultiTrace forward_fill(const MultiTrace& trace,
+                                      std::size_t max_fill = 0);
+
+}  // namespace auditherm::timeseries

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file time_grid.hpp
+/// Uniform sampling-time grid for the auditorium traces.
+///
+/// Time is measured in minutes from the dataset epoch (the paper's trace
+/// starts Jan 31, 2013 00:00; ours starts at simulated day 0, 00:00).
+/// A TimeGrid maps sample indices k to wall-clock minutes, which is what
+/// the mode filter (occupied 6:00-21:00 vs unoccupied) operates on.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace auditherm::timeseries {
+
+/// Minutes since the dataset epoch.
+using Minutes = std::int64_t;
+
+inline constexpr Minutes kMinutesPerHour = 60;
+inline constexpr Minutes kMinutesPerDay = 24 * kMinutesPerHour;
+
+/// Day index (0-based) containing time `t`.
+[[nodiscard]] constexpr std::int64_t day_of(Minutes t) noexcept {
+  return t >= 0 ? t / kMinutesPerDay : (t - kMinutesPerDay + 1) / kMinutesPerDay;
+}
+
+/// Minute within the day, in [0, 1440).
+[[nodiscard]] constexpr Minutes minute_of_day(Minutes t) noexcept {
+  const Minutes m = t % kMinutesPerDay;
+  return m >= 0 ? m : m + kMinutesPerDay;
+}
+
+/// Render "d<day> HH:MM" for logs and bench output.
+[[nodiscard]] std::string format_time(Minutes t);
+
+/// Uniformly spaced sampling grid: sample k is at start + k * step.
+class TimeGrid {
+ public:
+  TimeGrid() = default;
+
+  /// Throws std::invalid_argument when step <= 0.
+  TimeGrid(Minutes start, Minutes step, std::size_t count);
+
+  [[nodiscard]] Minutes start() const noexcept { return start_; }
+  [[nodiscard]] Minutes step() const noexcept { return step_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Time of sample k; throws std::out_of_range.
+  [[nodiscard]] Minutes at(std::size_t k) const;
+
+  /// Time of sample k, unchecked.
+  [[nodiscard]] Minutes operator[](std::size_t k) const noexcept {
+    return start_ + static_cast<Minutes>(k) * step_;
+  }
+
+  /// Time one step past the final sample.
+  [[nodiscard]] Minutes end() const noexcept {
+    return start_ + static_cast<Minutes>(count_) * step_;
+  }
+
+  /// Index of the first sample at or after time `t`, clamped to [0, size()].
+  [[nodiscard]] std::size_t index_at_or_after(Minutes t) const noexcept;
+
+  friend bool operator==(const TimeGrid&, const TimeGrid&) = default;
+
+ private:
+  Minutes start_ = 0;
+  Minutes step_ = 1;
+  std::size_t count_ = 0;
+};
+
+}  // namespace auditherm::timeseries

@@ -1,0 +1,154 @@
+#include "auditherm/timeseries/multi_trace.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace auditherm::timeseries {
+
+namespace {
+constexpr double kGap = std::numeric_limits<double>::quiet_NaN();
+}
+
+MultiTrace::MultiTrace(TimeGrid grid, std::vector<ChannelId> channels)
+    : grid_(grid),
+      channels_(std::move(channels)),
+      values_(grid.size(), channels_.size(), kGap) {
+  std::unordered_set<ChannelId> seen;
+  for (ChannelId id : channels_) {
+    if (!seen.insert(id).second) {
+      throw std::invalid_argument("MultiTrace: duplicate channel id " +
+                                  std::to_string(id));
+    }
+  }
+}
+
+std::optional<std::size_t> MultiTrace::channel_index(
+    ChannelId id) const noexcept {
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (channels_[c] == id) return c;
+  }
+  return std::nullopt;
+}
+
+std::size_t MultiTrace::require_channel(ChannelId id) const {
+  if (auto c = channel_index(id)) return *c;
+  throw std::invalid_argument("MultiTrace: unknown channel id " +
+                              std::to_string(id));
+}
+
+bool MultiTrace::valid(std::size_t k, std::size_t c) const noexcept {
+  return !std::isnan(values_(k, c));
+}
+
+void MultiTrace::clear(std::size_t k, std::size_t c) noexcept {
+  values_(k, c) = kGap;
+}
+
+linalg::Vector MultiTrace::channel_series(ChannelId id) const {
+  return values_.col_vector(require_channel(id));
+}
+
+MultiTrace MultiTrace::select_channels(
+    const std::vector<ChannelId>& ids) const {
+  MultiTrace out(grid_, ids);
+  for (std::size_t c = 0; c < ids.size(); ++c) {
+    const std::size_t src = require_channel(ids[c]);
+    for (std::size_t k = 0; k < size(); ++k) {
+      out.values_(k, c) = values_(k, src);
+    }
+  }
+  return out;
+}
+
+MultiTrace MultiTrace::slice_rows(std::size_t first, std::size_t last) const {
+  if (first > last || last > size()) {
+    throw std::out_of_range("MultiTrace::slice_rows");
+  }
+  TimeGrid g(grid_.start() + static_cast<Minutes>(first) * grid_.step(),
+             grid_.step(), last - first);
+  MultiTrace out(g, channels_);
+  for (std::size_t k = first; k < last; ++k) {
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+      out.values_(k - first, c) = values_(k, c);
+    }
+  }
+  return out;
+}
+
+MultiTrace MultiTrace::filter_rows(const std::vector<bool>& keep) const {
+  if (keep.size() != size()) {
+    throw std::invalid_argument("MultiTrace::filter_rows: mask size mismatch");
+  }
+  std::size_t n = 0;
+  for (bool b : keep) n += b ? 1 : 0;
+  TimeGrid g(grid_.start(), grid_.step(), n);
+  MultiTrace out(g, channels_);
+  std::size_t row = 0;
+  for (std::size_t k = 0; k < size(); ++k) {
+    if (!keep[k]) continue;
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+      out.values_(row, c) = values_(k, c);
+    }
+    ++row;
+  }
+  return out;
+}
+
+double MultiTrace::coverage() const noexcept {
+  const std::size_t total = size() * channel_count();
+  if (total == 0) return 0.0;
+  std::size_t present = 0;
+  for (double v : values_.data()) present += std::isnan(v) ? 0 : 1;
+  return static_cast<double>(present) / static_cast<double>(total);
+}
+
+std::vector<bool> rows_with_all_valid(const MultiTrace& trace,
+                                      const std::vector<ChannelId>& ids) {
+  std::vector<std::size_t> cols;
+  if (ids.empty()) {
+    cols.resize(trace.channel_count());
+    for (std::size_t c = 0; c < cols.size(); ++c) cols[c] = c;
+  } else {
+    cols.reserve(ids.size());
+    for (ChannelId id : ids) cols.push_back(trace.require_channel(id));
+  }
+  std::vector<bool> mask(trace.size(), true);
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    for (std::size_t c : cols) {
+      if (!trace.valid(k, c)) {
+        mask[k] = false;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+linalg::Vector row_mean(const MultiTrace& trace,
+                        const std::vector<ChannelId>& ids) {
+  std::vector<std::size_t> cols;
+  if (ids.empty()) {
+    cols.resize(trace.channel_count());
+    for (std::size_t c = 0; c < cols.size(); ++c) cols[c] = c;
+  } else {
+    cols.reserve(ids.size());
+    for (ChannelId id : ids) cols.push_back(trace.require_channel(id));
+  }
+  linalg::Vector out(trace.size(), std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t c : cols) {
+      if (trace.valid(k, c)) {
+        s += trace.value(k, c);
+        ++n;
+      }
+    }
+    if (n > 0) out[k] = s / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace auditherm::timeseries

@@ -1,0 +1,61 @@
+#include "auditherm/timeseries/resample.hpp"
+
+#include <stdexcept>
+
+namespace auditherm::timeseries {
+
+MultiTrace downsample(const MultiTrace& trace, std::size_t factor,
+                      ResampleMethod method) {
+  if (factor == 0) {
+    throw std::invalid_argument("downsample: factor == 0");
+  }
+  if (factor == 1) return trace;
+  const std::size_t out_rows = trace.size() / factor;
+  TimeGrid grid(trace.grid().start(),
+                trace.grid().step() * static_cast<Minutes>(factor), out_rows);
+  MultiTrace out(grid, trace.channels());
+  for (std::size_t r = 0; r < out_rows; ++r) {
+    for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+      double sum = 0.0;
+      double last = 0.0;
+      std::size_t count = 0;
+      for (std::size_t j = 0; j < factor; ++j) {
+        const std::size_t k = r * factor + j;
+        if (!trace.valid(k, c)) continue;
+        sum += trace.value(k, c);
+        last = trace.value(k, c);
+        ++count;
+      }
+      if (count == 0) continue;
+      out.set(r, c,
+              method == ResampleMethod::kMean
+                  ? sum / static_cast<double>(count)
+                  : last);
+    }
+  }
+  return out;
+}
+
+MultiTrace forward_fill(const MultiTrace& trace, std::size_t max_fill) {
+  MultiTrace out = trace;
+  for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+    bool have_value = false;
+    double last = 0.0;
+    std::size_t run = 0;
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+      if (trace.valid(k, c)) {
+        have_value = true;
+        last = trace.value(k, c);
+        run = 0;
+      } else if (have_value) {
+        ++run;
+        if (max_fill == 0 || run <= max_fill) {
+          out.set(k, c, last);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace auditherm::timeseries

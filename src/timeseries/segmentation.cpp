@@ -1,0 +1,44 @@
+#include "auditherm/timeseries/segmentation.hpp"
+
+#include <stdexcept>
+
+namespace auditherm::timeseries {
+
+std::vector<Segment> find_segments(const std::vector<bool>& mask,
+                                   std::size_t min_length) {
+  if (min_length == 0) {
+    throw std::invalid_argument("find_segments: min_length must be >= 1");
+  }
+  std::vector<Segment> out;
+  std::size_t k = 0;
+  while (k < mask.size()) {
+    if (!mask[k]) {
+      ++k;
+      continue;
+    }
+    std::size_t first = k;
+    while (k < mask.size() && mask[k]) ++k;
+    if (k - first >= min_length) out.push_back({first, k});
+  }
+  return out;
+}
+
+std::size_t total_length(const std::vector<Segment>& segments) {
+  std::size_t n = 0;
+  for (const auto& s : segments) n += s.length();
+  return n;
+}
+
+std::vector<Segment> intersect_segments(const std::vector<Segment>& segments,
+                                        const std::vector<bool>& mask,
+                                        std::size_t min_length) {
+  std::vector<bool> combined(mask.size(), false);
+  for (const auto& s : segments) {
+    for (std::size_t k = s.first; k < s.last && k < mask.size(); ++k) {
+      combined[k] = mask[k];
+    }
+  }
+  return find_segments(combined, min_length);
+}
+
+}  // namespace auditherm::timeseries

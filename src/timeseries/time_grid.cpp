@@ -1,0 +1,38 @@
+#include "auditherm/timeseries/time_grid.hpp"
+
+#include <stdexcept>
+
+namespace auditherm::timeseries {
+
+std::string format_time(Minutes t) {
+  const auto day = day_of(t);
+  const auto mod = minute_of_day(t);
+  const auto hh = mod / kMinutesPerHour;
+  const auto mm = mod % kMinutesPerHour;
+  std::string s = "d" + std::to_string(day) + " ";
+  if (hh < 10) s += '0';
+  s += std::to_string(hh);
+  s += ':';
+  if (mm < 10) s += '0';
+  s += std::to_string(mm);
+  return s;
+}
+
+TimeGrid::TimeGrid(Minutes start, Minutes step, std::size_t count)
+    : start_(start), step_(step), count_(count) {
+  if (step <= 0) throw std::invalid_argument("TimeGrid: step must be > 0");
+}
+
+Minutes TimeGrid::at(std::size_t k) const {
+  if (k >= count_) throw std::out_of_range("TimeGrid::at");
+  return (*this)[k];
+}
+
+std::size_t TimeGrid::index_at_or_after(Minutes t) const noexcept {
+  if (count_ == 0 || t <= start_) return 0;
+  const Minutes offset = t - start_;
+  auto idx = static_cast<std::size_t>((offset + step_ - 1) / step_);
+  return idx > count_ ? count_ : idx;
+}
+
+}  // namespace auditherm::timeseries

@@ -1,0 +1,142 @@
+#include "auditherm/timeseries/trace_stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace auditherm::timeseries {
+
+namespace {
+
+/// Accumulate shared-valid samples of channel columns a and b.
+struct PairAccumulator {
+  std::size_t n = 0;
+  double sum_a = 0.0, sum_b = 0.0;
+  double sum_aa = 0.0, sum_bb = 0.0, sum_ab = 0.0;
+  double sum_d2 = 0.0;
+  double max_abs_diff = 0.0;
+
+  void add(double a, double b) noexcept {
+    ++n;
+    sum_a += a;
+    sum_b += b;
+    sum_aa += a * a;
+    sum_bb += b * b;
+    sum_ab += a * b;
+    const double d = a - b;
+    sum_d2 += d * d;
+    max_abs_diff = std::max(max_abs_diff, std::abs(d));
+  }
+
+  [[nodiscard]] double correlation() const noexcept {
+    if (n < 2) return 0.0;
+    const double nn = static_cast<double>(n);
+    const double cov = sum_ab - sum_a * sum_b / nn;
+    const double va = sum_aa - sum_a * sum_a / nn;
+    const double vb = sum_bb - sum_b * sum_b / nn;
+    if (va <= 0.0 || vb <= 0.0) return 0.0;
+    return cov / std::sqrt(va * vb);
+  }
+
+  [[nodiscard]] double covariance() const noexcept {
+    if (n < 2) return 0.0;
+    const double nn = static_cast<double>(n);
+    return (sum_ab - sum_a * sum_b / nn) / (nn - 1.0);
+  }
+
+  [[nodiscard]] double rms_distance() const noexcept {
+    if (n == 0) return std::numeric_limits<double>::infinity();
+    return std::sqrt(sum_d2 / static_cast<double>(n));
+  }
+};
+
+PairAccumulator accumulate_pair(const MultiTrace& trace, std::size_t ca,
+                                std::size_t cb) {
+  PairAccumulator acc;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    if (trace.valid(k, ca) && trace.valid(k, cb)) {
+      acc.add(trace.value(k, ca), trace.value(k, cb));
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+linalg::Matrix correlation_matrix(const MultiTrace& trace) {
+  const std::size_t p = trace.channel_count();
+  linalg::Matrix r(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    r(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < p; ++j) {
+      const double c = accumulate_pair(trace, i, j).correlation();
+      r(i, j) = c;
+      r(j, i) = c;
+    }
+  }
+  return r;
+}
+
+linalg::Matrix covariance_matrix(const MultiTrace& trace) {
+  const std::size_t p = trace.channel_count();
+  linalg::Matrix c(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i; j < p; ++j) {
+      const double v = accumulate_pair(trace, i, j).covariance();
+      c(i, j) = v;
+      c(j, i) = v;
+    }
+  }
+  return c;
+}
+
+linalg::Matrix rms_distance_matrix(const MultiTrace& trace) {
+  const std::size_t p = trace.channel_count();
+  linalg::Matrix d(p, p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i + 1; j < p; ++j) {
+      const double v = accumulate_pair(trace, i, j).rms_distance();
+      d(i, j) = v;
+      d(j, i) = v;
+    }
+  }
+  return d;
+}
+
+linalg::Vector channel_means(const MultiTrace& trace) {
+  const std::size_t p = trace.channel_count();
+  linalg::Vector means(p, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t c = 0; c < p; ++c) {
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+      if (trace.valid(k, c)) {
+        s += trace.value(k, c);
+        ++n;
+      }
+    }
+    if (n > 0) means[c] = s / static_cast<double>(n);
+  }
+  return means;
+}
+
+double max_abs_difference(const MultiTrace& trace, ChannelId a, ChannelId b) {
+  const std::size_t ca = trace.require_channel(a);
+  const std::size_t cb = trace.require_channel(b);
+  const auto acc = accumulate_pair(trace, ca, cb);
+  if (acc.n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return acc.max_abs_diff;
+}
+
+linalg::Vector pairwise_max_differences(const MultiTrace& trace,
+                                        const std::vector<ChannelId>& ids) {
+  linalg::Vector out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      const double d = max_abs_difference(trace, ids[i], ids[j]);
+      if (!std::isnan(d)) out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace auditherm::timeseries

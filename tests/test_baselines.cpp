@@ -1,0 +1,134 @@
+// Tests for the traditional clustering baselines (direct k-means on
+// traces, single-linkage agglomerative).
+
+#include "auditherm/clustering/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace clustering = auditherm::clustering;
+namespace ts = auditherm::timeseries;
+using ts::MultiTrace;
+using ts::TimeGrid;
+
+namespace {
+
+/// Two groups of channels following two distinct signals.
+MultiTrace two_group_trace() {
+  MultiTrace trace(TimeGrid(0, 30, 60), {1, 2, 3, 4, 5, 6});
+  for (std::size_t k = 0; k < 60; ++k) {
+    const double a = 20.0 + std::sin(0.2 * static_cast<double>(k));
+    const double b = 23.0 + std::cos(0.35 * static_cast<double>(k));
+    for (std::size_t c = 0; c < 3; ++c) {
+      trace.set(k, c, a + 0.01 * static_cast<double>(c));
+    }
+    for (std::size_t c = 3; c < 6; ++c) {
+      trace.set(k, c, b + 0.01 * static_cast<double>(c));
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+TEST(KMeansBaseline, SeparatesSignalGroups) {
+  const auto trace = two_group_trace();
+  const auto result =
+      clustering::kmeans_trace_cluster(trace, {1, 2, 3, 4, 5, 6}, 2);
+  EXPECT_EQ(result.cluster_count, 2u);
+  EXPECT_EQ(result.cluster_of(1), result.cluster_of(2));
+  EXPECT_EQ(result.cluster_of(1), result.cluster_of(3));
+  EXPECT_EQ(result.cluster_of(4), result.cluster_of(5));
+  EXPECT_NE(result.cluster_of(1), result.cluster_of(4));
+}
+
+TEST(KMeansBaseline, HandlesGapsByImputation) {
+  auto trace = two_group_trace();
+  for (std::size_t k = 0; k < 15; ++k) trace.clear(k, 0);
+  const auto result =
+      clustering::kmeans_trace_cluster(trace, {1, 2, 3, 4, 5, 6}, 2);
+  EXPECT_EQ(result.cluster_of(1), result.cluster_of(2));
+}
+
+TEST(KMeansBaseline, Validation) {
+  const auto trace = two_group_trace();
+  EXPECT_THROW(
+      (void)clustering::kmeans_trace_cluster(trace, {}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)clustering::kmeans_trace_cluster(trace, {1, 2}, 3),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)clustering::kmeans_trace_cluster(trace, {1, 2}, 0),
+      std::invalid_argument);
+}
+
+TEST(SingleLinkage, MergesStrongestEdgesFirst) {
+  // 4 vertices: (1,2) strong, (3,4) strong, weak across.
+  clustering::SimilarityGraph graph;
+  graph.channels = {1, 2, 3, 4};
+  graph.weights = auditherm::linalg::Matrix(4, 4);
+  const auto set = [&](std::size_t i, std::size_t j, double w) {
+    graph.weights(i, j) = w;
+    graph.weights(j, i) = w;
+  };
+  set(0, 1, 0.9);
+  set(2, 3, 0.8);
+  set(0, 2, 0.2);
+  set(1, 3, 0.1);
+  const auto result = clustering::single_linkage_cluster(graph, 2);
+  EXPECT_EQ(result.cluster_count, 2u);
+  EXPECT_EQ(result.cluster_of(1), result.cluster_of(2));
+  EXPECT_EQ(result.cluster_of(3), result.cluster_of(4));
+  EXPECT_NE(result.cluster_of(1), result.cluster_of(3));
+}
+
+TEST(SingleLinkage, ChainsThroughBridges) {
+  // The classic failure: a chain 1-2-3-4 of strong edges merges into one
+  // cluster even though 1 and 4 are dissimilar; the outlier 5 survives as
+  // a singleton.
+  clustering::SimilarityGraph graph;
+  graph.channels = {1, 2, 3, 4, 5};
+  graph.weights = auditherm::linalg::Matrix(5, 5);
+  const auto set = [&](std::size_t i, std::size_t j, double w) {
+    graph.weights(i, j) = w;
+    graph.weights(j, i) = w;
+  };
+  set(0, 1, 0.9);
+  set(1, 2, 0.9);
+  set(2, 3, 0.9);
+  set(0, 4, 0.05);
+  const auto result = clustering::single_linkage_cluster(graph, 2);
+  EXPECT_EQ(result.cluster_of(1), result.cluster_of(4));  // chained
+  EXPECT_NE(result.cluster_of(1), result.cluster_of(5));  // singleton
+}
+
+TEST(SingleLinkage, DisconnectedGraphStopsAtComponents) {
+  clustering::SimilarityGraph graph;
+  graph.channels = {1, 2, 3};
+  graph.weights = auditherm::linalg::Matrix(3, 3);  // no edges at all
+  const auto result = clustering::single_linkage_cluster(graph, 1);
+  EXPECT_EQ(result.cluster_count, 3u);  // cannot merge further
+}
+
+TEST(SingleLinkage, KEqualsNIsIdentity) {
+  clustering::SimilarityGraph graph;
+  graph.channels = {1, 2, 3};
+  graph.weights = auditherm::linalg::Matrix(3, 3, 0.5);
+  const auto result = clustering::single_linkage_cluster(graph, 3);
+  std::set<std::size_t> labels(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(SingleLinkage, Validation) {
+  clustering::SimilarityGraph graph;
+  graph.channels = {1, 2};
+  graph.weights = auditherm::linalg::Matrix(2, 2);
+  EXPECT_THROW((void)clustering::single_linkage_cluster(graph, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)clustering::single_linkage_cluster(graph, 5),
+               std::invalid_argument);
+}

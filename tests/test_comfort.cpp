@@ -1,0 +1,162 @@
+// Tests for the Fanger PMV/PPD thermal-comfort model.
+
+#include "auditherm/hvac/comfort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hvac = auditherm::hvac;
+
+TEST(Comfort, NeutralConditionsNearZeroPmv) {
+  // A classic near-neutral point: 1.2 met, 0.5 clo, ~24.5 degC.
+  hvac::ComfortInputs in;
+  in.air_temp_c = 24.5;
+  in.mean_radiant_temp_c = 24.5;
+  in.metabolic_rate_met = 1.2;
+  in.clothing_clo = 0.5;
+  in.relative_humidity = 0.5;
+  in.air_velocity_m_s = 0.1;
+  const auto r = hvac::predicted_mean_vote(in);
+  EXPECT_NEAR(r.pmv, 0.0, 0.35);
+  EXPECT_LT(r.ppd, 12.0);
+}
+
+TEST(Comfort, Iso7730ReferencePoint) {
+  // ISO 7730 Table D.1 row: ta=tr=22, v=0.1, RH=60%, 1.2 met, 0.5 clo
+  // gives PMV ~= -0.75.
+  hvac::ComfortInputs in;
+  in.air_temp_c = 22.0;
+  in.mean_radiant_temp_c = 22.0;
+  in.air_velocity_m_s = 0.1;
+  in.relative_humidity = 0.6;
+  in.metabolic_rate_met = 1.2;
+  in.clothing_clo = 0.5;
+  const auto r = hvac::predicted_mean_vote(in);
+  EXPECT_NEAR(r.pmv, -0.75, 0.12);
+}
+
+TEST(Comfort, PmvMonotoneInTemperature) {
+  hvac::ComfortInputs in;
+  double prev = -10.0;
+  for (double t = 16.0; t <= 30.0; t += 2.0) {
+    in.air_temp_c = t;
+    in.mean_radiant_temp_c = t;
+    const auto r = hvac::predicted_mean_vote(in);
+    EXPECT_GT(r.pmv, prev);
+    prev = r.pmv;
+  }
+}
+
+TEST(Comfort, PpdMinimizedAtNeutral) {
+  // Find the temperature with PMV closest to 0; PPD there must be ~5%.
+  hvac::ComfortInputs in;
+  double best_ppd = 100.0;
+  for (double t = 18.0; t <= 28.0; t += 0.1) {
+    in.air_temp_c = t;
+    in.mean_radiant_temp_c = t;
+    const auto r = hvac::predicted_mean_vote(in);
+    best_ppd = std::min(best_ppd, r.ppd);
+  }
+  EXPECT_NEAR(best_ppd, 5.0, 0.5);
+}
+
+TEST(Comfort, ComfortBand) {
+  EXPECT_TRUE(hvac::within_comfort_band({0.4, 8.0}));
+  EXPECT_TRUE(hvac::within_comfort_band({-0.5, 10.0}));
+  EXPECT_FALSE(hvac::within_comfort_band({0.6, 13.0}));
+}
+
+TEST(Comfort, PaperSensitivityClaim) {
+  // Section V: a 2 degC spatial difference moves PMV by ~0.5 for the
+  // seated audience, i.e. sensitivity ~0.25/K (we accept 0.15-0.45).
+  hvac::ComfortInputs in;
+  in.air_temp_c = 21.0;
+  in.mean_radiant_temp_c = 21.0;
+  const double sens = hvac::pmv_temperature_sensitivity(in);
+  EXPECT_GT(sens, 0.15);
+  EXPECT_LT(sens, 0.45);
+  EXPECT_THROW((void)hvac::pmv_temperature_sensitivity(in, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Comfort, NeutralTemperatureSolvesPmvZero) {
+  hvac::ComfortInputs in;
+  in.metabolic_rate_met = 1.0;
+  in.clothing_clo = 1.0;
+  in.air_velocity_m_s = 0.12;
+  in.relative_humidity = 0.45;
+  const double t = hvac::neutral_temperature(in);
+  EXPECT_GT(t, 18.0);
+  EXPECT_LT(t, 27.0);
+  in.air_temp_c = t;
+  in.mean_radiant_temp_c = t;
+  EXPECT_NEAR(hvac::predicted_mean_vote(in).pmv, 0.0, 1e-6);
+}
+
+TEST(Comfort, NeutralTemperatureFallsWithClothing) {
+  hvac::ComfortInputs light;
+  light.clothing_clo = 0.5;
+  hvac::ComfortInputs heavy;
+  heavy.clothing_clo = 1.2;
+  EXPECT_GT(hvac::neutral_temperature(light),
+            hvac::neutral_temperature(heavy));
+}
+
+TEST(Comfort, InputValidation) {
+  hvac::ComfortInputs in;
+  in.relative_humidity = 1.5;
+  EXPECT_THROW((void)hvac::predicted_mean_vote(in), std::invalid_argument);
+  in = {};
+  in.metabolic_rate_met = 0.0;
+  EXPECT_THROW((void)hvac::predicted_mean_vote(in), std::invalid_argument);
+  in = {};
+  in.air_velocity_m_s = -0.1;
+  EXPECT_THROW((void)hvac::predicted_mean_vote(in), std::invalid_argument);
+  in = {};
+  in.clothing_clo = -0.5;
+  EXPECT_THROW((void)hvac::predicted_mean_vote(in), std::invalid_argument);
+}
+
+/// Property sweep over a realistic envelope of conditions: PMV stays on
+/// the 7-point scale, PPD in [5, 100], and PPD follows the closed-form
+/// curve of PMV.
+struct ComfortCase {
+  double temp;
+  double rh;
+  double met;
+  double clo;
+};
+
+class ComfortProperty : public ::testing::TestWithParam<ComfortCase> {};
+
+TEST_P(ComfortProperty, OutputsWellFormed) {
+  const auto p = GetParam();
+  hvac::ComfortInputs in;
+  in.air_temp_c = p.temp;
+  in.mean_radiant_temp_c = p.temp;
+  in.relative_humidity = p.rh;
+  in.metabolic_rate_met = p.met;
+  in.clothing_clo = p.clo;
+  const auto r = hvac::predicted_mean_vote(in);
+  EXPECT_GT(r.pmv, -4.5);
+  EXPECT_LT(r.pmv, 4.5);
+  EXPECT_GE(r.ppd, 5.0 - 1e-9);
+  EXPECT_LE(r.ppd, 100.0);
+  const double expected_ppd =
+      100.0 - 95.0 * std::exp(-0.03353 * std::pow(r.pmv, 4.0) -
+                              0.2179 * r.pmv * r.pmv);
+  EXPECT_NEAR(r.ppd, expected_ppd, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, ComfortProperty,
+    ::testing::Values(ComfortCase{18.0, 0.3, 1.0, 1.0},
+                      ComfortCase{21.0, 0.5, 1.0, 0.8},
+                      ComfortCase{24.0, 0.5, 1.2, 0.5},
+                      ComfortCase{27.0, 0.7, 1.4, 0.4},
+                      ComfortCase{30.0, 0.6, 2.0, 0.3},
+                      ComfortCase{16.0, 0.4, 1.1, 1.2},
+                      ComfortCase{22.0, 0.2, 0.9, 0.6},
+                      ComfortCase{25.0, 0.9, 1.0, 0.5}));

@@ -1,0 +1,102 @@
+// Tests for CSV round-tripping of gapped traces.
+
+#include "auditherm/timeseries/csv_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ts = auditherm::timeseries;
+using ts::MultiTrace;
+using ts::TimeGrid;
+
+namespace {
+
+MultiTrace make_trace() {
+  MultiTrace trace(TimeGrid(30, 5, 3), {1, 42});
+  trace.set(0, 0, 20.5);
+  trace.set(0, 1, 21.0);
+  trace.set(2, 0, 19.75);  // row 1 fully missing, row 2 channel 42 missing
+  return trace;
+}
+
+}  // namespace
+
+TEST(CsvIo, RoundTripPreservesEverything) {
+  const auto original = make_trace();
+  std::stringstream ss;
+  ts::write_csv(ss, original);
+  const auto loaded = ts::read_csv(ss);
+
+  EXPECT_EQ(loaded.grid(), original.grid());
+  EXPECT_EQ(loaded.channels(), original.channels());
+  for (std::size_t k = 0; k < original.size(); ++k) {
+    for (std::size_t c = 0; c < original.channel_count(); ++c) {
+      EXPECT_EQ(loaded.valid(k, c), original.valid(k, c));
+      if (original.valid(k, c)) {
+        EXPECT_DOUBLE_EQ(loaded.value(k, c), original.value(k, c));
+      }
+    }
+  }
+}
+
+TEST(CsvIo, HeaderFormat) {
+  std::stringstream ss;
+  ts::write_csv(ss, make_trace());
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "time_minutes,ch1,ch42");
+}
+
+TEST(CsvIo, SingleRowGetsUnitStep) {
+  std::stringstream ss("time_minutes,ch1\n100,20.0\n");
+  const auto trace = ts::read_csv(ss);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.grid().start(), 100);
+  EXPECT_EQ(trace.grid().step(), 1);
+}
+
+TEST(CsvIo, RejectsEmptyInput) {
+  std::stringstream ss("");
+  EXPECT_THROW((void)ts::read_csv(ss), std::runtime_error);
+}
+
+TEST(CsvIo, RejectsBadHeader) {
+  std::stringstream ss("time,ch1\n0,1\n");
+  EXPECT_THROW((void)ts::read_csv(ss), std::runtime_error);
+  std::stringstream ss2("time_minutes,foo\n0,1\n");
+  EXPECT_THROW((void)ts::read_csv(ss2), std::runtime_error);
+}
+
+TEST(CsvIo, RejectsRaggedRow) {
+  std::stringstream ss("time_minutes,ch1,ch2\n0,1.0\n");
+  EXPECT_THROW((void)ts::read_csv(ss), std::runtime_error);
+}
+
+TEST(CsvIo, RejectsNonUniformStep) {
+  std::stringstream ss("time_minutes,ch1\n0,1.0\n5,2.0\n12,3.0\n");
+  EXPECT_THROW((void)ts::read_csv(ss), std::runtime_error);
+}
+
+TEST(CsvIo, RejectsNonIncreasingTime) {
+  std::stringstream ss("time_minutes,ch1\n10,1.0\n10,2.0\n");
+  EXPECT_THROW((void)ts::read_csv(ss), std::runtime_error);
+}
+
+TEST(CsvIo, FileRoundTrip) {
+  const auto original = make_trace();
+  const std::string path = ::testing::TempDir() + "/auditherm_trace.csv";
+  ts::write_csv_file(path, original);
+  const auto loaded = ts::read_csv_file(path);
+  EXPECT_EQ(loaded.grid(), original.grid());
+  EXPECT_NEAR(loaded.coverage(), original.coverage(), 1e-12);
+}
+
+TEST(CsvIo, MissingFileThrows) {
+  EXPECT_THROW((void)ts::read_csv_file("/nonexistent/path.csv"),
+               std::runtime_error);
+  EXPECT_THROW(ts::write_csv_file("/nonexistent/dir/out.csv", make_trace()),
+               std::runtime_error);
+}

@@ -1,0 +1,178 @@
+// Tests for the closed-loop dataset generator.
+
+#include "auditherm/sim/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sim = auditherm::sim;
+namespace ts = auditherm::timeseries;
+
+namespace {
+
+sim::DatasetConfig small_config() {
+  sim::DatasetConfig config;
+  config.days = 7;
+  config.failure_days = 1;
+  return config;
+}
+
+}  // namespace
+
+TEST(Dataset, ShapesAndChannels) {
+  const auto ds = sim::generate_dataset(small_config());
+  // 27 sensors + 4 VAVs + occupancy + lighting + ambient + supply + co2 = 36.
+  EXPECT_EQ(ds.trace.channel_count(), 36u);
+  EXPECT_EQ(ds.truth.channel_count(), 27u);
+  EXPECT_EQ(ds.trace.size(), 7u * 48u);  // 30-minute grid
+  EXPECT_EQ(ds.trace.grid().step(), 30);
+  EXPECT_EQ(ds.sensor_ids().size(), 27u);
+  EXPECT_EQ(ds.wireless_ids().size(), 25u);
+  EXPECT_EQ(ds.thermostat_ids().size(), 2u);
+  EXPECT_EQ(ds.vav_ids(), (std::vector<int>{101, 102, 103, 104}));
+  EXPECT_EQ(ds.input_ids().size(), 7u);
+  EXPECT_EQ(ds.extended_input_ids().size(), 8u);
+  EXPECT_EQ(ds.extended_input_ids()[4], sim::DatasetChannels::kSupplyTemp);
+}
+
+TEST(Dataset, TruthHasNoGaps) {
+  const auto ds = sim::generate_dataset(small_config());
+  EXPECT_DOUBLE_EQ(ds.truth.coverage(), 1.0);
+}
+
+TEST(Dataset, TruthTemperaturesPhysical) {
+  const auto ds = sim::generate_dataset(small_config());
+  for (std::size_t k = 0; k < ds.truth.size(); ++k) {
+    for (std::size_t c = 0; c < ds.truth.channel_count(); ++c) {
+      const double t = ds.truth.value(k, c);
+      EXPECT_GT(t, 5.0);
+      EXPECT_LT(t, 35.0);
+    }
+  }
+}
+
+TEST(Dataset, FailureDaysAreFullyMissing) {
+  const auto ds = sim::generate_dataset(small_config());
+  ASSERT_EQ(ds.failure_days.size(), 1u);
+  const auto bad_day = ds.failure_days[0];
+  for (std::size_t k = 0; k < ds.trace.size(); ++k) {
+    if (static_cast<std::size_t>(ts::day_of(ds.trace.grid()[k])) != bad_day) {
+      continue;
+    }
+    for (std::size_t c = 0; c < ds.trace.channel_count(); ++c) {
+      EXPECT_FALSE(ds.trace.valid(k, c));
+    }
+  }
+}
+
+TEST(Dataset, CoverageReflectsFailures) {
+  auto config = small_config();
+  config.failure_days = 0;
+  config.sensor_dropout_probability = 0.0;
+  const auto clean = sim::generate_dataset(config);
+  EXPECT_DOUBLE_EQ(clean.trace.coverage(), 1.0);
+
+  config.failure_days = 3;
+  const auto broken = sim::generate_dataset(config);
+  EXPECT_NEAR(broken.trace.coverage(), 4.0 / 7.0, 0.02);
+}
+
+TEST(Dataset, DeterministicForSameSeed) {
+  const auto a = sim::generate_dataset(small_config());
+  const auto b = sim::generate_dataset(small_config());
+  EXPECT_EQ(a.failure_days, b.failure_days);
+  for (std::size_t k = 0; k < a.trace.size(); ++k) {
+    for (std::size_t c = 0; c < a.trace.channel_count(); ++c) {
+      EXPECT_EQ(a.trace.valid(k, c), b.trace.valid(k, c));
+      if (a.trace.valid(k, c)) {
+        EXPECT_DOUBLE_EQ(a.trace.value(k, c), b.trace.value(k, c));
+      }
+    }
+  }
+}
+
+TEST(Dataset, SeedChangesData) {
+  auto config = small_config();
+  const auto a = sim::generate_dataset(config);
+  config.seed += 1;
+  const auto b = sim::generate_dataset(config);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < a.truth.size() && !any_diff; ++k) {
+    for (std::size_t c = 0; c < a.truth.channel_count(); ++c) {
+      if (a.truth.value(k, c) != b.truth.value(k, c)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, ReportsTrackTruthWithinSpec) {
+  auto config = small_config();
+  config.failure_days = 0;
+  const auto ds = sim::generate_dataset(config);
+  double worst = 0.0;
+  for (std::size_t k = 0; k < ds.trace.size(); ++k) {
+    for (std::size_t c = 0; c < 27; ++c) {
+      if (!ds.trace.valid(k, c)) continue;
+      worst = std::max(worst,
+                       std::abs(ds.trace.value(k, c) - ds.truth.value(k, c)));
+    }
+  }
+  EXPECT_LT(worst, 1.0);  // noise + quantization + hold, bounded
+  EXPECT_GT(worst, 0.01); // but the measurement model is actually active
+}
+
+TEST(Dataset, HvacRespondsToOccupancy) {
+  // On a day with a big event, total VAV flow during the event should
+  // exceed the unoccupied-mode minimum.
+  auto config = small_config();
+  config.failure_days = 0;
+  const auto ds = sim::generate_dataset(config);
+  const auto vavs = ds.vav_ids();
+  double max_flow = 0.0, night_flow = 1e9;
+  for (std::size_t k = 0; k < ds.trace.size(); ++k) {
+    const auto t = ds.trace.grid()[k];
+    double total = 0.0;
+    for (auto id : vavs) {
+      total += ds.trace.value(k, ds.trace.require_channel(id));
+    }
+    if (ds.schedule.occupied_at(t)) {
+      max_flow = std::max(max_flow, total);
+    } else {
+      night_flow = std::min(night_flow, total);
+    }
+  }
+  EXPECT_GT(max_flow, 4.0 * 0.05 + 0.2);
+  EXPECT_NEAR(night_flow, 4.0 * 0.05, 0.1);
+}
+
+TEST(Dataset, SnapshotReturnsAllSensors) {
+  const auto ds = sim::generate_dataset(small_config());
+  const auto snap = sim::snapshot_at(ds, 2 * ts::kMinutesPerDay + 12 * 60);
+  EXPECT_EQ(snap.size(), 27u);
+  // Ids must match the plan's sensors.
+  EXPECT_EQ(snap.front().first, ds.sensor_ids().front());
+}
+
+TEST(Dataset, ConfigValidation) {
+  auto bad = small_config();
+  bad.days = 0;
+  EXPECT_THROW((void)sim::generate_dataset(bad), std::invalid_argument);
+  bad = small_config();
+  bad.failure_days = 100;
+  EXPECT_THROW((void)sim::generate_dataset(bad), std::invalid_argument);
+  bad = small_config();
+  bad.sample_step = 0;
+  EXPECT_THROW((void)sim::generate_dataset(bad), std::invalid_argument);
+  bad = small_config();
+  bad.control_dt_s = 45.0;  // not whole minutes
+  EXPECT_THROW((void)sim::generate_dataset(bad), std::invalid_argument);
+  bad = small_config();
+  bad.control_dt_s = 540.0;  // 9 min does not divide the 30-min sample step
+  EXPECT_THROW((void)sim::generate_dataset(bad), std::invalid_argument);
+}

@@ -1,0 +1,250 @@
+// Unit + property tests for QR, Cholesky, LU and the Jacobi eigensolver.
+
+#include "auditherm/linalg/decompositions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "auditherm/linalg/vector_ops.hpp"
+
+namespace linalg = auditherm::linalg;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = dist(rng);
+  return m;
+}
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  const auto a = random_matrix(n + 3, n, seed);
+  auto spd = linalg::gram(a, a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 0.5;
+  return spd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QR
+// ---------------------------------------------------------------------------
+
+TEST(Qr, ReconstructsMatrix) {
+  const auto a = random_matrix(8, 5, 42);
+  linalg::QrDecomposition qr(a);
+  const auto reconstructed = qr.thin_q() * qr.r();
+  EXPECT_TRUE(linalg::approx_equal(reconstructed, a, 1e-10));
+}
+
+TEST(Qr, ThinQHasOrthonormalColumns) {
+  const auto a = random_matrix(10, 4, 7);
+  linalg::QrDecomposition qr(a);
+  const auto q = qr.thin_q();
+  const auto qtq = linalg::gram(q, q);
+  EXPECT_TRUE(linalg::approx_equal(qtq, Matrix::identity(4), 1e-10));
+}
+
+TEST(Qr, SolvesSquareSystemExactly) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x_true{1.0, -2.0};
+  const Vector b = a * x_true;
+  linalg::QrDecomposition qr(a);
+  const Vector x = qr.solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(Qr, LeastSquaresResidualOrthogonalToColumns) {
+  const auto a = random_matrix(20, 3, 11);
+  const auto b = random_matrix(20, 1, 12).col_vector(0);
+  linalg::QrDecomposition qr(a);
+  const Vector x = qr.solve(b);
+  // Optimality: A^T (A x - b) = 0.
+  const Vector r = linalg::subtract(a * x, b);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(linalg::dot(a.col_vector(j), r), 0.0, 1e-9);
+  }
+}
+
+TEST(Qr, RejectsWideMatrix) {
+  EXPECT_THROW(linalg::QrDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Qr, DetectsRankDeficiency) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);  // dependent column
+  }
+  linalg::QrDecomposition qr(a);
+  EXPECT_TRUE(qr.rank_deficient());
+  EXPECT_THROW((void)qr.solve(Vector(4, 1.0)), std::domain_error);
+}
+
+TEST(Qr, RhsLengthMismatchThrows) {
+  linalg::QrDecomposition qr(random_matrix(5, 2, 3));
+  EXPECT_THROW((void)qr.solve(Vector(4, 1.0)), std::invalid_argument);
+}
+
+TEST(Qr, MultipleRhsMatchesSingle) {
+  const auto a = random_matrix(9, 4, 21);
+  const auto b = random_matrix(9, 3, 22);
+  linalg::QrDecomposition qr(a);
+  const auto x = qr.solve(b);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto xj = qr.solve(b.col_vector(j));
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x(i, j), xj[i], 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cholesky
+// ---------------------------------------------------------------------------
+
+TEST(Cholesky, FactorReconstructs) {
+  const auto a = random_spd(6, 5);
+  linalg::CholeskyDecomposition chol(a);
+  const auto l = chol.l();
+  const auto reconstructed = linalg::outer_product(l, l);  // L L^T
+  EXPECT_TRUE(linalg::approx_equal(reconstructed, a, 1e-9));
+}
+
+TEST(Cholesky, SolveMatchesDirectCheck) {
+  const auto a = random_spd(5, 9);
+  const Vector x_true{1.0, -1.0, 2.0, 0.5, -0.25};
+  const Vector b = a * x_true;
+  linalg::CholeskyDecomposition chol(a);
+  const Vector x = chol.solve(b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, LogDeterminantMatchesLu) {
+  const auto a = random_spd(4, 13);
+  linalg::CholeskyDecomposition chol(a);
+  linalg::LuDecomposition lu(a);
+  EXPECT_NEAR(chol.log_determinant(), std::log(lu.determinant()), 1e-9);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(linalg::CholeskyDecomposition(Matrix(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  EXPECT_THROW(linalg::CholeskyDecomposition{a}, std::domain_error);
+}
+
+TEST(Cholesky, RhsMismatchThrows) {
+  linalg::CholeskyDecomposition chol(random_spd(3, 1));
+  EXPECT_THROW((void)chol.solve(Vector(4, 0.0)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// LU
+// ---------------------------------------------------------------------------
+
+TEST(Lu, SolvesGeneralSquareSystem) {
+  Matrix a{{0.0, 2.0, 1.0}, {1.0, -2.0, -3.0}, {-1.0, 1.0, 2.0}};
+  const Vector x_true{1.0, 2.0, 3.0};
+  const Vector b = a * x_true;
+  linalg::LuDecomposition lu(a);
+  const Vector x = lu.solve(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Lu, DeterminantKnownValue) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(linalg::LuDecomposition(a).determinant(), 6.0, 1e-12);
+  Matrix swap{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(linalg::LuDecomposition(swap).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(linalg::LuDecomposition{a}, std::domain_error);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(linalg::LuDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric eigensolver
+// ---------------------------------------------------------------------------
+
+TEST(EigenSymmetric, DiagonalMatrix) {
+  const auto eig = linalg::eigen_symmetric(Matrix::diagonal({3.0, 1.0, 2.0}));
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(EigenSymmetric, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const auto eig = linalg::eigen_symmetric(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(EigenSymmetric, EmptyAndSingle) {
+  EXPECT_TRUE(linalg::eigen_symmetric(Matrix()).eigenvalues.empty());
+  const auto one = linalg::eigen_symmetric(Matrix{{5.0}});
+  ASSERT_EQ(one.eigenvalues.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.eigenvalues[0], 5.0);
+}
+
+TEST(EigenSymmetric, RejectsNonSquare) {
+  EXPECT_THROW(linalg::eigen_symmetric(Matrix(2, 3)), std::invalid_argument);
+}
+
+/// Property sweep: random symmetric matrices of several sizes must satisfy
+/// A v = lambda v, orthonormal eigenvectors, ascending eigenvalues, and
+/// trace preservation.
+class EigenProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenProperty, SatisfiesEigenEquations) {
+  const std::size_t n = GetParam();
+  const auto base = random_matrix(n, n, 100 + n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = 0.5 * (base(i, j) + base(j, i));
+
+  const auto eig = linalg::eigen_symmetric(a);
+
+  double trace = 0.0;
+  double eig_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    eig_sum += eig.eigenvalues[i];
+    if (i > 0) {
+      EXPECT_LE(eig.eigenvalues[i - 1], eig.eigenvalues[i] + 1e-12);
+    }
+  }
+  EXPECT_NEAR(trace, eig_sum, 1e-8 * std::max(1.0, std::abs(trace)));
+
+  const auto vtv = linalg::gram(eig.eigenvectors, eig.eigenvectors);
+  EXPECT_TRUE(linalg::approx_equal(vtv, Matrix::identity(n), 1e-9));
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const Vector v = eig.eigenvectors.col_vector(j);
+    const Vector av = a * v;
+    const Vector lv = linalg::scale(eig.eigenvalues[j], v);
+    EXPECT_NEAR(linalg::norm2(linalg::subtract(av, lv)), 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 27, 40));

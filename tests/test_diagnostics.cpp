@@ -1,0 +1,113 @@
+// Tests for model-fit diagnostics (residuals, R^2, AIC/BIC order choice).
+
+#include "auditherm/sysid/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+namespace sysid = auditherm::sysid;
+namespace ts = auditherm::timeseries;
+namespace linalg = auditherm::linalg;
+using linalg::Matrix;
+
+namespace {
+
+/// First-order scalar system trace with optional measurement noise.
+ts::MultiTrace first_order_trace(std::size_t n, double noise_std,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> input(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, noise_std);
+  ts::MultiTrace trace(ts::TimeGrid(0, 30, n), {1, 101});
+  double x = 20.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double u = input(rng);
+    trace.set(k, 0, x + (noise_std > 0.0 ? noise(rng) : 0.0));
+    trace.set(k, 1, u);
+    x = 0.85 * x + 0.5 * u;
+  }
+  return trace;
+}
+
+/// Genuinely second-order scalar system trace.
+ts::MultiTrace second_order_trace(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> input(0.0, 1.0);
+  ts::MultiTrace trace(ts::TimeGrid(0, 30, n), {1, 101});
+  double prev = 20.0, curr = 20.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double u = input(rng);
+    trace.set(k, 0, curr);
+    trace.set(k, 1, u);
+    const double next = 0.9 * curr - 0.35 * (curr - prev) + 0.5 * u;
+    prev = curr;
+    curr = next;
+  }
+  return trace;
+}
+
+}  // namespace
+
+TEST(Diagnostics, PerfectModelHasZeroResiduals) {
+  const auto trace = first_order_trace(200, 0.0, 1);
+  sysid::ThermalModel model(sysid::ModelOrder::kFirst, Matrix{{0.85}}, {},
+                            Matrix{{0.5}}, {1}, {101});
+  const auto diag = sysid::diagnose_fit(model, trace);
+  EXPECT_EQ(diag.transitions, 199u);
+  EXPECT_NEAR(diag.residual_std[0], 0.0, 1e-5);  // variance floor
+  EXPECT_GT(diag.r_squared_vs_persistence[0], 0.999);
+}
+
+TEST(Diagnostics, WrongModelHasPositiveResiduals) {
+  const auto trace = first_order_trace(200, 0.0, 2);
+  sysid::ThermalModel wrong(sysid::ModelOrder::kFirst, Matrix{{0.5}}, {},
+                            Matrix{{0.1}}, {1}, {101});
+  const auto diag = sysid::diagnose_fit(wrong, trace);
+  EXPECT_GT(diag.residual_std[0], 0.5);
+}
+
+TEST(Diagnostics, RespectsRowFilterAndGaps) {
+  auto trace = first_order_trace(100, 0.0, 3);
+  trace.clear(50, 0);
+  sysid::ThermalModel model(sysid::ModelOrder::kFirst, Matrix{{0.85}}, {},
+                            Matrix{{0.5}}, {1}, {101});
+  const auto diag = sysid::diagnose_fit(model, trace);
+  EXPECT_EQ(diag.transitions, 49u + 48u);
+  std::vector<bool> first_half(100, false);
+  for (std::size_t k = 0; k < 40; ++k) first_half[k] = true;
+  const auto filtered = sysid::diagnose_fit(model, trace, first_half);
+  EXPECT_EQ(filtered.transitions, 39u);
+}
+
+TEST(Diagnostics, ThrowsWithoutTransitions) {
+  ts::MultiTrace empty(ts::TimeGrid(0, 30, 5), {1, 101});
+  sysid::ThermalModel model(sysid::ModelOrder::kFirst, Matrix{{0.85}}, {},
+                            Matrix{{0.5}}, {1}, {101});
+  EXPECT_THROW((void)sysid::diagnose_fit(model, empty), std::runtime_error);
+}
+
+TEST(Diagnostics, AicPrefersSecondOrderOnSecondOrderData) {
+  const auto trace = second_order_trace(400, 4);
+  const auto cmp = sysid::compare_orders({1}, {101}, trace);
+  EXPECT_TRUE(cmp.second_order_preferred());
+  EXPECT_LT(cmp.second.residual_std[0], cmp.first.residual_std[0]);
+  // Same transitions scored for both orders.
+  EXPECT_EQ(cmp.first.transitions, cmp.second.transitions);
+}
+
+TEST(Diagnostics, BicPenalizesUselessSecondOrder) {
+  // On genuinely FIRST-order data with noise, the extra A2 parameters buy
+  // nothing; BIC must not strongly prefer the second-order model.
+  const auto trace = first_order_trace(500, 0.05, 5);
+  const auto cmp = sysid::compare_orders({1}, {101}, trace);
+  EXPECT_LT(cmp.first.bic, cmp.second.bic + 10.0);
+}
+
+TEST(Diagnostics, ParameterCounts) {
+  const auto trace = second_order_trace(100, 6);
+  const auto cmp = sysid::compare_orders({1}, {101}, trace);
+  EXPECT_EQ(cmp.first.parameters, 2u);   // a + b
+  EXPECT_EQ(cmp.second.parameters, 3u);  // a1 + a2 + b
+}

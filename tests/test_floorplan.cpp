@@ -1,0 +1,123 @@
+// Tests for the auditorium floor plan.
+
+#include "auditherm/sim/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sim = auditherm::sim;
+
+TEST(FloorPlan, BrauerHasPapersSensorComplement) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  EXPECT_EQ(plan.sensors().size(), 27u);     // 25 wireless + 2 thermostats
+  EXPECT_EQ(plan.wireless_ids().size(), 25u);
+  EXPECT_EQ(plan.thermostat_ids(), (std::vector<int>{40, 41}));
+  EXPECT_EQ(plan.vav_count(), 4u);
+  EXPECT_EQ(plan.air_outlets().size(), 2u);
+}
+
+TEST(FloorPlan, BrauerSensorIdsMatchPaper) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  const std::vector<int> expected{1,  3,  6,  7,  8,  12, 13, 14, 15,
+                                  16, 17, 18, 19, 20, 23, 26, 27, 28,
+                                  30, 31, 32, 33, 34, 37, 38};
+  auto ids = plan.wireless_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, expected);
+}
+
+TEST(FloorPlan, ThermostatsAreOnTheFrontWall) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  for (int id : plan.thermostat_ids()) {
+    const auto& site = plan.site(id);
+    EXPECT_TRUE(site.is_thermostat);
+    EXPECT_LT(site.position.y, 2.0);  // front
+  }
+}
+
+TEST(FloorPlan, DiffusersSpanTheRoomAndFavorTheFront) {
+  // The paper: "four VAVs but only two air outlets which span the entire
+  // auditorium". Both diffusers must be long, and neither reaches the
+  // deep back rows (which is why the back runs warm).
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  for (const auto& outlet : plan.air_outlets()) {
+    const double length = sim::distance(outlet.start, outlet.end);
+    EXPECT_GT(length, 0.7 * plan.width());
+    EXPECT_LT(outlet.start.y, 0.6 * plan.depth());
+    EXPECT_LT(outlet.end.y, 0.6 * plan.depth());
+  }
+}
+
+TEST(FloorPlan, DiffuserDistance) {
+  const sim::Diffuser d{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(sim::distance(sim::Position{5.0, 3.0}, d), 3.0);
+  EXPECT_DOUBLE_EQ(sim::distance(sim::Position{-4.0, 3.0}, d), 5.0);
+  EXPECT_DOUBLE_EQ(sim::distance(sim::Position{13.0, 4.0}, d), 5.0);
+  const sim::Diffuser point{{2.0, 2.0}, {2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(sim::distance(sim::Position{2.0, 5.0}, point), 3.0);
+}
+
+TEST(FloorPlan, Sensor27SitsDeepInSeating) {
+  // The paper's warmest sensor in Fig. 2 sits in the back seat block.
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  const auto& s27 = plan.site(27);
+  EXPECT_TRUE(plan.in_seating(s27.position));
+  EXPECT_GT(s27.position.y, 0.8 * plan.depth() - 2.0);
+}
+
+TEST(FloorPlan, SiteLookupThrowsOnUnknownId) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  EXPECT_THROW((void)plan.site(99), std::invalid_argument);
+}
+
+TEST(FloorPlan, WallDistance) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  EXPECT_DOUBLE_EQ(plan.wall_distance({0.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(plan.wall_distance({8.0, 6.0}), 6.0);
+  EXPECT_DOUBLE_EQ(plan.wall_distance({15.0, 6.0}), 1.0);
+}
+
+TEST(FloorPlan, SeatingBand) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  EXPECT_FALSE(plan.in_seating({8.0, 1.0}));   // podium area
+  EXPECT_TRUE(plan.in_seating({8.0, 8.0}));    // seat rows
+}
+
+TEST(FloorPlan, DistanceHelper) {
+  EXPECT_DOUBLE_EQ(
+      sim::distance(sim::Position{0.0, 0.0}, sim::Position{3.0, 4.0}), 5.0);
+}
+
+TEST(FloorPlan, CustomPlanValidation) {
+  std::vector<sim::SensorSite> sensors{{1, {1.0, 1.0}, false}};
+  std::vector<sim::Diffuser> outlets{{{1.0, 0.5}, {9.0, 0.5}}};
+  // Valid plan constructs.
+  EXPECT_NO_THROW(sim::FloorPlan(10.0, 8.0, sensors, outlets, 2, 2.0, 7.0));
+  // Bad dimension.
+  EXPECT_THROW(sim::FloorPlan(0.0, 8.0, sensors, outlets, 2, 2.0, 7.0),
+               std::invalid_argument);
+  // Empty sensors.
+  EXPECT_THROW(sim::FloorPlan(10.0, 8.0, {}, outlets, 2, 2.0, 7.0),
+               std::invalid_argument);
+  // Duplicate ids.
+  std::vector<sim::SensorSite> dupes{{1, {1.0, 1.0}, false},
+                                     {1, {2.0, 2.0}, false}};
+  EXPECT_THROW(sim::FloorPlan(10.0, 8.0, dupes, outlets, 2, 2.0, 7.0),
+               std::invalid_argument);
+  // Sensor outside the room.
+  std::vector<sim::SensorSite> outside{{1, {11.0, 1.0}, false}};
+  EXPECT_THROW(sim::FloorPlan(10.0, 8.0, outside, outlets, 2, 2.0, 7.0),
+               std::invalid_argument);
+  // Outlet outside the room.
+  std::vector<sim::Diffuser> bad_outlets{{{-1.0, 0.0}, {5.0, 0.5}}};
+  EXPECT_THROW(sim::FloorPlan(10.0, 8.0, sensors, bad_outlets, 2, 2.0, 7.0),
+               std::invalid_argument);
+  // No VAVs.
+  EXPECT_THROW(sim::FloorPlan(10.0, 8.0, sensors, outlets, 0, 2.0, 7.0),
+               std::invalid_argument);
+  // Inverted seating band.
+  EXPECT_THROW(sim::FloorPlan(10.0, 8.0, sensors, outlets, 2, 7.0, 2.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,109 @@
+// Tests for Gaussian-process mutual-information sensor placement.
+
+#include "auditherm/selection/gp_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace selection = auditherm::selection;
+namespace ts = auditherm::timeseries;
+using ts::MultiTrace;
+using ts::TimeGrid;
+
+namespace {
+
+/// Six channels in two independent groups of three; within a group the
+/// channels share a latent factor.
+MultiTrace two_factor_trace(std::uint64_t seed = 1) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> n01(0.0, 1.0);
+  MultiTrace trace(TimeGrid(0, 30, 300), {1, 2, 3, 4, 5, 6});
+  for (std::size_t k = 0; k < 300; ++k) {
+    const double f1 = n01(rng);
+    const double f2 = n01(rng);
+    for (std::size_t c = 0; c < 3; ++c) {
+      trace.set(k, c, f1 + 0.1 * n01(rng));
+    }
+    for (std::size_t c = 3; c < 6; ++c) {
+      trace.set(k, c, f2 + 0.1 * n01(rng));
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+TEST(GpPlacement, TwoPicksCoverBothFactors) {
+  const auto trace = two_factor_trace();
+  const auto chosen =
+      selection::gp_mutual_information_selection(trace, {1, 2, 3, 4, 5, 6}, 2);
+  ASSERT_EQ(chosen.size(), 2u);
+  // MI-optimal pair has one sensor per independent factor.
+  const bool first_in_a = chosen[0] <= 3;
+  const bool second_in_a = chosen[1] <= 3;
+  EXPECT_NE(first_in_a, second_in_a);
+}
+
+TEST(GpPlacement, NoDuplicateSelections) {
+  const auto trace = two_factor_trace(3);
+  const auto chosen = selection::gp_mutual_information_selection(
+      trace, {1, 2, 3, 4, 5, 6}, 5);
+  std::set<int> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), chosen.size());
+}
+
+TEST(GpPlacement, SelectingAllReturnsAll) {
+  const auto trace = two_factor_trace(5);
+  const auto chosen = selection::gp_mutual_information_selection(
+      trace, {1, 2, 3, 4, 5, 6}, 6);
+  std::set<int> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(GpPlacement, PrefersInformativeOverNoiseChannel) {
+  // Channels 1-3 share a factor; channel 4 is nearly constant (almost no
+  // variance): the first pick must not be 4.
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> n01(0.0, 1.0);
+  MultiTrace trace(TimeGrid(0, 30, 200), {1, 2, 3, 4});
+  for (std::size_t k = 0; k < 200; ++k) {
+    const double f = n01(rng);
+    for (std::size_t c = 0; c < 3; ++c) trace.set(k, c, f + 0.05 * n01(rng));
+    trace.set(k, 3, 0.001 * n01(rng));
+  }
+  const auto chosen =
+      selection::gp_mutual_information_selection(trace, {1, 2, 3, 4}, 1);
+  EXPECT_NE(chosen[0], 4);
+}
+
+TEST(GpPlacement, DeterministicAlgorithm) {
+  const auto trace = two_factor_trace(9);
+  const auto a = selection::gp_mutual_information_selection(
+      trace, {1, 2, 3, 4, 5, 6}, 3);
+  const auto b = selection::gp_mutual_information_selection(
+      trace, {1, 2, 3, 4, 5, 6}, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GpPlacement, WorksWithGappedData) {
+  auto trace = two_factor_trace(11);
+  for (std::size_t k = 0; k < 40; ++k) trace.clear(k, 0);
+  const auto chosen = selection::gp_mutual_information_selection(
+      trace, {1, 2, 3, 4, 5, 6}, 2);
+  EXPECT_EQ(chosen.size(), 2u);
+}
+
+TEST(GpPlacement, Validation) {
+  const auto trace = two_factor_trace(13);
+  EXPECT_THROW((void)selection::gp_mutual_information_selection(
+                   trace, {1, 2}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)selection::gp_mutual_information_selection(
+                   trace, {1, 2}, 3),
+               std::invalid_argument);
+}

@@ -1,0 +1,148 @@
+// Tests for the Kalman filter on identified thermal models.
+
+#include "auditherm/sysid/kalman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace sysid = auditherm::sysid;
+namespace linalg = auditherm::linalg;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+/// Two coupled states, one input.
+sysid::ThermalModel coupled_model() {
+  Matrix a{{0.85, 0.10}, {0.10, 0.85}};
+  Matrix b{{0.4}, {0.1}};
+  return sysid::ThermalModel(sysid::ModelOrder::kFirst, a, {}, b, {1, 2},
+                             {101});
+}
+
+}  // namespace
+
+TEST(Kalman, RequiresResetBeforeUse) {
+  sysid::KalmanFilter kf(coupled_model());
+  EXPECT_FALSE(kf.initialized());
+  EXPECT_THROW(kf.predict({1.0}), std::invalid_argument);
+  EXPECT_THROW(kf.update({0}, {20.0}), std::invalid_argument);
+}
+
+TEST(Kalman, ResetSetsStateAndVariance) {
+  sysid::KalmanFilter kf(coupled_model());
+  kf.reset({20.0, 21.0});
+  EXPECT_TRUE(kf.initialized());
+  EXPECT_EQ(kf.temperatures(), (Vector{20.0, 21.0}));
+  for (double v : kf.temperature_variances()) {
+    EXPECT_DOUBLE_EQ(v, sysid::KalmanOptions{}.initial_variance);
+  }
+}
+
+TEST(Kalman, PredictFollowsTheModel) {
+  sysid::KalmanFilter kf(coupled_model());
+  kf.reset({20.0, 20.0});
+  kf.predict({1.0});
+  const auto expected =
+      coupled_model().predict_next({20.0, 20.0}, {}, {1.0});
+  const auto temps = kf.temperatures();
+  EXPECT_NEAR(temps[0], expected[0], 1e-12);
+  EXPECT_NEAR(temps[1], expected[1], 1e-12);
+  // Prediction inflates uncertainty.
+  for (double v : kf.temperature_variances()) {
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(Kalman, UpdateShrinksVarianceAndMovesEstimate) {
+  sysid::KalmanFilter kf(coupled_model());
+  kf.reset({20.0, 20.0});
+  kf.predict({0.0});
+  const auto var_before = kf.temperature_variances();
+  kf.update({0}, {22.0});
+  const auto var_after = kf.temperature_variances();
+  EXPECT_LT(var_after[0], var_before[0]);
+  // The unmeasured, correlated state also improves.
+  EXPECT_LT(var_after[1], var_before[1]);
+  EXPECT_GT(kf.temperatures()[0], 20.0);
+}
+
+TEST(Kalman, TracksASimulatedSystemFromPartialMeasurements) {
+  // Simulate the true system with process noise; measure only state 0;
+  // the filter's estimate of the UNMEASURED state 1 must beat dead
+  // reckoning (predict-only).
+  Matrix a{{0.75, 0.20}, {0.20, 0.75}};  // strong coupling: x0 informs x1
+  Matrix b{{0.4}, {0.1}};
+  const sysid::ThermalModel model(sysid::ModelOrder::kFirst, a, {}, b,
+                                  {1, 2}, {101});
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> w(0.0, 0.1);
+  std::normal_distribution<double> v(0.0, 0.15);
+
+  sysid::KalmanOptions options;
+  options.process_noise = 0.01;       // matches w
+  options.measurement_noise = 0.0225; // matches v
+  sysid::KalmanFilter kf(model, options);
+  kf.reset({18.0, 23.0});  // deliberately wrong initial guess
+  sysid::KalmanFilter dead(model, options);
+  dead.reset({18.0, 23.0});
+
+  Vector truth{20.0, 21.0};
+  double kf_sq = 0.0, dead_sq = 0.0;
+  const int steps = 200;
+  for (int k = 0; k < steps; ++k) {
+    const double u = std::sin(0.1 * k);
+    truth = model.predict_next(truth, {}, {u});
+    truth[0] += w(rng);
+    truth[1] += w(rng);
+
+    kf.predict({u});
+    kf.update({0}, {truth[0] + v(rng)});
+    dead.predict({u});
+
+    const double kf_err = kf.temperatures()[1] - truth[1];
+    const double dead_err = dead.temperatures()[1] - truth[1];
+    if (k > 20) {  // after burn-in
+      kf_sq += kf_err * kf_err;
+      dead_sq += dead_err * dead_err;
+    }
+  }
+  EXPECT_LT(kf_sq, dead_sq);
+  EXPECT_LT(std::sqrt(kf_sq / (steps - 21)), 0.6);
+}
+
+TEST(Kalman, SecondOrderAugmentationConsistent) {
+  Matrix a{{0.9}};
+  Matrix a2{{-0.2}};
+  Matrix b{{0.5}};
+  sysid::ThermalModel model(sysid::ModelOrder::kSecond, a, a2, b, {1},
+                            {101});
+  sysid::KalmanFilter kf(model);
+  kf.reset({20.0});
+  // Two noiseless predicts must match the model's own simulation.
+  kf.predict({1.0});
+  kf.predict({0.5});
+  Matrix inputs(2, 1);
+  inputs(0, 0) = 1.0;
+  inputs(1, 0) = 0.5;
+  const auto sim = model.simulate({20.0}, {0.0}, inputs);
+  EXPECT_NEAR(kf.temperatures()[0], sim(1, 0), 1e-10);
+}
+
+TEST(Kalman, Validation) {
+  sysid::KalmanOptions bad;
+  bad.process_noise = 0.0;
+  EXPECT_THROW(sysid::KalmanFilter(coupled_model(), bad),
+               std::invalid_argument);
+
+  sysid::KalmanFilter kf(coupled_model());
+  EXPECT_THROW(kf.reset({20.0}), std::invalid_argument);
+  kf.reset({20.0, 20.0});
+  EXPECT_THROW(kf.predict({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(kf.update({0, 1}, {20.0}), std::invalid_argument);
+  EXPECT_THROW(kf.update({5}, {20.0}), std::invalid_argument);
+  kf.update({}, {});  // empty update is a no-op
+}

@@ -1,0 +1,110 @@
+// Tests for k-means with k-means++ seeding.
+
+#include "auditherm/clustering/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace clustering = auditherm::clustering;
+namespace linalg = auditherm::linalg;
+using linalg::Matrix;
+
+namespace {
+
+/// Three well-separated 2-D blobs of 10 points each.
+Matrix three_blobs(std::uint64_t seed = 1) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.3);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  Matrix points(30, 2);
+  for (std::size_t i = 0; i < 30; ++i) {
+    points(i, 0) = centers[i / 10][0] + noise(rng);
+    points(i, 1) = centers[i / 10][1] + noise(rng);
+  }
+  return points;
+}
+
+}  // namespace
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  const auto points = three_blobs();
+  const auto result = clustering::kmeans(points, 3);
+  // All points of a blob share a label, and blobs get distinct labels.
+  std::set<std::size_t> labels;
+  for (std::size_t blob = 0; blob < 3; ++blob) {
+    const std::size_t label = result.labels[blob * 10];
+    labels.insert(label);
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(result.labels[blob * 10 + i], label);
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_LT(result.inertia, 30.0 * 0.3 * 0.3 * 10.0);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  Matrix points{{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0}};
+  const auto result = clustering::kmeans(points, 1);
+  EXPECT_DOUBLE_EQ(result.centroids(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(result.centroids(0, 1), 1.0);
+  for (auto l : result.labels) EXPECT_EQ(l, 0u);
+}
+
+TEST(KMeans, KEqualsNSeparatesEveryPoint) {
+  Matrix points{{0.0}, {5.0}, {10.0}};
+  const auto result = clustering::kmeans(points, 3);
+  std::set<std::size_t> labels(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, DeterministicForSameSeed) {
+  const auto points = three_blobs();
+  clustering::KMeansOptions options;
+  options.seed = 5;
+  const auto a = clustering::kmeans(points, 3, options);
+  const auto b = clustering::kmeans(points, 3, options);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, NoEmptyClusters) {
+  // Duplicated points invite empty clusters; the reseeding logic must
+  // still return k non-empty groups.
+  Matrix points(12, 1);
+  for (std::size_t i = 0; i < 12; ++i) points(i, 0) = (i < 11) ? 0.0 : 100.0;
+  const auto result = clustering::kmeans(points, 2);
+  std::size_t count0 = 0, count1 = 0;
+  for (auto l : result.labels) (l == 0 ? count0 : count1)++;
+  EXPECT_GT(count0, 0u);
+  EXPECT_GT(count1, 0u);
+}
+
+/// Inertia must not increase with k (given the same data and seeding).
+class KMeansInertia : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansInertia, DecreasesWithK) {
+  const auto points = three_blobs(7);
+  const std::size_t k = GetParam();
+  clustering::KMeansOptions options;
+  options.restarts = 20;
+  const auto with_k = clustering::kmeans(points, k, options);
+  const auto with_k1 = clustering::kmeans(points, k + 1, options);
+  EXPECT_LE(with_k1.inertia, with_k.inertia + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansInertia, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(KMeans, Validation) {
+  Matrix points{{1.0}, {2.0}};
+  EXPECT_THROW((void)clustering::kmeans(points, 0), std::invalid_argument);
+  EXPECT_THROW((void)clustering::kmeans(points, 3), std::invalid_argument);
+  EXPECT_THROW((void)clustering::kmeans(Matrix(), 1), std::invalid_argument);
+  clustering::KMeansOptions bad;
+  bad.restarts = 0;
+  EXPECT_THROW((void)clustering::kmeans(points, 1, bad),
+               std::invalid_argument);
+}

@@ -1,0 +1,117 @@
+// Tests for the stochastic occupancy / lighting calendar.
+
+#include "auditherm/sim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sim = auditherm::sim;
+namespace ts = auditherm::timeseries;
+
+TEST(Occupancy, DeterministicForSameSeed) {
+  sim::OccupancyConfig config;
+  sim::OccupancySchedule a(config, 30);
+  sim::OccupancySchedule b(config, 30);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].start, b.events()[i].start);
+    EXPECT_EQ(a.events()[i].attendance, b.events()[i].attendance);
+  }
+}
+
+TEST(Occupancy, NeverExceedsCapacity) {
+  sim::OccupancyConfig config;
+  sim::OccupancySchedule schedule(config, 60);
+  for (ts::Minutes t = 0; t < 60 * ts::kMinutesPerDay; t += 7) {
+    const double o = schedule.occupants_at(t);
+    EXPECT_GE(o, 0.0);
+    EXPECT_LE(o, static_cast<double>(config.capacity));
+  }
+}
+
+TEST(Occupancy, EventsLieWithinTheirDays) {
+  sim::OccupancySchedule schedule(sim::OccupancyConfig{}, 30);
+  ASSERT_FALSE(schedule.events().empty());
+  for (const auto& e : schedule.events()) {
+    EXPECT_LT(e.start, e.end);
+    EXPECT_EQ(ts::day_of(e.start), ts::day_of(e.end - 1));
+    EXPECT_GT(e.attendance, 0);
+  }
+}
+
+TEST(Occupancy, OccupantsPresentDuringEvent) {
+  sim::OccupancySchedule schedule(sim::OccupancyConfig{}, 60);
+  const auto& e = schedule.events().front();
+  const auto mid = (e.start + e.end) / 2;
+  EXPECT_NEAR(schedule.occupants_at(mid), e.attendance, e.attendance * 0.5 + 1);
+  // Well before the event: empty (assuming no adjacent event).
+  EXPECT_DOUBLE_EQ(schedule.occupants_at(e.start - 60), 0.0);
+}
+
+TEST(Occupancy, RampsInAndOut) {
+  sim::OccupancyConfig config;
+  config.ramp_minutes = 10;
+  sim::OccupancySchedule schedule(config, 60);
+  const auto& e = schedule.events().front();
+  const double at_start = schedule.occupants_at(e.start);
+  const double after_ramp = schedule.occupants_at(e.start + 10);
+  EXPECT_LT(at_start, after_ramp);
+  EXPECT_NEAR(after_ramp, e.attendance, 1e-9);
+}
+
+TEST(Occupancy, LightingOnDuringEventsWithMargin) {
+  sim::OccupancySchedule schedule(sim::OccupancyConfig{}, 60);
+  const auto& e = schedule.events().front();
+  EXPECT_DOUBLE_EQ(schedule.lighting_at(e.start + 1), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.lighting_at(e.start - 10), 1.0);   // margin
+  EXPECT_DOUBLE_EQ(schedule.lighting_at(e.start - 120), 0.0);
+}
+
+TEST(Occupancy, WeekendsQuieterThanWeekdays) {
+  sim::OccupancyConfig config;
+  sim::OccupancySchedule schedule(config, 98);
+  std::size_t weekday_events = 0, weekend_events = 0;
+  for (const auto& e : schedule.events()) {
+    const int dow = schedule.day_of_week(ts::day_of(e.start));
+    if (dow == 0 || dow == 6) {
+      ++weekend_events;
+    } else {
+      ++weekday_events;
+    }
+  }
+  EXPECT_GT(weekday_events, 4 * weekend_events);
+}
+
+TEST(Occupancy, FridaySeminarsAreWellAttended) {
+  sim::OccupancyConfig config;
+  sim::OccupancySchedule schedule(config, 98);
+  std::size_t big_friday_noons = 0;
+  for (const auto& e : schedule.events()) {
+    const auto day = ts::day_of(e.start);
+    if (schedule.day_of_week(day) == 5 &&
+        ts::minute_of_day(e.start) == 12 * 60 && e.attendance >= 60) {
+      ++big_friday_noons;
+    }
+  }
+  EXPECT_GE(big_friday_noons, 5u);  // ~14 Fridays at 90% probability
+}
+
+TEST(Occupancy, DayOfWeekAnchored) {
+  sim::OccupancyConfig config;  // day 0 = Thursday
+  sim::OccupancySchedule schedule(config, 7);
+  EXPECT_EQ(schedule.day_of_week(0), 4);
+  EXPECT_EQ(schedule.day_of_week(1), 5);
+  EXPECT_EQ(schedule.day_of_week(3), 0);  // Sunday
+}
+
+TEST(Occupancy, ConfigValidation) {
+  sim::OccupancyConfig bad;
+  EXPECT_THROW(sim::OccupancySchedule(bad, 0), std::invalid_argument);
+  bad = {};
+  bad.capacity = 0;
+  EXPECT_THROW(sim::OccupancySchedule(bad, 5), std::invalid_argument);
+  bad = {};
+  bad.class_probability = 1.5;
+  EXPECT_THROW(sim::OccupancySchedule(bad, 5), std::invalid_argument);
+}

@@ -1,0 +1,163 @@
+// Tests for CO2 dynamics in the plant and the mass-balance occupancy
+// estimator.
+
+#include "auditherm/sysid/occupancy_estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "auditherm/core/split.hpp"
+#include "auditherm/sim/dataset.hpp"
+
+namespace sysid = auditherm::sysid;
+namespace sim = auditherm::sim;
+namespace ts = auditherm::timeseries;
+namespace linalg = auditherm::linalg;
+
+namespace {
+
+sim::PlantInputs inputs_with(double occupants, double flow) {
+  sim::PlantInputs u;
+  u.vav_flows_m3_s.assign(4, flow);
+  u.occupants = occupants;
+  u.ambient_c = 20.0;
+  return u;
+}
+
+const sim::AuditoriumDataset& dataset() {
+  static const sim::AuditoriumDataset ds = [] {
+    sim::DatasetConfig config;
+    config.days = 42;
+    config.failure_days = 6;
+    return sim::generate_dataset(config);
+  }();
+  return ds;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Plant CO2 dynamics
+// ---------------------------------------------------------------------------
+
+TEST(PlantCo2, RisesWithOccupantsAndDecaysWithVentilation) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  EXPECT_DOUBLE_EQ(plant.co2_ppm(), 420.0);
+
+  // Full house, minimal ventilation: CO2 climbs well above outdoor.
+  for (int i = 0; i < 90; ++i) plant.step(inputs_with(90.0, 0.05), 60.0);
+  const double after_event = plant.co2_ppm();
+  EXPECT_GT(after_event, 800.0);
+
+  // Everyone leaves, dampers open: CO2 relaxes back toward outdoor.
+  for (int i = 0; i < 180; ++i) plant.step(inputs_with(0.0, 0.5), 60.0);
+  EXPECT_LT(plant.co2_ppm(), 450.0);
+  EXPECT_GE(plant.co2_ppm(), 420.0 - 1e-9);
+}
+
+TEST(PlantCo2, EquilibriumMatchesMassBalance) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::PlantConfig config;
+  sim::ZonalPlant plant(plan, config);
+  const double occupants = 60.0;
+  const double flow = 0.25;  // per VAV, 1.0 total
+  for (int i = 0; i < 24 * 60; ++i) plant.step(inputs_with(occupants, flow), 60.0);
+  const double expected =
+      config.co2_outdoor_ppm +
+      occupants * config.co2_per_person_m3_s * 1e6 / (4.0 * flow);
+  EXPECT_NEAR(plant.co2_ppm(), expected, 1.0);
+}
+
+TEST(PlantCo2, ZeroFlowIntegratesGeneration) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::PlantConfig config;
+  sim::ZonalPlant plant(plan, config);
+  sim::PlantInputs u = inputs_with(90.0, 0.0);
+  plant.step(u, 600.0);
+  const double expected =
+      config.initial_co2_ppm +
+      90.0 * config.co2_per_person_m3_s * 1e6 / config.room_volume_m3 * 600.0;
+  EXPECT_NEAR(plant.co2_ppm(), expected, 1e-6);
+}
+
+TEST(PlantCo2, DatasetRecordsTheChannel) {
+  const auto& ds = dataset();
+  const auto col = ds.trace.channel_index(sim::DatasetChannels::kCo2);
+  ASSERT_TRUE(col.has_value());
+  double lo = 1e9, hi = -1e9;
+  for (std::size_t k = 0; k < ds.trace.size(); ++k) {
+    if (!ds.trace.valid(k, *col)) continue;
+    lo = std::min(lo, ds.trace.value(k, *col));
+    hi = std::max(hi, ds.trace.value(k, *col));
+  }
+  EXPECT_GT(lo, 400.0);
+  EXPECT_GT(hi, 600.0);   // events visibly raise CO2
+  EXPECT_LT(hi, 5000.0);  // but ventilation bounds it
+}
+
+// ---------------------------------------------------------------------------
+// Occupancy estimation
+// ---------------------------------------------------------------------------
+
+TEST(Co2Occupancy, CalibratesAndEstimatesOnHeldOutDays) {
+  const auto& ds = dataset();
+  auto required = std::vector<ts::ChannelId>{sim::DatasetChannels::kCo2,
+                                             sim::DatasetChannels::kOccupancy};
+  const auto split = auditherm::core::split_dataset(
+      ds.trace, required, ds.schedule, auditherm::hvac::Mode::kOccupied);
+  const auto training = ds.trace.filter_rows(split.train_mask);
+  const auto validation = ds.trace.filter_rows(split.validation_mask);
+
+  sysid::Co2OccupancyEstimator estimator;
+  EXPECT_FALSE(estimator.calibrated());
+  estimator.calibrate(training);
+  EXPECT_TRUE(estimator.calibrated());
+  // Calibrated parameters should be physically sensible.
+  EXPECT_GT(estimator.volume_over_generation(), 0.0);
+  EXPECT_GT(estimator.flow_gain(), 0.0);
+  EXPECT_GT(estimator.outdoor_ppm(), 300.0);
+  EXPECT_LT(estimator.outdoor_ppm(), 550.0);
+
+  const auto estimate = estimator.estimate(validation);
+  const double mae = sysid::occupancy_mae(
+      validation, sim::DatasetChannels::kOccupancy, estimate);
+  // The room seats 90; a camera-free estimate within a handful of people
+  // on held-out days is the win.
+  EXPECT_LT(mae, 8.0);
+
+  // Sanity against a constant-zero baseline.
+  linalg::Vector zeros(validation.size(), 0.0);
+  const double zero_mae = sysid::occupancy_mae(
+      validation, sim::DatasetChannels::kOccupancy, zeros);
+  EXPECT_LT(mae, zero_mae);
+}
+
+TEST(Co2Occupancy, EstimateBeforeCalibrateThrows) {
+  sysid::Co2OccupancyEstimator estimator;
+  EXPECT_THROW((void)estimator.estimate(dataset().trace), std::logic_error);
+}
+
+TEST(Co2Occupancy, CalibrationNeedsEnoughData) {
+  const auto& ds = dataset();
+  const auto tiny = ds.trace.slice_rows(0, 10);
+  sysid::Co2OccupancyEstimator estimator;
+  EXPECT_THROW(estimator.calibrate(tiny), std::runtime_error);
+}
+
+TEST(Co2Occupancy, MissingChannelsThrow) {
+  const auto& ds = dataset();
+  const auto no_co2 = ds.trace.select_channels(
+      {1, 3, sim::DatasetChannels::kOccupancy});
+  sysid::Co2OccupancyEstimator estimator;
+  EXPECT_THROW(estimator.calibrate(no_co2), std::invalid_argument);
+}
+
+TEST(Co2Occupancy, MaeValidation) {
+  const auto& ds = dataset();
+  EXPECT_THROW((void)sysid::occupancy_mae(
+                   ds.trace, sim::DatasetChannels::kOccupancy,
+                   linalg::Vector(3, 0.0)),
+               std::invalid_argument);
+}

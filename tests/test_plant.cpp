@@ -1,0 +1,207 @@
+// Tests for the zonal thermal plant: physical sanity, energy bookkeeping,
+// and the spatial structure the paper's results rest on.
+
+#include "auditherm/sim/plant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sim = auditherm::sim;
+
+namespace {
+
+sim::PlantInputs idle_inputs(double ambient = 20.5) {
+  sim::PlantInputs u;
+  u.vav_flows_m3_s.assign(4, 0.0);
+  u.supply_temp_c = 13.0;
+  u.occupants = 0.0;
+  u.lighting = 0.0;
+  u.ambient_c = ambient;
+  return u;
+}
+
+double mean(const auditherm::linalg::Vector& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+}  // namespace
+
+TEST(Plant, InitialStateUniform) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  EXPECT_EQ(plant.node_count(), 27u);
+  for (double t : plant.air_temps()) EXPECT_DOUBLE_EQ(t, 20.5);
+  for (double t : plant.mass_temps()) EXPECT_DOUBLE_EQ(t, 20.5);
+  for (double q : plant.forcing_state()) EXPECT_DOUBLE_EQ(q, 0.0);
+}
+
+TEST(Plant, EquilibriumIsStationary) {
+  // All states at ambient with no forcing: nothing should move.
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  plant.initialize(20.5);
+  for (int i = 0; i < 100; ++i) plant.step(idle_inputs(20.5), 60.0);
+  for (double t : plant.air_temps()) EXPECT_NEAR(t, 20.5, 1e-9);
+}
+
+TEST(Plant, RelaxesTowardAmbient) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  plant.initialize(25.0);
+  const auto u = idle_inputs(10.0);
+  const double before = mean(plant.air_temps());
+  for (int i = 0; i < 24 * 60; ++i) plant.step(u, 60.0);
+  const double after = mean(plant.air_temps());
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 10.0 - 1e-6);  // never undershoots ambient
+}
+
+TEST(Plant, CoolingSupplyAirCoolsTheRoom) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  plant.initialize(24.0);
+  auto u = idle_inputs(24.0);
+  u.vav_flows_m3_s.assign(4, 0.5);
+  u.supply_temp_c = 13.0;
+  for (int i = 0; i < 6 * 60; ++i) plant.step(u, 60.0);
+  EXPECT_LT(mean(plant.air_temps()), 22.0);
+}
+
+TEST(Plant, OccupantsWarmTheRoom) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  plant.initialize(20.5);
+  auto u = idle_inputs(20.5);
+  u.occupants = 90.0;
+  for (int i = 0; i < 3 * 60; ++i) plant.step(u, 60.0);
+  EXPECT_GT(mean(plant.air_temps()), 21.0);
+}
+
+TEST(Plant, OccupiedRoomIsWarmerAtTheBack) {
+  // The spatial signature behind Fig. 2 and every clustering result:
+  // with a full audience and active cooling, back seating nodes run
+  // warmer than the front.
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  plant.initialize(21.0);
+  auto u = idle_inputs(21.0);
+  u.occupants = 90.0;
+  u.lighting = 1.0;
+  u.vav_flows_m3_s.assign(4, 0.4);
+  for (int i = 0; i < 4 * 60; ++i) plant.step(u, 60.0);
+
+  const auto& sites = plan.sensors();
+  double front = 0.0, back = 0.0;
+  std::size_t nf = 0, nb = 0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i].position.y < 4.0) {
+      front += plant.air_temps()[i];
+      ++nf;
+    } else {
+      back += plant.air_temps()[i];
+      ++nb;
+    }
+  }
+  front /= static_cast<double>(nf);
+  back /= static_cast<double>(nb);
+  // (4 h of an uninterrupted full house is harsher than any real event,
+  // so the upper sanity bound is loose.)
+  EXPECT_GT(back - front, 0.5);
+  EXPECT_LT(back - front, 8.0);
+}
+
+TEST(Plant, EnergyBalanceWithoutLossTerms) {
+  // With walls sealed, no HVAC flow and no mixing lag, occupant heat must
+  // land entirely in the air+mass enthalpy.
+  auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::PlantConfig config;
+  config.wall_conductance_w_k = 0.0;
+  config.mixing_delay_tau_s = 0.0;
+  sim::ZonalPlant plant(plan, config);
+  plant.initialize(20.0);
+  auto u = idle_inputs(35.0);  // ambient irrelevant: walls sealed
+  u.occupants = 50.0;
+
+  const double dt = 60.0;
+  const std::size_t steps = 120;
+  const double power = 50.0 * config.occupant_heat_w;
+
+  double enthalpy_before = 0.0;
+  for (std::size_t i = 0; i < plant.node_count(); ++i) {
+    enthalpy_before += config.air_heat_capacity_j_k * plant.air_temps()[i] +
+                       config.mass_heat_capacity_j_k * plant.mass_temps()[i];
+  }
+  for (std::size_t s = 0; s < steps; ++s) plant.step(u, dt);
+  double enthalpy_after = 0.0;
+  for (std::size_t i = 0; i < plant.node_count(); ++i) {
+    enthalpy_after += config.air_heat_capacity_j_k * plant.air_temps()[i] +
+                      config.mass_heat_capacity_j_k * plant.mass_temps()[i];
+  }
+  const double injected = power * dt * static_cast<double>(steps);
+  EXPECT_NEAR(enthalpy_after - enthalpy_before, injected, injected * 1e-6);
+}
+
+TEST(Plant, MixingDelaySlowsTheResponse) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::PlantConfig lagged;  // default has the mixing delay
+  sim::PlantConfig instant = lagged;
+  instant.mixing_delay_tau_s = 0.0;
+  sim::ZonalPlant slow(plan, lagged);
+  sim::ZonalPlant fast(plan, instant);
+  slow.initialize(21.0);
+  fast.initialize(21.0);
+  auto u = idle_inputs(21.0);
+  u.occupants = 90.0;
+  for (int i = 0; i < 20; ++i) {  // 20 minutes after the audience arrives
+    slow.step(u, 60.0);
+    fast.step(u, 60.0);
+  }
+  EXPECT_LT(mean(slow.air_temps()), mean(fast.air_temps()));
+}
+
+TEST(Plant, HvacPowerSignAndMagnitude) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  plant.initialize(21.0);
+  auto u = idle_inputs(21.0);
+  u.vav_flows_m3_s.assign(4, 0.5);
+  u.supply_temp_c = 13.0;
+  // 2 m^3/s total * 1206 * (13 - 21) ~= -19.3 kW.
+  EXPECT_NEAR(plant.hvac_power_w(u), -19296.0, 50.0);
+  u.supply_temp_c = 21.0;
+  EXPECT_NEAR(plant.hvac_power_w(u), 0.0, 1e-9);
+}
+
+TEST(Plant, AirTempLookupById) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  EXPECT_DOUBLE_EQ(plant.air_temp_of(27), 20.5);
+  EXPECT_THROW((void)plant.air_temp_of(99), std::invalid_argument);
+}
+
+TEST(Plant, InputValidation) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::ZonalPlant plant(plan, sim::PlantConfig{});
+  auto u = idle_inputs();
+  EXPECT_THROW(plant.step(u, 0.0), std::invalid_argument);
+  u.vav_flows_m3_s.assign(2, 0.0);  // wrong VAV count
+  EXPECT_THROW(plant.step(u, 60.0), std::invalid_argument);
+  EXPECT_THROW((void)plant.hvac_power_w(u), std::invalid_argument);
+}
+
+TEST(Plant, ConfigValidation) {
+  const auto plan = sim::FloorPlan::brauer_auditorium();
+  sim::PlantConfig bad;
+  bad.air_heat_capacity_j_k = 0.0;
+  EXPECT_THROW(sim::ZonalPlant(plan, bad), std::invalid_argument);
+  bad = {};
+  bad.mixing_delay_tau_s = -1.0;
+  EXPECT_THROW(sim::ZonalPlant(plan, bad), std::invalid_argument);
+  bad = {};
+  bad.mixing_length_m = 0.0;
+  EXPECT_THROW(sim::ZonalPlant(plan, bad), std::invalid_argument);
+}

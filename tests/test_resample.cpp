@@ -1,0 +1,93 @@
+// Tests for downsampling and bounded forward-fill.
+
+#include "auditherm/timeseries/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ts = auditherm::timeseries;
+using ts::MultiTrace;
+using ts::TimeGrid;
+
+namespace {
+
+MultiTrace ramp_trace(std::size_t n = 12) {
+  MultiTrace trace(TimeGrid(0, 5, n), {1});
+  for (std::size_t k = 0; k < n; ++k) {
+    trace.set(k, 0, static_cast<double>(k));
+  }
+  return trace;
+}
+
+}  // namespace
+
+TEST(Downsample, MeanBuckets) {
+  const auto out = ts::downsample(ramp_trace(), 3);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.grid().step(), 15);
+  EXPECT_DOUBLE_EQ(out.value(0, 0), 1.0);   // mean of 0,1,2
+  EXPECT_DOUBLE_EQ(out.value(3, 0), 10.0);  // mean of 9,10,11
+}
+
+TEST(Downsample, HoldTakesLastValid) {
+  const auto out = ts::downsample(ramp_trace(), 4, ts::ResampleMethod::kHold);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.value(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(out.value(2, 0), 11.0);
+}
+
+TEST(Downsample, GapsSkippedWithinBucketAndFullGapStaysGap) {
+  auto trace = ramp_trace(6);
+  trace.clear(0, 0);            // partial gap in bucket 0
+  trace.clear(3, 0);            // full gap in bucket 1
+  trace.clear(4, 0);
+  trace.clear(5, 0);
+  const auto out = ts::downsample(trace, 3);
+  EXPECT_DOUBLE_EQ(out.value(0, 0), 1.5);  // mean of 1,2
+  EXPECT_FALSE(out.valid(1, 0));
+}
+
+TEST(Downsample, FactorOneIsIdentityAndZeroThrows) {
+  const auto trace = ramp_trace();
+  const auto same = ts::downsample(trace, 1);
+  EXPECT_EQ(same.grid(), trace.grid());
+  EXPECT_THROW((void)ts::downsample(trace, 0), std::invalid_argument);
+}
+
+TEST(Downsample, TruncatesTrailingPartialBucket) {
+  const auto out = ts::downsample(ramp_trace(11), 3);
+  EXPECT_EQ(out.size(), 3u);  // rows 9,10 dropped
+}
+
+TEST(ForwardFill, FillsBoundedRuns) {
+  MultiTrace trace(TimeGrid(0, 5, 7), {1});
+  trace.set(0, 0, 1.0);
+  trace.set(5, 0, 6.0);
+  const auto filled = ts::forward_fill(trace, 2);
+  EXPECT_DOUBLE_EQ(filled.value(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(filled.value(2, 0), 1.0);
+  EXPECT_FALSE(filled.valid(3, 0));  // beyond max_fill
+  EXPECT_FALSE(filled.valid(4, 0));
+  EXPECT_DOUBLE_EQ(filled.value(5, 0), 6.0);
+  EXPECT_DOUBLE_EQ(filled.value(6, 0), 6.0);
+}
+
+TEST(ForwardFill, UnlimitedFillsEverythingAfterFirst) {
+  MultiTrace trace(TimeGrid(0, 5, 5), {1});
+  trace.set(1, 0, 2.0);
+  const auto filled = ts::forward_fill(trace);
+  EXPECT_FALSE(filled.valid(0, 0));  // leading gap untouched
+  for (std::size_t k = 1; k < 5; ++k) {
+    EXPECT_DOUBLE_EQ(filled.value(k, 0), 2.0);
+  }
+}
+
+TEST(ForwardFill, PerChannelIndependence) {
+  MultiTrace trace(TimeGrid(0, 5, 3), {1, 2});
+  trace.set(0, 0, 1.0);
+  trace.set(2, 1, 9.0);
+  const auto filled = ts::forward_fill(trace);
+  EXPECT_DOUBLE_EQ(filled.value(2, 0), 1.0);
+  EXPECT_FALSE(filled.valid(1, 1));
+}

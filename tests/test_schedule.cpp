@@ -1,0 +1,57 @@
+// Tests for the HVAC operating schedule.
+
+#include "auditherm/hvac/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hvac = auditherm::hvac;
+namespace ts = auditherm::timeseries;
+
+TEST(Schedule, DefaultIsPapersProgram) {
+  hvac::Schedule s;
+  EXPECT_EQ(s.on_minute(), 6 * 60);
+  EXPECT_EQ(s.off_minute(), 21 * 60);
+}
+
+TEST(Schedule, ModeBoundaries) {
+  hvac::Schedule s;
+  EXPECT_EQ(s.mode_at(6 * 60 - 1), hvac::Mode::kUnoccupied);
+  EXPECT_EQ(s.mode_at(6 * 60), hvac::Mode::kOccupied);
+  EXPECT_EQ(s.mode_at(21 * 60 - 1), hvac::Mode::kOccupied);
+  EXPECT_EQ(s.mode_at(21 * 60), hvac::Mode::kUnoccupied);
+  EXPECT_TRUE(s.occupied_at(12 * 60));
+  EXPECT_FALSE(s.occupied_at(23 * 60));
+}
+
+TEST(Schedule, WorksAcrossDays) {
+  hvac::Schedule s;
+  const auto noon_day3 = 3 * ts::kMinutesPerDay + 12 * 60;
+  EXPECT_TRUE(s.occupied_at(noon_day3));
+  const auto midnight_day5 = 5 * ts::kMinutesPerDay;
+  EXPECT_FALSE(s.occupied_at(midnight_day5));
+}
+
+TEST(Schedule, CustomProgramValidated) {
+  hvac::Schedule s(8 * 60, 18 * 60);
+  EXPECT_TRUE(s.occupied_at(9 * 60));
+  EXPECT_FALSE(s.occupied_at(7 * 60));
+  EXPECT_THROW(hvac::Schedule(18 * 60, 8 * 60), std::invalid_argument);
+  EXPECT_THROW(hvac::Schedule(-1, 100), std::invalid_argument);
+  EXPECT_THROW(hvac::Schedule(0, 1440), std::invalid_argument);
+}
+
+TEST(Schedule, ModeMaskPartitionsGrid) {
+  hvac::Schedule s;
+  ts::TimeGrid grid(0, 30, 96);  // two days at 30 min
+  const auto occ = s.mode_mask(grid, hvac::Mode::kOccupied);
+  const auto unocc = s.mode_mask(grid, hvac::Mode::kUnoccupied);
+  std::size_t occ_count = 0;
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    EXPECT_NE(occ[k], unocc[k]);  // exactly one mode per sample
+    occ_count += occ[k] ? 1 : 0;
+  }
+  // 15 h of 24 are occupied: 30 of 48 samples per day.
+  EXPECT_EQ(occ_count, 60u);
+}

@@ -1,0 +1,61 @@
+// Tests for continuous-interval segmentation.
+
+#include "auditherm/timeseries/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ts = auditherm::timeseries;
+using ts::Segment;
+
+TEST(Segmentation, FindsMaximalRuns) {
+  const std::vector<bool> mask{true, true, false, true, true, true, false};
+  const auto segs = ts::find_segments(mask);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Segment{0, 2}));
+  EXPECT_EQ(segs[1], (Segment{3, 6}));
+}
+
+TEST(Segmentation, MinLengthFiltersShortRuns) {
+  const std::vector<bool> mask{true, false, true, true, false, true, true, true};
+  const auto segs = ts::find_segments(mask, 3);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], (Segment{5, 8}));
+}
+
+TEST(Segmentation, EmptyAndAllTrue) {
+  EXPECT_TRUE(ts::find_segments({}).empty());
+  EXPECT_TRUE(ts::find_segments({false, false}).empty());
+  const auto segs = ts::find_segments({true, true, true});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].length(), 3u);
+}
+
+TEST(Segmentation, MinLengthZeroThrows) {
+  EXPECT_THROW((void)ts::find_segments({true}, 0), std::invalid_argument);
+}
+
+TEST(Segmentation, TotalLength) {
+  EXPECT_EQ(ts::total_length({{0, 2}, {5, 9}}), 6u);
+  EXPECT_EQ(ts::total_length({}), 0u);
+}
+
+TEST(Segmentation, IntersectSplitsRuns) {
+  // One long run, the mask punches a hole in the middle.
+  const std::vector<Segment> segs{{0, 8}};
+  std::vector<bool> mask(8, true);
+  mask[3] = false;
+  const auto out = ts::intersect_segments(segs, mask);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Segment{0, 3}));
+  EXPECT_EQ(out[1], (Segment{4, 8}));
+}
+
+TEST(Segmentation, IntersectRespectsSegmentBounds) {
+  const std::vector<Segment> segs{{2, 5}};
+  const std::vector<bool> mask(8, true);
+  const auto out = ts::intersect_segments(segs, mask);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Segment{2, 5}));
+}

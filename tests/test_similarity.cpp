@@ -1,0 +1,121 @@
+// Tests for similarity-graph construction.
+
+#include "auditherm/clustering/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace clustering = auditherm::clustering;
+namespace ts = auditherm::timeseries;
+using ts::MultiTrace;
+using ts::TimeGrid;
+
+namespace {
+
+/// Channels: 1 and 2 nearly identical; 3 far away; 4 anti-correlated
+/// with 1.
+MultiTrace make_trace() {
+  MultiTrace trace(TimeGrid(0, 30, 50), {1, 2, 3, 4});
+  for (std::size_t k = 0; k < 50; ++k) {
+    const double x = std::sin(0.3 * static_cast<double>(k));
+    trace.set(k, 0, 20.0 + x);
+    trace.set(k, 1, 20.05 + x);
+    trace.set(k, 2, 25.0 + 0.5 * std::cos(0.7 * static_cast<double>(k)));
+    trace.set(k, 3, 20.0 - x);
+  }
+  return trace;
+}
+
+}  // namespace
+
+TEST(Similarity, EuclideanWeightsReflectDistance) {
+  const auto trace = make_trace();
+  clustering::SimilarityOptions options;
+  options.metric = clustering::SimilarityMetric::kEuclidean;
+  const auto graph =
+      clustering::build_similarity_graph(trace, {1, 2, 3, 4}, options);
+  ASSERT_EQ(graph.weights.rows(), 4u);
+  // Closest pair (1,2) must get the highest weight; (1,3) is far.
+  EXPECT_GT(graph.weights(0, 1), graph.weights(0, 2));
+  EXPECT_GT(graph.weights(0, 1), 0.9);
+  EXPECT_GT(graph.sigma_used, 0.0);
+}
+
+TEST(Similarity, WeightsSymmetricZeroDiagonalBounded) {
+  const auto trace = make_trace();
+  for (auto metric : {clustering::SimilarityMetric::kEuclidean,
+                      clustering::SimilarityMetric::kCorrelation}) {
+    clustering::SimilarityOptions options;
+    options.metric = metric;
+    const auto graph =
+        clustering::build_similarity_graph(trace, {1, 2, 3, 4}, options);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(graph.weights(i, i), 0.0);
+      for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_DOUBLE_EQ(graph.weights(i, j), graph.weights(j, i));
+        EXPECT_GE(graph.weights(i, j), 0.0);
+        EXPECT_LE(graph.weights(i, j), 1.0);
+      }
+    }
+  }
+}
+
+TEST(Similarity, CorrelationMetricValues) {
+  const auto trace = make_trace();
+  const auto graph = clustering::build_similarity_graph(trace, {1, 2, 4});
+  // 1-2 perfectly correlated; 1-4 anti-correlated -> clipped to 0.
+  EXPECT_NEAR(graph.weights(0, 1), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(graph.weights(0, 2), 0.0);
+}
+
+TEST(Similarity, ExplicitSigmaRespected) {
+  const auto trace = make_trace();
+  clustering::SimilarityOptions options;
+  options.metric = clustering::SimilarityMetric::kEuclidean;
+  options.sigma = 0.01;  // tiny bandwidth: distant pairs go to ~0
+  const auto graph =
+      clustering::build_similarity_graph(trace, {1, 3}, options);
+  EXPECT_DOUBLE_EQ(graph.sigma_used, 0.01);
+  EXPECT_LT(graph.weights(0, 1), 1e-6);
+}
+
+TEST(Similarity, ThresholdSparsifies) {
+  const auto trace = make_trace();
+  clustering::SimilarityOptions options;
+  options.threshold = 0.99;
+  const auto graph =
+      clustering::build_similarity_graph(trace, {1, 2, 3}, options);
+  // Only the near-identical pair survives.
+  EXPECT_GT(graph.weights(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(graph.weights(0, 2), 0.0);
+}
+
+TEST(Similarity, GapsUsePairwiseCompleteRows) {
+  auto trace = make_trace();
+  for (std::size_t k = 0; k < 10; ++k) trace.clear(k, 0);
+  const auto graph = clustering::build_similarity_graph(trace, {1, 2});
+  EXPECT_NEAR(graph.weights(0, 1), 1.0, 1e-9);
+}
+
+TEST(Similarity, Validation) {
+  const auto trace = make_trace();
+  EXPECT_THROW((void)clustering::build_similarity_graph(trace, {1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)clustering::build_similarity_graph(trace, {1, 99}),
+               std::invalid_argument);
+}
+
+TEST(Similarity, DisjointChannelsThrow) {
+  MultiTrace trace(TimeGrid(0, 30, 4), {1, 2});
+  trace.set(0, 0, 1.0);
+  trace.set(1, 0, 2.0);
+  trace.set(2, 1, 3.0);
+  trace.set(3, 1, 4.0);  // channels never share a row
+  clustering::SimilarityOptions options;
+  options.metric = clustering::SimilarityMetric::kEuclidean;
+  EXPECT_THROW((void)clustering::build_similarity_graph(trace, {1, 2},
+                                                        options),
+               std::runtime_error);
+}

@@ -1,0 +1,147 @@
+// Tests for Laplacian spectral clustering and the eigengap heuristic.
+
+#include "auditherm/clustering/spectral.hpp"
+
+#include "auditherm/linalg/decompositions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace clustering = auditherm::clustering;
+namespace linalg = auditherm::linalg;
+using linalg::Matrix;
+
+namespace {
+
+/// Block-structured similarity: `blocks` groups of `size` vertices with
+/// strong in-block weights and weak cross-block weights.
+clustering::SimilarityGraph block_graph(std::size_t blocks, std::size_t size,
+                                        double in_w = 0.9,
+                                        double cross_w = 0.02) {
+  clustering::SimilarityGraph graph;
+  const std::size_t n = blocks * size;
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.channels.push_back(static_cast<int>(i + 1));
+  }
+  graph.weights = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double w = (i / size == j / size) ? in_w : cross_w;
+      graph.weights(i, j) = w;
+      graph.weights(j, i) = w;
+    }
+  }
+  return graph;
+}
+
+}  // namespace
+
+TEST(Laplacian, RowSumsZeroAndPsd) {
+  const auto graph = block_graph(2, 3);
+  const auto l = clustering::laplacian(graph.weights);
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < l.cols(); ++j) row_sum += l(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-12);
+  }
+  const auto eig = linalg::eigen_symmetric(l);
+  for (double lambda : eig.eigenvalues) EXPECT_GE(lambda, -1e-10);
+  EXPECT_NEAR(eig.eigenvalues[0], 0.0, 1e-10);  // the constant mode
+}
+
+TEST(Laplacian, RejectsNonSquare) {
+  EXPECT_THROW((void)clustering::laplacian(Matrix(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(Spectral, DisconnectedComponentsGiveZeroEigenvalues) {
+  const auto graph = block_graph(3, 4, 0.8, 0.0);  // truly disconnected
+  const auto analysis = clustering::analyze_spectrum(graph.weights);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(analysis.eigenvalues[i], 0.0, 1e-10);
+  }
+  EXPECT_GT(analysis.eigenvalues[3], 0.1);
+}
+
+TEST(Spectral, EigengapPicksBlockCount) {
+  for (std::size_t blocks : {2u, 3u, 4u}) {
+    const auto graph = block_graph(blocks, 5);
+    const auto analysis = clustering::analyze_spectrum(graph.weights);
+    EXPECT_EQ(analysis.eigengap_cluster_count(2, 8), blocks)
+        << "blocks=" << blocks;
+  }
+}
+
+TEST(Spectral, LogEigengapsShape) {
+  const auto graph = block_graph(2, 4);
+  const auto analysis = clustering::analyze_spectrum(graph.weights);
+  const auto gaps = analysis.log_eigengaps();
+  EXPECT_EQ(gaps.size(), analysis.eigenvalues.size() - 1);
+}
+
+TEST(Spectral, EigengapRangeValidation) {
+  const auto graph = block_graph(2, 3);
+  const auto analysis = clustering::analyze_spectrum(graph.weights);
+  EXPECT_THROW((void)analysis.eigengap_cluster_count(8, 2),
+               std::invalid_argument);
+}
+
+TEST(Spectral, ClusterRecoveryWithFixedK) {
+  const auto graph = block_graph(3, 6);
+  clustering::SpectralOptions options;
+  options.cluster_count = 3;
+  const auto result = clustering::spectral_cluster(graph, options);
+  EXPECT_EQ(result.cluster_count, 3u);
+  // Each block is one cluster.
+  std::set<std::size_t> labels;
+  for (std::size_t b = 0; b < 3; ++b) {
+    const auto label = result.labels[b * 6];
+    labels.insert(label);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(result.labels[b * 6 + i], label);
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(Spectral, AutoKMatchesEigengap) {
+  const auto graph = block_graph(2, 8);
+  const auto result = clustering::spectral_cluster(graph);
+  EXPECT_EQ(result.cluster_count, 2u);
+  EXPECT_EQ(result.eigenvalues.size(), 16u);
+}
+
+TEST(Spectral, ClustersAccessor) {
+  const auto graph = block_graph(2, 3);
+  clustering::SpectralOptions options;
+  options.cluster_count = 2;
+  const auto result = clustering::spectral_cluster(graph, options);
+  const auto clusters = result.clusters();
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].size() + clusters[1].size(), 6u);
+  // cluster_of agrees with the grouping.
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (auto id : clusters[c]) {
+      EXPECT_EQ(result.cluster_of(id), c);
+    }
+  }
+  EXPECT_THROW((void)result.cluster_of(999), std::invalid_argument);
+}
+
+TEST(Spectral, ClusterCountValidation) {
+  const auto graph = block_graph(2, 2);
+  clustering::SpectralOptions options;
+  options.cluster_count = 10;
+  EXPECT_THROW((void)clustering::spectral_cluster(graph, options),
+               std::invalid_argument);
+}
+
+TEST(Spectral, DeterministicForSameSeed) {
+  const auto graph = block_graph(3, 5);
+  const auto a = clustering::spectral_cluster(graph);
+  const auto b = clustering::spectral_cluster(graph);
+  EXPECT_EQ(a.labels, b.labels);
+}

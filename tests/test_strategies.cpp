@@ -1,0 +1,151 @@
+// Tests for the representative-sensor selection strategies.
+
+#include "auditherm/selection/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace selection = auditherm::selection;
+namespace ts = auditherm::timeseries;
+using ts::MultiTrace;
+using ts::TimeGrid;
+
+namespace {
+
+/// Cluster A = {1, 2, 3} near 20 degC (2 sits exactly on the mean),
+/// cluster B = {4, 5} near 23 degC (5 on the mean).
+MultiTrace make_training() {
+  MultiTrace trace(TimeGrid(0, 30, 40), {1, 2, 3, 4, 5});
+  for (std::size_t k = 0; k < 40; ++k) {
+    trace.set(k, 0, 19.6);
+    trace.set(k, 1, 20.0);  // the near-mean sensor of cluster A
+    trace.set(k, 2, 20.4);
+    trace.set(k, 3, 22.6);
+    trace.set(k, 4, 23.0 - 0.2);  // mean of {4,5} = 22.7; 5 is closer
+  }
+  return trace;
+}
+
+const selection::ClusterSets kClusters{{1, 2, 3}, {4, 5}};
+
+}  // namespace
+
+TEST(Selection, FlattenedConcatenatesClusters) {
+  selection::Selection sel;
+  sel.per_cluster = {{1, 2}, {5}};
+  EXPECT_EQ(sel.flattened(), (std::vector<int>{1, 2, 5}));
+}
+
+TEST(Sms, PicksNearMeanSensor) {
+  const auto training = make_training();
+  const auto sel = selection::stratified_near_mean(training, kClusters);
+  ASSERT_EQ(sel.per_cluster.size(), 2u);
+  EXPECT_EQ(sel.per_cluster[0], (std::vector<int>{2}));
+  EXPECT_EQ(sel.per_cluster[1], (std::vector<int>{5}));
+}
+
+TEST(Sms, MultipleSensorsRankedByDistance) {
+  const auto training = make_training();
+  const auto sel = selection::stratified_near_mean(training, kClusters, 2);
+  EXPECT_EQ(sel.per_cluster[0].size(), 2u);
+  EXPECT_EQ(sel.per_cluster[0][0], 2);  // best first
+  // Cluster of 2 can only supply 2.
+  EXPECT_EQ(sel.per_cluster[1].size(), 2u);
+}
+
+TEST(Srs, SelectsWithinOwnCluster) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto sel = selection::stratified_random(kClusters, seed);
+    for (std::size_t c = 0; c < kClusters.size(); ++c) {
+      ASSERT_EQ(sel.per_cluster[c].size(), 1u);
+      EXPECT_NE(std::find(kClusters[c].begin(), kClusters[c].end(),
+                          sel.per_cluster[c][0]),
+                kClusters[c].end());
+    }
+  }
+}
+
+TEST(Srs, DrawsWithoutReplacement) {
+  const auto sel = selection::stratified_random(kClusters, 3, 3);
+  std::set<int> unique(sel.per_cluster[0].begin(), sel.per_cluster[0].end());
+  EXPECT_EQ(unique.size(), sel.per_cluster[0].size());
+}
+
+TEST(Srs, DeterministicPerSeed) {
+  const auto a = selection::stratified_random(kClusters, 11);
+  const auto b = selection::stratified_random(kClusters, 11);
+  EXPECT_EQ(a.per_cluster, b.per_cluster);
+}
+
+TEST(Rs, CanCrossClusters) {
+  // RS ignores the grouping; across seeds it must sometimes pick both
+  // representatives from the same original cluster.
+  const auto training = make_training();
+  bool crossed = false;
+  for (std::uint64_t seed = 0; seed < 50 && !crossed; ++seed) {
+    const auto sel = selection::simple_random(training, kClusters, seed);
+    const auto chosen = sel.flattened();
+    const bool both_in_a =
+        std::count_if(chosen.begin(), chosen.end(),
+                      [](int id) { return id <= 3; }) == 2;
+    if (both_in_a) crossed = true;
+  }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(Rs, SelectionCountMatchesClusters) {
+  const auto training = make_training();
+  const auto sel = selection::simple_random(training, kClusters, 1);
+  EXPECT_EQ(sel.flattened().size(), 2u);
+}
+
+TEST(Thermostats, RoundRobinAssignment) {
+  const auto sel = selection::thermostat_baseline({40, 41}, 3);
+  ASSERT_EQ(sel.per_cluster.size(), 3u);
+  EXPECT_EQ(sel.per_cluster[0], (std::vector<int>{40}));
+  EXPECT_EQ(sel.per_cluster[1], (std::vector<int>{41}));
+  EXPECT_EQ(sel.per_cluster[2], (std::vector<int>{40}));
+  EXPECT_THROW((void)selection::thermostat_baseline({}, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)selection::thermostat_baseline({40}, 0),
+               std::invalid_argument);
+}
+
+TEST(AssignToClusters, BestMatchAssignment) {
+  const auto training = make_training();
+  // Chosen: one cool-zone sensor (1) and one warm-zone sensor (4); they
+  // must land on their own clusters regardless of input order.
+  const auto sel =
+      selection::assign_to_clusters(training, kClusters, {4, 1});
+  EXPECT_EQ(sel.per_cluster[0], (std::vector<int>{1}));
+  EXPECT_EQ(sel.per_cluster[1], (std::vector<int>{4}));
+}
+
+TEST(AssignToClusters, BothFromOneZoneStillCoversAllClusters) {
+  const auto training = make_training();
+  const auto sel =
+      selection::assign_to_clusters(training, kClusters, {1, 3});
+  EXPECT_EQ(sel.per_cluster[0].size(), 1u);
+  EXPECT_EQ(sel.per_cluster[1].size(), 1u);  // gets a cool sensor anyway
+}
+
+TEST(AssignToClusters, Validation) {
+  const auto training = make_training();
+  EXPECT_THROW(
+      (void)selection::assign_to_clusters(training, kClusters, {}),
+      std::invalid_argument);
+}
+
+TEST(Selection, CommonValidation) {
+  const auto training = make_training();
+  EXPECT_THROW((void)selection::stratified_near_mean(training, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)selection::stratified_near_mean(training, kClusters, 0),
+               std::invalid_argument);
+  const selection::ClusterSets with_empty{{1}, {}};
+  EXPECT_THROW((void)selection::stratified_random(with_empty, 1),
+               std::invalid_argument);
+}

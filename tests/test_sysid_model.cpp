@@ -1,0 +1,147 @@
+// Tests for the ThermalModel structure and simulation.
+
+#include "auditherm/sysid/model.hpp"
+
+#include "auditherm/linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sysid = auditherm::sysid;
+namespace linalg = auditherm::linalg;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+sysid::ThermalModel first_order() {
+  // T(k+1) = 0.5*T(k) + [1, 2] u(k), two states decoupled.
+  Matrix a{{0.5, 0.0}, {0.0, 0.5}};
+  Matrix b{{1.0, 0.0}, {0.0, 2.0}};
+  return sysid::ThermalModel(sysid::ModelOrder::kFirst, a, {}, b, {1, 2},
+                             {101, 102});
+}
+
+sysid::ThermalModel second_order() {
+  Matrix a{{0.8, 0.0}, {0.0, 0.8}};
+  Matrix a2{{0.1, 0.0}, {0.0, 0.1}};
+  Matrix b{{1.0}, {1.0}};
+  return sysid::ThermalModel(sysid::ModelOrder::kSecond, a, a2, b, {1, 2},
+                             {101});
+}
+
+}  // namespace
+
+TEST(ThermalModel, ShapeValidation) {
+  Matrix a2x2 = Matrix::identity(2);
+  Matrix b2x1(2, 1);
+  // Wrong A shape.
+  EXPECT_THROW(sysid::ThermalModel(sysid::ModelOrder::kFirst, Matrix(2, 3),
+                                   {}, b2x1, {1, 2}, {101}),
+               std::invalid_argument);
+  // Missing A2 for second order.
+  EXPECT_THROW(sysid::ThermalModel(sysid::ModelOrder::kSecond, a2x2, {},
+                                   b2x1, {1, 2}, {101}),
+               std::invalid_argument);
+  // Spurious A2 for first order.
+  EXPECT_THROW(sysid::ThermalModel(sysid::ModelOrder::kFirst, a2x2, a2x2,
+                                   b2x1, {1, 2}, {101}),
+               std::invalid_argument);
+  // Wrong B shape.
+  EXPECT_THROW(sysid::ThermalModel(sysid::ModelOrder::kFirst, a2x2, {},
+                                   Matrix(2, 2), {1, 2}, {101}),
+               std::invalid_argument);
+  // No states.
+  EXPECT_THROW(sysid::ThermalModel(sysid::ModelOrder::kFirst, Matrix(), {},
+                                   Matrix(), {}, {101}),
+               std::invalid_argument);
+}
+
+TEST(ThermalModel, PredictNextFirstOrder) {
+  const auto m = first_order();
+  const Vector next = m.predict_next({10.0, 20.0}, {}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(next[0], 6.0);   // 0.5*10 + 1
+  EXPECT_DOUBLE_EQ(next[1], 12.0);  // 0.5*20 + 2
+}
+
+TEST(ThermalModel, PredictNextSecondOrderUsesDelta) {
+  const auto m = second_order();
+  const Vector next = m.predict_next({10.0, 10.0}, {1.0, -1.0}, {0.0});
+  EXPECT_DOUBLE_EQ(next[0], 8.1);  // 0.8*10 + 0.1*1
+  EXPECT_DOUBLE_EQ(next[1], 7.9);  // 0.8*10 - 0.1
+}
+
+TEST(ThermalModel, PredictNextValidatesSizes) {
+  const auto m = first_order();
+  EXPECT_THROW((void)m.predict_next({1.0}, {}, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.predict_next({1.0, 2.0}, {}, {1.0}),
+               std::invalid_argument);
+  const auto m2 = second_order();
+  EXPECT_THROW((void)m2.predict_next({1.0, 2.0}, {1.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(ThermalModel, SimulateMatchesIteratedPredict) {
+  const auto m = second_order();
+  Matrix inputs(5, 1);
+  for (std::size_t k = 0; k < 5; ++k) inputs(k, 0) = 0.3 * (k + 1);
+  const Vector init{20.0, 21.0};
+  const Vector init_delta{0.2, -0.1};
+  const auto sim = m.simulate(init, init_delta, inputs);
+
+  Vector temps = init;
+  Vector delta = init_delta;
+  for (std::size_t k = 0; k < 5; ++k) {
+    const Vector next = m.predict_next(temps, delta, inputs.row_vector(k));
+    EXPECT_DOUBLE_EQ(sim(k, 0), next[0]);
+    EXPECT_DOUBLE_EQ(sim(k, 1), next[1]);
+    delta = auditherm::linalg::subtract(next, temps);
+    temps = next;
+  }
+}
+
+TEST(ThermalModel, SimulateStableSystemConverges) {
+  // x(k+1) = 0.5 x(k) + u with constant u=1 converges to 2.
+  const auto m = first_order();
+  Matrix inputs(100, 2, 1.0);
+  const auto sim = m.simulate({0.0, 0.0}, {}, inputs);
+  EXPECT_NEAR(sim(99, 0), 2.0, 1e-9);
+  EXPECT_NEAR(sim(99, 1), 4.0, 1e-9);
+}
+
+TEST(ThermalModel, SimulateValidatesShapes) {
+  const auto m = first_order();
+  EXPECT_THROW((void)m.simulate({1.0}, {}, Matrix(3, 2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.simulate({1.0, 2.0}, {}, Matrix(3, 1)),
+               std::invalid_argument);
+  const auto m2 = second_order();
+  EXPECT_THROW((void)m2.simulate({1.0, 2.0}, {0.1}, Matrix(3, 1)),
+               std::invalid_argument);
+}
+
+TEST(ThermalModel, SpectralRadiusOfDiagonalSystem) {
+  const auto m = first_order();  // A = 0.5 I
+  EXPECT_NEAR(m.spectral_radius_bound(), 0.5, 1e-6);
+}
+
+TEST(ThermalModel, SpectralRadiusFlagsUnstableSystem) {
+  Matrix a{{1.2, 0.0}, {0.0, 0.3}};
+  Matrix b(2, 1);
+  const sysid::ThermalModel m(sysid::ModelOrder::kFirst, a, {}, b, {1, 2},
+                              {101});
+  EXPECT_GT(m.spectral_radius_bound(), 1.1);
+}
+
+TEST(ThermalModel, AccessorsReflectConstruction) {
+  const auto m = second_order();
+  EXPECT_EQ(m.order(), sysid::ModelOrder::kSecond);
+  EXPECT_EQ(m.state_count(), 2u);
+  EXPECT_EQ(m.input_count(), 1u);
+  EXPECT_EQ(m.state_channels(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(m.input_channels(), (std::vector<int>{101}));
+  EXPECT_DOUBLE_EQ(m.a()(0, 0), 0.8);
+  EXPECT_DOUBLE_EQ(m.a2()(0, 0), 0.1);
+}

@@ -1,0 +1,142 @@
+// Tests for the PI thermostat controller.
+
+#include "auditherm/hvac/thermostat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace hvac = auditherm::hvac;
+
+namespace {
+
+constexpr auto kNoon = 12 * 60;       // occupied
+constexpr auto kMidnight = 0;         // unoccupied
+
+std::vector<hvac::VavBox> make_boxes(std::size_t n = 2) {
+  return std::vector<hvac::VavBox>(n, hvac::VavBox(hvac::VavConfig{}));
+}
+
+}  // namespace
+
+TEST(Thermostat, WarmRoomOpensDampers) {
+  hvac::ThermostatController controller{hvac::ThermostatConfig{}};
+  auto boxes = make_boxes();
+  // 2 K above setpoint: flow command should exceed the base flow.
+  controller.update(boxes, {23.0, 23.0}, kNoon, 60.0);
+  for (auto& box : boxes) {
+    for (int i = 0; i < 200; ++i) box.step(60.0);
+    EXPECT_GT(box.flow(), controller.config().base_flow_m3_s - 1e-9);
+  }
+}
+
+TEST(Thermostat, ColdRoomSwitchesToHeatingSupply) {
+  hvac::ThermostatController controller{hvac::ThermostatConfig{}};
+  auto boxes = make_boxes();
+  controller.update(boxes, {17.0, 17.0}, kNoon, 60.0);
+  EXPECT_DOUBLE_EQ(controller.supply_temp_c(),
+                   controller.config().heating_supply_c);
+  for (auto& box : boxes) {
+    for (int i = 0; i < 200; ++i) box.step(60.0);
+    EXPECT_GT(box.flow(), controller.config().base_flow_m3_s - 1e-9);
+  }
+}
+
+TEST(Thermostat, WarmRoomSelectsCoolingSupply) {
+  hvac::ThermostatController controller{hvac::ThermostatConfig{}};
+  auto boxes = make_boxes();
+  controller.update(boxes, {24.0, 24.0}, kNoon, 60.0);
+  EXPECT_DOUBLE_EQ(controller.supply_temp_c(),
+                   controller.config().cooling_supply_c);
+}
+
+TEST(Thermostat, DeadbandHoldsBaseFlowAndNeutralSupply) {
+  hvac::ThermostatController controller{hvac::ThermostatConfig{}};
+  auto boxes = make_boxes();
+  const double setpoint = controller.config().setpoint_c;
+  controller.update(boxes, {setpoint + 0.1}, kNoon, 60.0);
+  EXPECT_DOUBLE_EQ(controller.supply_temp_c(),
+                   controller.config().neutral_supply_c);
+  for (auto& box : boxes) {
+    for (int i = 0; i < 200; ++i) box.step(60.0);
+    EXPECT_NEAR(box.flow(), controller.config().base_flow_m3_s, 1e-6);
+  }
+}
+
+TEST(Thermostat, ModeSwitchResetsIntegrator) {
+  hvac::ThermostatConfig config;
+  config.ki = 1e-4;
+  hvac::ThermostatController controller{config};
+  auto boxes = make_boxes();
+  for (int i = 0; i < 50; ++i) controller.update(boxes, {25.0}, kNoon, 60.0);
+  EXPECT_GT(controller.integrator(), 0.01);
+  controller.update(boxes, {17.0}, kNoon, 60.0);  // cooling -> heating
+  // The integrator restarts from zero; heating holds the base airflow
+  // (the reheat coil, not the damper, does the work), so it stays zero.
+  EXPECT_DOUBLE_EQ(controller.integrator(), 0.0);
+  EXPECT_DOUBLE_EQ(controller.supply_temp_c(),
+                   controller.config().heating_supply_c);
+}
+
+TEST(Thermostat, UnoccupiedForcesMinimumRegardlessOfTemp) {
+  hvac::ThermostatController controller{hvac::ThermostatConfig{}};
+  auto boxes = make_boxes();
+  controller.update(boxes, {30.0, 30.0}, kMidnight, 60.0);
+  for (auto& box : boxes) {
+    for (int i = 0; i < 200; ++i) box.step(60.0);
+    EXPECT_NEAR(box.flow(), box.config().min_flow_m3_s, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(controller.integrator(), 0.0);
+}
+
+TEST(Thermostat, IntegratorAccumulatesAndClamps) {
+  hvac::ThermostatConfig config;
+  config.ki = 0.01;
+  config.integrator_limit = 0.2;
+  hvac::ThermostatController controller{config};
+  auto boxes = make_boxes();
+  for (int i = 0; i < 1000; ++i) {
+    controller.update(boxes, {25.0}, kNoon, 60.0);
+  }
+  EXPECT_NEAR(controller.integrator(), 0.2, 1e-12);  // clamped
+  controller.reset();
+  EXPECT_DOUBLE_EQ(controller.integrator(), 0.0);
+}
+
+TEST(Thermostat, MeanOfReadingsDrivesLoop) {
+  hvac::ThermostatController controller{hvac::ThermostatConfig{}};
+  auto hot_boxes = make_boxes(1);
+  auto mixed_boxes = make_boxes(1);
+  controller.update(hot_boxes, {25.0, 25.0}, kNoon, 60.0);
+  hvac::ThermostatController controller2{hvac::ThermostatConfig{}};
+  // Mean of (29, 21) equals 25: same command.
+  controller2.update(mixed_boxes, {29.0, 21.0}, kNoon, 60.0);
+  for (int i = 0; i < 100; ++i) {
+    hot_boxes[0].step(60.0);
+    mixed_boxes[0].step(60.0);
+  }
+  EXPECT_NEAR(hot_boxes[0].flow(), mixed_boxes[0].flow(), 1e-9);
+}
+
+TEST(Thermostat, Validation) {
+  hvac::ThermostatConfig bad;
+  bad.kp = 0.0;
+  EXPECT_THROW(hvac::ThermostatController{bad}, std::invalid_argument);
+  bad = {};
+  bad.base_flow_m3_s = -1.0;
+  EXPECT_THROW(hvac::ThermostatController{bad}, std::invalid_argument);
+  bad = {};
+  bad.cooling_supply_c = 30.0;  // cooling must be colder than heating
+  EXPECT_THROW(hvac::ThermostatController{bad}, std::invalid_argument);
+  bad = {};
+  bad.deadband_c = -0.1;
+  EXPECT_THROW(hvac::ThermostatController{bad}, std::invalid_argument);
+
+  hvac::ThermostatController controller{hvac::ThermostatConfig{}};
+  auto boxes = make_boxes();
+  EXPECT_THROW(controller.update(boxes, {}, kNoon, 60.0),
+               std::invalid_argument);
+  EXPECT_THROW(controller.update(boxes, {21.0}, kNoon, 0.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,66 @@
+// Tests for TimeGrid and time helpers.
+
+#include "auditherm/timeseries/time_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ts = auditherm::timeseries;
+
+TEST(TimeHelpers, DayOf) {
+  EXPECT_EQ(ts::day_of(0), 0);
+  EXPECT_EQ(ts::day_of(1439), 0);
+  EXPECT_EQ(ts::day_of(1440), 1);
+  EXPECT_EQ(ts::day_of(-1), -1);
+  EXPECT_EQ(ts::day_of(-1440), -1);
+  EXPECT_EQ(ts::day_of(-1441), -2);
+}
+
+TEST(TimeHelpers, MinuteOfDay) {
+  EXPECT_EQ(ts::minute_of_day(0), 0);
+  EXPECT_EQ(ts::minute_of_day(1441), 1);
+  EXPECT_EQ(ts::minute_of_day(6 * 60 + 3 * 1440), 360);
+  EXPECT_EQ(ts::minute_of_day(-1), 1439);
+}
+
+TEST(TimeHelpers, FormatTime) {
+  EXPECT_EQ(ts::format_time(0), "d0 00:00");
+  EXPECT_EQ(ts::format_time(1440 + 6 * 60 + 5), "d1 06:05");
+  EXPECT_EQ(ts::format_time(2 * 1440 + 21 * 60 + 30), "d2 21:30");
+}
+
+TEST(TimeGrid, BasicsAndIndexing) {
+  ts::TimeGrid grid(100, 5, 10);
+  EXPECT_EQ(grid.start(), 100);
+  EXPECT_EQ(grid.step(), 5);
+  EXPECT_EQ(grid.size(), 10u);
+  EXPECT_FALSE(grid.empty());
+  EXPECT_EQ(grid[0], 100);
+  EXPECT_EQ(grid[9], 145);
+  EXPECT_EQ(grid.end(), 150);
+  EXPECT_EQ(grid.at(3), 115);
+  EXPECT_THROW((void)grid.at(10), std::out_of_range);
+}
+
+TEST(TimeGrid, RejectsBadStep) {
+  EXPECT_THROW(ts::TimeGrid(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(ts::TimeGrid(0, -5, 5), std::invalid_argument);
+}
+
+TEST(TimeGrid, IndexAtOrAfter) {
+  ts::TimeGrid grid(100, 5, 10);
+  EXPECT_EQ(grid.index_at_or_after(0), 0u);
+  EXPECT_EQ(grid.index_at_or_after(100), 0u);
+  EXPECT_EQ(grid.index_at_or_after(101), 1u);
+  EXPECT_EQ(grid.index_at_or_after(105), 1u);
+  EXPECT_EQ(grid.index_at_or_after(145), 9u);
+  EXPECT_EQ(grid.index_at_or_after(146), 10u);  // past the end
+  EXPECT_EQ(grid.index_at_or_after(9999), 10u);
+}
+
+TEST(TimeGrid, EqualityAndDefault) {
+  EXPECT_EQ(ts::TimeGrid(0, 5, 3), ts::TimeGrid(0, 5, 3));
+  EXPECT_NE(ts::TimeGrid(0, 5, 3), ts::TimeGrid(0, 5, 4));
+  EXPECT_TRUE(ts::TimeGrid().empty());
+}

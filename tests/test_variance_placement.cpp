@@ -1,0 +1,78 @@
+// Tests for the maximum-variance greedy selection baseline.
+
+#include "auditherm/selection/variance_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace selection = auditherm::selection;
+namespace ts = auditherm::timeseries;
+using ts::MultiTrace;
+using ts::TimeGrid;
+
+namespace {
+
+/// Channel variances: 1 tiny, 2 medium, 3 large, 4 = copy of 3 (redundant).
+MultiTrace make_trace(std::uint64_t seed = 1) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> n01(0.0, 1.0);
+  MultiTrace trace(TimeGrid(0, 30, 200), {1, 2, 3, 4});
+  for (std::size_t k = 0; k < 200; ++k) {
+    const double big = n01(rng);
+    trace.set(k, 0, 20.0 + 0.01 * n01(rng));
+    trace.set(k, 1, 20.0 + 0.3 * n01(rng));
+    trace.set(k, 2, 20.0 + big);
+    trace.set(k, 3, 20.0 + big + 0.001 * n01(rng));  // ~duplicate of 3
+  }
+  return trace;
+}
+
+}  // namespace
+
+TEST(VariancePlacement, PicksHighestVarianceFirst) {
+  const auto trace = make_trace();
+  const auto chosen =
+      selection::max_variance_selection(trace, {1, 2, 3, 4}, 1);
+  EXPECT_TRUE(chosen[0] == 3 || chosen[0] == 4);
+}
+
+TEST(VariancePlacement, RedundancyCapSkipsDuplicates) {
+  const auto trace = make_trace();
+  const auto chosen =
+      selection::max_variance_selection(trace, {1, 2, 3, 4}, 2, 0.95);
+  // Second pick must NOT be the near-duplicate of the first.
+  const std::set<int> pair(chosen.begin(), chosen.end());
+  EXPECT_FALSE(pair.count(3) && pair.count(4));
+  EXPECT_TRUE(pair.count(2));
+}
+
+TEST(VariancePlacement, CapDisabledKeepsDuplicates) {
+  const auto trace = make_trace();
+  const auto chosen =
+      selection::max_variance_selection(trace, {1, 2, 3, 4}, 2, 1.0);
+  const std::set<int> pair(chosen.begin(), chosen.end());
+  EXPECT_TRUE(pair.count(3) && pair.count(4));
+}
+
+TEST(VariancePlacement, TopsUpWhenCapTooStrict) {
+  const auto trace = make_trace();
+  // Cap 0 rejects everything after the first pick; the top-up pass must
+  // still return the requested count.
+  const auto chosen =
+      selection::max_variance_selection(trace, {1, 2, 3, 4}, 3, 0.0);
+  std::set<int> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(VariancePlacement, Validation) {
+  const auto trace = make_trace();
+  EXPECT_THROW(
+      (void)selection::max_variance_selection(trace, {1, 2}, 0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)selection::max_variance_selection(trace, {1, 2}, 3),
+      std::invalid_argument);
+}

@@ -1,0 +1,106 @@
+// Tests for the synthetic weather generator.
+
+#include "auditherm/sim/weather.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sim = auditherm::sim;
+namespace ts = auditherm::timeseries;
+
+TEST(Weather, DeterministicForSameSeed) {
+  sim::WeatherConfig config;
+  sim::WeatherModel a(config, 10);
+  sim::WeatherModel b(config, 10);
+  for (ts::Minutes t = 0; t < 10 * ts::kMinutesPerDay; t += 97) {
+    EXPECT_DOUBLE_EQ(a.temperature_at(t), b.temperature_at(t));
+  }
+}
+
+TEST(Weather, DifferentSeedsDiffer) {
+  sim::WeatherConfig config;
+  sim::WeatherModel a(config, 5);
+  config.seed += 1;
+  sim::WeatherModel b(config, 5);
+  bool any_diff = false;
+  for (ts::Minutes t = 0; t < 5 * ts::kMinutesPerDay; t += 60) {
+    if (a.temperature_at(t) != b.temperature_at(t)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Weather, SeasonalRampWinterToSpring) {
+  sim::WeatherConfig config;  // 1 -> 18 degC over 98 days
+  sim::WeatherModel model(config, 98);
+  // Compare deterministic daily means at the ends of the season.
+  double early = 0.0, late = 0.0;
+  for (ts::Minutes m = 0; m < ts::kMinutesPerDay; m += 30) {
+    early += model.deterministic_at(m);
+    late += model.deterministic_at(97 * ts::kMinutesPerDay + m);
+  }
+  early /= 48.0;
+  late /= 48.0;
+  EXPECT_NEAR(early, config.start_mean_c, 0.5);
+  EXPECT_GT(late, early + 10.0);
+}
+
+TEST(Weather, DiurnalMinimumNearConfiguredMinute) {
+  sim::WeatherConfig config;
+  sim::WeatherModel model(config, 3);
+  double min_temp = 1e9;
+  ts::Minutes argmin = 0;
+  for (ts::Minutes m = 0; m < ts::kMinutesPerDay; m += 10) {
+    const double v = model.deterministic_at(ts::kMinutesPerDay + m);
+    if (v < min_temp) {
+      min_temp = v;
+      argmin = m;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(argmin),
+              static_cast<double>(config.coldest_minute), 30.0);
+}
+
+TEST(Weather, DiurnalAmplitudeMatchesConfig) {
+  sim::WeatherConfig config;
+  sim::WeatherModel model(config, 2);
+  double lo = 1e9, hi = -1e9;
+  for (ts::Minutes m = 0; m < ts::kMinutesPerDay; m += 5) {
+    const double v = model.deterministic_at(m);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(hi - lo, 2.0 * config.diurnal_amplitude_c, 0.2);
+}
+
+TEST(Weather, QueriesOutsideRangeAreClamped) {
+  sim::WeatherModel model(sim::WeatherConfig{}, 2);
+  EXPECT_DOUBLE_EQ(model.temperature_at(-100), model.temperature_at(0));
+  const auto last = 2 * ts::kMinutesPerDay - 1;
+  EXPECT_DOUBLE_EQ(model.temperature_at(last + 5000),
+                   model.temperature_at(last));
+}
+
+TEST(Weather, ConfigValidation) {
+  sim::WeatherConfig bad;
+  EXPECT_THROW(sim::WeatherModel(bad, 0), std::invalid_argument);
+  bad = {};
+  bad.ar1_coefficient = 1.0;
+  EXPECT_THROW(sim::WeatherModel(bad, 5), std::invalid_argument);
+  bad = {};
+  bad.day_offset_std_c = -1.0;
+  EXPECT_THROW(sim::WeatherModel(bad, 5), std::invalid_argument);
+  bad = {};
+  bad.season_days = 0.0;
+  EXPECT_THROW(sim::WeatherModel(bad, 5), std::invalid_argument);
+}
+
+TEST(Weather, StochasticSpreadIsBounded) {
+  sim::WeatherConfig config;
+  sim::WeatherModel model(config, 30);
+  for (ts::Minutes t = 0; t < 30 * ts::kMinutesPerDay; t += 123) {
+    const double diff =
+        std::abs(model.temperature_at(t) - model.deterministic_at(t));
+    EXPECT_LT(diff, 6.0 * config.day_offset_std_c);
+  }
+}

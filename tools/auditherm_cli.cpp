@@ -1,0 +1,202 @@
+// auditherm command-line tool.
+//
+//   auditherm simulate --days 98 --failure-days 34 --seed 1234
+//       --out trace.csv [--truth truth.csv]
+//   auditherm analyze --data trace.csv [--metric correlation|euclidean]
+//       [--clusters K] [--order 1|2] [--per-cluster N]
+//
+// The CSV uses the library's channel conventions: ids < 100 are
+// temperature sensors (40/41 the HVAC thermostats), 101..100+m the VAV
+// flows, 110 occupancy, 111 lighting, 112 ambient, 113 supply temperature.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "auditherm/auditherm.hpp"
+
+using namespace auditherm;
+
+namespace {
+
+/// Tiny --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        throw std::invalid_argument(std::string("expected --flag, got ") +
+                                    argv[i]);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      throw std::invalid_argument("dangling flag without a value");
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) throw std::invalid_argument("missing required --" + key);
+    return *v;
+  }
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const {
+    const auto v = get(key);
+    return v ? std::stol(*v) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  auditherm simulate --out trace.csv [--days N] [--failure-days N]\n"
+      "                     [--seed S] [--truth truth.csv]\n"
+      "  auditherm analyze  --data trace.csv [--metric correlation|euclidean]\n"
+      "                     [--clusters K] [--order 1|2] [--per-cluster N]\n");
+  return 2;
+}
+
+int cmd_simulate(const Args& args) {
+  sim::DatasetConfig config;
+  config.days = static_cast<std::size_t>(args.get_long("days", 98));
+  config.failure_days =
+      static_cast<std::size_t>(args.get_long("failure-days", 34));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 1234));
+  const auto out = args.require("out");
+
+  std::printf("simulating %zu days (seed %llu)...\n", config.days,
+              static_cast<unsigned long long>(config.seed));
+  const auto dataset = sim::generate_dataset(config);
+  timeseries::write_csv_file(out, dataset.trace);
+  std::printf("wrote %s: %zu samples x %zu channels, coverage %.1f%%\n",
+              out.c_str(), dataset.trace.size(),
+              dataset.trace.channel_count(),
+              100.0 * dataset.trace.coverage());
+  if (const auto truth = args.get("truth")) {
+    timeseries::write_csv_file(*truth, dataset.truth);
+    std::printf("wrote %s (noise-free ground truth)\n", truth->c_str());
+  }
+  return 0;
+}
+
+/// Partition a loaded trace's channels by the library conventions.
+struct ChannelSets {
+  std::vector<timeseries::ChannelId> sensors;      // wireless, < 100, not 40/41
+  std::vector<timeseries::ChannelId> thermostats;  // 40 / 41
+  std::vector<timeseries::ChannelId> inputs;       // [flows, occ, light, amb]
+};
+
+ChannelSets classify_channels(const timeseries::MultiTrace& trace) {
+  ChannelSets sets;
+  std::vector<timeseries::ChannelId> flows;
+  for (auto id : trace.channels()) {
+    if (id == 40 || id == 41) {
+      sets.thermostats.push_back(id);
+    } else if (id < 100) {
+      sets.sensors.push_back(id);
+    } else if (id >= sim::DatasetChannels::kVavBase &&
+               id < sim::DatasetChannels::kOccupancy) {
+      flows.push_back(id);
+    }
+  }
+  sets.inputs = flows;
+  for (auto id : {sim::DatasetChannels::kOccupancy,
+                  sim::DatasetChannels::kLighting,
+                  sim::DatasetChannels::kAmbient}) {
+    if (trace.channel_index(id)) sets.inputs.push_back(id);
+  }
+  if (sets.sensors.size() < 2 || sets.inputs.size() < 2) {
+    throw std::runtime_error(
+        "analyze: trace lacks sensor (<100) or input (>=101) channels");
+  }
+  return sets;
+}
+
+int cmd_analyze(const Args& args) {
+  const auto path = args.require("data");
+  std::printf("loading %s...\n", path.c_str());
+  const auto trace = timeseries::read_csv_file(path);
+  const auto sets = classify_channels(trace);
+  std::printf("channels: %zu sensors, %zu thermostats, %zu inputs; %zu "
+              "samples at %lld-minute steps\n",
+              sets.sensors.size(), sets.thermostats.size(),
+              sets.inputs.size(), trace.size(),
+              static_cast<long long>(trace.grid().step()));
+
+  // Split.
+  hvac::Schedule schedule;
+  auto required = sets.sensors;
+  required.insert(required.end(), sets.thermostats.begin(),
+                  sets.thermostats.end());
+  required.insert(required.end(), sets.inputs.begin(), sets.inputs.end());
+  const auto split = core::split_dataset(trace, required, schedule,
+                                         hvac::Mode::kOccupied);
+  std::printf("usable days: %zu (train %zu / validate %zu)\n",
+              split.usable_days.size(), split.train_days.size(),
+              split.validation_days.size());
+
+  // Pipeline.
+  core::PipelineConfig config;
+  if (const auto metric = args.get("metric")) {
+    config.similarity.metric = *metric == "euclidean"
+                                   ? clustering::SimilarityMetric::kEuclidean
+                                   : clustering::SimilarityMetric::kCorrelation;
+  }
+  config.spectral.cluster_count =
+      static_cast<std::size_t>(args.get_long("clusters", 0));
+  config.order = args.get_long("order", 2) == 1 ? sysid::ModelOrder::kFirst
+                                                : sysid::ModelOrder::kSecond;
+  config.sensors_per_cluster =
+      static_cast<std::size_t>(args.get_long("per-cluster", 1));
+
+  const core::ThermalModelingPipeline pipeline(config);
+  const auto result = pipeline.run(trace, schedule, split, sets.sensors,
+                                   sets.inputs, sets.thermostats);
+
+  std::printf("\nclusters (%zu):\n", result.clustering.cluster_count);
+  const auto clusters = result.clustering.clusters();
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    std::printf("  cluster %zu:", c + 1);
+    for (auto id : clusters[c]) std::printf(" %d", id);
+    std::printf("   -> keep:");
+    for (auto id : result.selection.per_cluster[c]) std::printf(" %d", id);
+    std::printf("\n");
+  }
+  std::printf("\nreduced %s-order model over %zu sensors:\n",
+              config.order == sysid::ModelOrder::kFirst ? "first" : "second",
+              result.reduced_model.state_count());
+  std::printf("  spectral radius: %.4f\n",
+              result.reduced_model.spectral_radius_bound());
+  std::printf("  validation pooled RMS (own sensors): %.3f degC\n",
+              result.reduced_eval.pooled_rms);
+  std::printf("  cluster-mean 99th-pct error: %.3f degC\n",
+              result.cluster_mean_errors.percentile(99.0));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "analyze") return cmd_analyze(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
