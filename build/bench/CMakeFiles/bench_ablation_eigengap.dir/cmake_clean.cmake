@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eigengap.dir/bench_ablation_eigengap.cpp.o"
+  "CMakeFiles/bench_ablation_eigengap.dir/bench_ablation_eigengap.cpp.o.d"
+  "bench_ablation_eigengap"
+  "bench_ablation_eigengap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eigengap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ridge.dir/bench_ablation_ridge.cpp.o"
+  "CMakeFiles/bench_ablation_ridge.dir/bench_ablation_ridge.cpp.o.d"
+  "bench_ablation_ridge"
+  "bench_ablation_ridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

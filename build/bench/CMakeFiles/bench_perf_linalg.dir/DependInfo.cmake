@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perf_linalg.cpp" "bench/CMakeFiles/bench_perf_linalg.dir/bench_perf_linalg.cpp.o" "gcc" "bench/CMakeFiles/bench_perf_linalg.dir/bench_perf_linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/auditherm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/auditherm_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/auditherm_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/auditherm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/auditherm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysid/CMakeFiles/auditherm_sysid.dir/DependInfo.cmake"
+  "/root/repo/build/src/hvac/CMakeFiles/auditherm_hvac.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/auditherm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/auditherm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

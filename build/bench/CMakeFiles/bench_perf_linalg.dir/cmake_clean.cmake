@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_linalg.dir/bench_perf_linalg.cpp.o"
+  "CMakeFiles/bench_perf_linalg.dir/bench_perf_linalg.cpp.o.d"
+  "bench_perf_linalg"
+  "bench_perf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtual_sensing.dir/bench_virtual_sensing.cpp.o"
+  "CMakeFiles/bench_virtual_sensing.dir/bench_virtual_sensing.cpp.o.d"
+  "bench_virtual_sensing"
+  "bench_virtual_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtual_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

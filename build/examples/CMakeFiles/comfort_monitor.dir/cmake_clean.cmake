@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comfort_monitor.dir/comfort_monitor.cpp.o"
+  "CMakeFiles/comfort_monitor.dir/comfort_monitor.cpp.o.d"
+  "comfort_monitor"
+  "comfort_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comfort_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hvac_control.dir/hvac_control.cpp.o"
+  "CMakeFiles/hvac_control.dir/hvac_control.cpp.o.d"
+  "hvac_control"
+  "hvac_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hvac_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

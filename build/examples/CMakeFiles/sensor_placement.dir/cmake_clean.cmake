@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_placement.dir/sensor_placement.cpp.o"
+  "CMakeFiles/sensor_placement.dir/sensor_placement.cpp.o.d"
+  "sensor_placement"
+  "sensor_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

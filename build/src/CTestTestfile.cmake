@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("linalg")
+subdirs("timeseries")
+subdirs("hvac")
+subdirs("sim")
+subdirs("sysid")
+subdirs("clustering")
+subdirs("selection")
+subdirs("control")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/baselines.cpp" "src/clustering/CMakeFiles/auditherm_clustering.dir/baselines.cpp.o" "gcc" "src/clustering/CMakeFiles/auditherm_clustering.dir/baselines.cpp.o.d"
+  "/root/repo/src/clustering/kmeans.cpp" "src/clustering/CMakeFiles/auditherm_clustering.dir/kmeans.cpp.o" "gcc" "src/clustering/CMakeFiles/auditherm_clustering.dir/kmeans.cpp.o.d"
+  "/root/repo/src/clustering/similarity.cpp" "src/clustering/CMakeFiles/auditherm_clustering.dir/similarity.cpp.o" "gcc" "src/clustering/CMakeFiles/auditherm_clustering.dir/similarity.cpp.o.d"
+  "/root/repo/src/clustering/spectral.cpp" "src/clustering/CMakeFiles/auditherm_clustering.dir/spectral.cpp.o" "gcc" "src/clustering/CMakeFiles/auditherm_clustering.dir/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/auditherm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/auditherm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

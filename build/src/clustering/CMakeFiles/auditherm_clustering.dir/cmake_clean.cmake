@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_clustering.dir/baselines.cpp.o"
+  "CMakeFiles/auditherm_clustering.dir/baselines.cpp.o.d"
+  "CMakeFiles/auditherm_clustering.dir/kmeans.cpp.o"
+  "CMakeFiles/auditherm_clustering.dir/kmeans.cpp.o.d"
+  "CMakeFiles/auditherm_clustering.dir/similarity.cpp.o"
+  "CMakeFiles/auditherm_clustering.dir/similarity.cpp.o.d"
+  "CMakeFiles/auditherm_clustering.dir/spectral.cpp.o"
+  "CMakeFiles/auditherm_clustering.dir/spectral.cpp.o.d"
+  "libauditherm_clustering.a"
+  "libauditherm_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_control.dir/closed_loop.cpp.o"
+  "CMakeFiles/auditherm_control.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/auditherm_control.dir/controllers.cpp.o"
+  "CMakeFiles/auditherm_control.dir/controllers.cpp.o.d"
+  "libauditherm_control.a"
+  "libauditherm_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

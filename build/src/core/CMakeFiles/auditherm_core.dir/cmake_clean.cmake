@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_core.dir/pipeline.cpp.o"
+  "CMakeFiles/auditherm_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/auditherm_core.dir/split.cpp.o"
+  "CMakeFiles/auditherm_core.dir/split.cpp.o.d"
+  "libauditherm_core.a"
+  "libauditherm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hvac/comfort.cpp" "src/hvac/CMakeFiles/auditherm_hvac.dir/comfort.cpp.o" "gcc" "src/hvac/CMakeFiles/auditherm_hvac.dir/comfort.cpp.o.d"
+  "/root/repo/src/hvac/schedule.cpp" "src/hvac/CMakeFiles/auditherm_hvac.dir/schedule.cpp.o" "gcc" "src/hvac/CMakeFiles/auditherm_hvac.dir/schedule.cpp.o.d"
+  "/root/repo/src/hvac/thermostat.cpp" "src/hvac/CMakeFiles/auditherm_hvac.dir/thermostat.cpp.o" "gcc" "src/hvac/CMakeFiles/auditherm_hvac.dir/thermostat.cpp.o.d"
+  "/root/repo/src/hvac/vav.cpp" "src/hvac/CMakeFiles/auditherm_hvac.dir/vav.cpp.o" "gcc" "src/hvac/CMakeFiles/auditherm_hvac.dir/vav.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/auditherm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/auditherm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_hvac.dir/comfort.cpp.o"
+  "CMakeFiles/auditherm_hvac.dir/comfort.cpp.o.d"
+  "CMakeFiles/auditherm_hvac.dir/schedule.cpp.o"
+  "CMakeFiles/auditherm_hvac.dir/schedule.cpp.o.d"
+  "CMakeFiles/auditherm_hvac.dir/thermostat.cpp.o"
+  "CMakeFiles/auditherm_hvac.dir/thermostat.cpp.o.d"
+  "CMakeFiles/auditherm_hvac.dir/vav.cpp.o"
+  "CMakeFiles/auditherm_hvac.dir/vav.cpp.o.d"
+  "libauditherm_hvac.a"
+  "libauditherm_hvac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_hvac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_linalg.dir/decompositions.cpp.o"
+  "CMakeFiles/auditherm_linalg.dir/decompositions.cpp.o.d"
+  "CMakeFiles/auditherm_linalg.dir/least_squares.cpp.o"
+  "CMakeFiles/auditherm_linalg.dir/least_squares.cpp.o.d"
+  "CMakeFiles/auditherm_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/auditherm_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/auditherm_linalg.dir/stats.cpp.o"
+  "CMakeFiles/auditherm_linalg.dir/stats.cpp.o.d"
+  "CMakeFiles/auditherm_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/auditherm_linalg.dir/vector_ops.cpp.o.d"
+  "libauditherm_linalg.a"
+  "libauditherm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libauditherm_linalg.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selection/evaluation.cpp" "src/selection/CMakeFiles/auditherm_selection.dir/evaluation.cpp.o" "gcc" "src/selection/CMakeFiles/auditherm_selection.dir/evaluation.cpp.o.d"
+  "/root/repo/src/selection/gp_placement.cpp" "src/selection/CMakeFiles/auditherm_selection.dir/gp_placement.cpp.o" "gcc" "src/selection/CMakeFiles/auditherm_selection.dir/gp_placement.cpp.o.d"
+  "/root/repo/src/selection/strategies.cpp" "src/selection/CMakeFiles/auditherm_selection.dir/strategies.cpp.o" "gcc" "src/selection/CMakeFiles/auditherm_selection.dir/strategies.cpp.o.d"
+  "/root/repo/src/selection/variance_placement.cpp" "src/selection/CMakeFiles/auditherm_selection.dir/variance_placement.cpp.o" "gcc" "src/selection/CMakeFiles/auditherm_selection.dir/variance_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/auditherm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/auditherm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_selection.dir/evaluation.cpp.o"
+  "CMakeFiles/auditherm_selection.dir/evaluation.cpp.o.d"
+  "CMakeFiles/auditherm_selection.dir/gp_placement.cpp.o"
+  "CMakeFiles/auditherm_selection.dir/gp_placement.cpp.o.d"
+  "CMakeFiles/auditherm_selection.dir/strategies.cpp.o"
+  "CMakeFiles/auditherm_selection.dir/strategies.cpp.o.d"
+  "CMakeFiles/auditherm_selection.dir/variance_placement.cpp.o"
+  "CMakeFiles/auditherm_selection.dir/variance_placement.cpp.o.d"
+  "libauditherm_selection.a"
+  "libauditherm_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataset.cpp" "src/sim/CMakeFiles/auditherm_sim.dir/dataset.cpp.o" "gcc" "src/sim/CMakeFiles/auditherm_sim.dir/dataset.cpp.o.d"
+  "/root/repo/src/sim/floorplan.cpp" "src/sim/CMakeFiles/auditherm_sim.dir/floorplan.cpp.o" "gcc" "src/sim/CMakeFiles/auditherm_sim.dir/floorplan.cpp.o.d"
+  "/root/repo/src/sim/occupancy.cpp" "src/sim/CMakeFiles/auditherm_sim.dir/occupancy.cpp.o" "gcc" "src/sim/CMakeFiles/auditherm_sim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/sim/plant.cpp" "src/sim/CMakeFiles/auditherm_sim.dir/plant.cpp.o" "gcc" "src/sim/CMakeFiles/auditherm_sim.dir/plant.cpp.o.d"
+  "/root/repo/src/sim/sensor_model.cpp" "src/sim/CMakeFiles/auditherm_sim.dir/sensor_model.cpp.o" "gcc" "src/sim/CMakeFiles/auditherm_sim.dir/sensor_model.cpp.o.d"
+  "/root/repo/src/sim/weather.cpp" "src/sim/CMakeFiles/auditherm_sim.dir/weather.cpp.o" "gcc" "src/sim/CMakeFiles/auditherm_sim.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/auditherm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/hvac/CMakeFiles/auditherm_hvac.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/auditherm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

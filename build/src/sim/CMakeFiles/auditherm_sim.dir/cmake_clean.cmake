@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_sim.dir/dataset.cpp.o"
+  "CMakeFiles/auditherm_sim.dir/dataset.cpp.o.d"
+  "CMakeFiles/auditherm_sim.dir/floorplan.cpp.o"
+  "CMakeFiles/auditherm_sim.dir/floorplan.cpp.o.d"
+  "CMakeFiles/auditherm_sim.dir/occupancy.cpp.o"
+  "CMakeFiles/auditherm_sim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/auditherm_sim.dir/plant.cpp.o"
+  "CMakeFiles/auditherm_sim.dir/plant.cpp.o.d"
+  "CMakeFiles/auditherm_sim.dir/sensor_model.cpp.o"
+  "CMakeFiles/auditherm_sim.dir/sensor_model.cpp.o.d"
+  "CMakeFiles/auditherm_sim.dir/weather.cpp.o"
+  "CMakeFiles/auditherm_sim.dir/weather.cpp.o.d"
+  "libauditherm_sim.a"
+  "libauditherm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

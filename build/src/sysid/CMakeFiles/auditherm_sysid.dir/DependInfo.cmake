@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysid/diagnostics.cpp" "src/sysid/CMakeFiles/auditherm_sysid.dir/diagnostics.cpp.o" "gcc" "src/sysid/CMakeFiles/auditherm_sysid.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/sysid/estimator.cpp" "src/sysid/CMakeFiles/auditherm_sysid.dir/estimator.cpp.o" "gcc" "src/sysid/CMakeFiles/auditherm_sysid.dir/estimator.cpp.o.d"
+  "/root/repo/src/sysid/evaluation.cpp" "src/sysid/CMakeFiles/auditherm_sysid.dir/evaluation.cpp.o" "gcc" "src/sysid/CMakeFiles/auditherm_sysid.dir/evaluation.cpp.o.d"
+  "/root/repo/src/sysid/kalman.cpp" "src/sysid/CMakeFiles/auditherm_sysid.dir/kalman.cpp.o" "gcc" "src/sysid/CMakeFiles/auditherm_sysid.dir/kalman.cpp.o.d"
+  "/root/repo/src/sysid/model.cpp" "src/sysid/CMakeFiles/auditherm_sysid.dir/model.cpp.o" "gcc" "src/sysid/CMakeFiles/auditherm_sysid.dir/model.cpp.o.d"
+  "/root/repo/src/sysid/occupancy_estimation.cpp" "src/sysid/CMakeFiles/auditherm_sysid.dir/occupancy_estimation.cpp.o" "gcc" "src/sysid/CMakeFiles/auditherm_sysid.dir/occupancy_estimation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/auditherm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/hvac/CMakeFiles/auditherm_hvac.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/auditherm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

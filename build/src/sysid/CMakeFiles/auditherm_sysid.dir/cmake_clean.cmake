@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_sysid.dir/diagnostics.cpp.o"
+  "CMakeFiles/auditherm_sysid.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/auditherm_sysid.dir/estimator.cpp.o"
+  "CMakeFiles/auditherm_sysid.dir/estimator.cpp.o.d"
+  "CMakeFiles/auditherm_sysid.dir/evaluation.cpp.o"
+  "CMakeFiles/auditherm_sysid.dir/evaluation.cpp.o.d"
+  "CMakeFiles/auditherm_sysid.dir/kalman.cpp.o"
+  "CMakeFiles/auditherm_sysid.dir/kalman.cpp.o.d"
+  "CMakeFiles/auditherm_sysid.dir/model.cpp.o"
+  "CMakeFiles/auditherm_sysid.dir/model.cpp.o.d"
+  "CMakeFiles/auditherm_sysid.dir/occupancy_estimation.cpp.o"
+  "CMakeFiles/auditherm_sysid.dir/occupancy_estimation.cpp.o.d"
+  "libauditherm_sysid.a"
+  "libauditherm_sysid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_sysid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

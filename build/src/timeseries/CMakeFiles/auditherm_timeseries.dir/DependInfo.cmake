@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/csv_io.cpp" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/csv_io.cpp.o" "gcc" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/csv_io.cpp.o.d"
+  "/root/repo/src/timeseries/multi_trace.cpp" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/multi_trace.cpp.o" "gcc" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/multi_trace.cpp.o.d"
+  "/root/repo/src/timeseries/resample.cpp" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/resample.cpp.o" "gcc" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/resample.cpp.o.d"
+  "/root/repo/src/timeseries/segmentation.cpp" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/segmentation.cpp.o" "gcc" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/segmentation.cpp.o.d"
+  "/root/repo/src/timeseries/time_grid.cpp" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/time_grid.cpp.o" "gcc" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/time_grid.cpp.o.d"
+  "/root/repo/src/timeseries/trace_stats.cpp" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/trace_stats.cpp.o" "gcc" "src/timeseries/CMakeFiles/auditherm_timeseries.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/auditherm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

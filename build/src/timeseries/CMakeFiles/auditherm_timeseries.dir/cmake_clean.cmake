@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_timeseries.dir/csv_io.cpp.o"
+  "CMakeFiles/auditherm_timeseries.dir/csv_io.cpp.o.d"
+  "CMakeFiles/auditherm_timeseries.dir/multi_trace.cpp.o"
+  "CMakeFiles/auditherm_timeseries.dir/multi_trace.cpp.o.d"
+  "CMakeFiles/auditherm_timeseries.dir/resample.cpp.o"
+  "CMakeFiles/auditherm_timeseries.dir/resample.cpp.o.d"
+  "CMakeFiles/auditherm_timeseries.dir/segmentation.cpp.o"
+  "CMakeFiles/auditherm_timeseries.dir/segmentation.cpp.o.d"
+  "CMakeFiles/auditherm_timeseries.dir/time_grid.cpp.o"
+  "CMakeFiles/auditherm_timeseries.dir/time_grid.cpp.o.d"
+  "CMakeFiles/auditherm_timeseries.dir/trace_stats.cpp.o"
+  "CMakeFiles/auditherm_timeseries.dir/trace_stats.cpp.o.d"
+  "libauditherm_timeseries.a"
+  "libauditherm_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

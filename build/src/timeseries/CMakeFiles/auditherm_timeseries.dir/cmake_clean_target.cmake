@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libauditherm_timeseries.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comfort.dir/test_comfort.cpp.o"
+  "CMakeFiles/test_comfort.dir/test_comfort.cpp.o.d"
+  "test_comfort"
+  "test_comfort.pdb"
+  "test_comfort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comfort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

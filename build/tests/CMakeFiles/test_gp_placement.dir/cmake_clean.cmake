@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gp_placement.dir/test_gp_placement.cpp.o"
+  "CMakeFiles/test_gp_placement.dir/test_gp_placement.cpp.o.d"
+  "test_gp_placement"
+  "test_gp_placement.pdb"
+  "test_gp_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gp_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_trace.dir/test_multi_trace.cpp.o"
+  "CMakeFiles/test_multi_trace.dir/test_multi_trace.cpp.o.d"
+  "test_multi_trace"
+  "test_multi_trace.pdb"
+  "test_multi_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

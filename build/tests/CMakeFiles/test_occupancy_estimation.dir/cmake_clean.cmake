@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occupancy_estimation.dir/test_occupancy_estimation.cpp.o"
+  "CMakeFiles/test_occupancy_estimation.dir/test_occupancy_estimation.cpp.o.d"
+  "test_occupancy_estimation"
+  "test_occupancy_estimation.pdb"
+  "test_occupancy_estimation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occupancy_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resample.dir/test_resample.cpp.o"
+  "CMakeFiles/test_resample.dir/test_resample.cpp.o.d"
+  "test_resample"
+  "test_resample.pdb"
+  "test_resample[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

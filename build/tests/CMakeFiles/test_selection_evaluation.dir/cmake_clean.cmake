@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selection_evaluation.dir/test_selection_evaluation.cpp.o"
+  "CMakeFiles/test_selection_evaluation.dir/test_selection_evaluation.cpp.o.d"
+  "test_selection_evaluation"
+  "test_selection_evaluation.pdb"
+  "test_selection_evaluation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selection_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

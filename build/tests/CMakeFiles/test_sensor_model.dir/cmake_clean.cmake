@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensor_model.dir/test_sensor_model.cpp.o"
+  "CMakeFiles/test_sensor_model.dir/test_sensor_model.cpp.o.d"
+  "test_sensor_model"
+  "test_sensor_model.pdb"
+  "test_sensor_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensor_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

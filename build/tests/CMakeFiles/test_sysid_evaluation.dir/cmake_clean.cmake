@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysid_evaluation.dir/test_sysid_evaluation.cpp.o"
+  "CMakeFiles/test_sysid_evaluation.dir/test_sysid_evaluation.cpp.o.d"
+  "test_sysid_evaluation"
+  "test_sysid_evaluation.pdb"
+  "test_sysid_evaluation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysid_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

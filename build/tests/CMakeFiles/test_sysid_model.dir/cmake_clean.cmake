@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysid_model.dir/test_sysid_model.cpp.o"
+  "CMakeFiles/test_sysid_model.dir/test_sysid_model.cpp.o.d"
+  "test_sysid_model"
+  "test_sysid_model.pdb"
+  "test_sysid_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysid_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

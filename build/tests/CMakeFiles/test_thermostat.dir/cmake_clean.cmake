@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thermostat.dir/test_thermostat.cpp.o"
+  "CMakeFiles/test_thermostat.dir/test_thermostat.cpp.o.d"
+  "test_thermostat"
+  "test_thermostat.pdb"
+  "test_thermostat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thermostat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

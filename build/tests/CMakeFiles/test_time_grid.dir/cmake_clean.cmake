@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_grid.dir/test_time_grid.cpp.o"
+  "CMakeFiles/test_time_grid.dir/test_time_grid.cpp.o.d"
+  "test_time_grid"
+  "test_time_grid.pdb"
+  "test_time_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variance_placement.dir/test_variance_placement.cpp.o"
+  "CMakeFiles/test_variance_placement.dir/test_variance_placement.cpp.o.d"
+  "test_variance_placement"
+  "test_variance_placement.pdb"
+  "test_variance_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variance_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vav.dir/test_vav.cpp.o"
+  "CMakeFiles/test_vav.dir/test_vav.cpp.o.d"
+  "test_vav"
+  "test_vav.pdb"
+  "test_vav[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

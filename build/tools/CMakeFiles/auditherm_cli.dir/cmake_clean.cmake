@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditherm_cli.dir/auditherm_cli.cpp.o"
+  "CMakeFiles/auditherm_cli.dir/auditherm_cli.cpp.o.d"
+  "auditherm"
+  "auditherm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditherm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
