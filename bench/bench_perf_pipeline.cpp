@@ -1,10 +1,21 @@
 // Performance benchmarks for the end-to-end machinery (google-benchmark):
 // dataset generation, similarity graphs, spectral clustering, model
 // identification, multi-step evaluation, and the full pipeline.
+//
+// After the microbenchmarks, main() times the full pipeline and a
+// 4-strategy sweep at 1/2/4/8 threads, prints a serial-vs-parallel
+// speedup table, verifies the results are bitwise identical across
+// thread counts, and writes the numbers to BENCH_perf_pipeline.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
 #include "auditherm/auditherm.hpp"
+#include "auditherm/core/parallel.hpp"
 
 using namespace auditherm;
 
@@ -120,6 +131,7 @@ BENCHMARK(BM_GpPlacement)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_FullPipeline(benchmark::State& state) {
   core::PipelineConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
   const core::ThermalModelingPipeline pipeline(config);
   for (auto _ : state) {
     benchmark::DoNotOptimize(pipeline.run(
@@ -128,8 +140,144 @@ void BM_FullPipeline(benchmark::State& state) {
         dataset().thermostat_ids()));
   }
 }
-BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// --- Threads-vs-serial speedup report -----------------------------------
+// Runs on the standard 98-day dataset (the paper's full trace) so the
+// numbers track the real reproduction workload, not the microbench one.
+
+const sim::AuditoriumDataset& standard_dataset() {
+  static const sim::AuditoriumDataset ds = [] {
+    sim::DatasetConfig config;
+    config.days = 98;
+    config.failure_days = 34;
+    return sim::generate_dataset(config);
+  }();
+  return ds;
+}
+
+const core::DataSplit& standard_split() {
+  static const core::DataSplit s = [] {
+    auto required = standard_dataset().sensor_ids();
+    const auto inputs = standard_dataset().input_ids();
+    required.insert(required.end(), inputs.begin(), inputs.end());
+    return core::split_dataset(standard_dataset().trace, required,
+                               standard_dataset().schedule,
+                               hvac::Mode::kOccupied);
+  }();
+  return s;
+}
+
+core::PipelineResult run_pipeline_at(std::size_t threads) {
+  core::PipelineConfig config;
+  config.threads = threads;
+  const core::ThermalModelingPipeline pipeline(config);
+  return pipeline.run(standard_dataset().trace, standard_dataset().schedule,
+                      standard_split(), standard_dataset().wireless_ids(),
+                      standard_dataset().input_ids(),
+                      standard_dataset().thermostat_ids());
+}
+
+std::vector<core::PipelineResult> run_sweep_at(std::size_t threads) {
+  core::PipelineConfig base;
+  base.threads = threads;
+  const std::vector<core::SweepCase> cases{
+      {core::SelectionStrategy::kStratifiedNearMean, 7},
+      {core::SelectionStrategy::kStratifiedRandom, 1},
+      {core::SelectionStrategy::kSimpleRandom, 1},
+      {core::SelectionStrategy::kThermostats, 7},
+  };
+  return core::run_strategy_sweep(
+      base, cases, standard_dataset().trace, standard_dataset().schedule,
+      standard_split(), standard_dataset().wireless_ids(),
+      standard_dataset().input_ids(), standard_dataset().thermostat_ids());
+}
+
+/// Best-of-3 wall time in milliseconds.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+bool results_bitwise_equal(const core::PipelineResult& a,
+                           const core::PipelineResult& b) {
+  return a.clustering.labels == b.clustering.labels &&
+         a.selection.per_cluster == b.selection.per_cluster &&
+         a.reduced_model.a() == b.reduced_model.a() &&
+         a.reduced_model.a2() == b.reduced_model.a2() &&
+         a.reduced_model.b() == b.reduced_model.b() &&
+         a.reduced_eval.channel_rms == b.reduced_eval.channel_rms &&
+         a.reduced_eval.pooled_rms == b.reduced_eval.pooled_rms;
+}
+
+void speedup_report() {
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+  const auto reference = run_pipeline_at(1);
+
+  std::printf("\n----------------------------------------------------------\n");
+  std::printf("Threads-vs-serial speedup (98-day dataset, best of 3)\n");
+  std::printf("hardware_concurrency: %u\n",
+              std::thread::hardware_concurrency());
+  std::printf("----------------------------------------------------------\n");
+  std::printf("%8s %14s %10s %14s %10s %10s\n", "threads", "pipeline_ms",
+              "speedup", "sweep4_ms", "speedup", "bitwise");
+
+  std::vector<double> pipeline_ms, sweep_ms;
+  std::vector<bool> bitwise;
+  for (std::size_t t : thread_counts) {
+    bool identical = true;
+    pipeline_ms.push_back(time_ms([&] {
+      const auto r = run_pipeline_at(t);
+      identical = identical && results_bitwise_equal(r, reference);
+    }));
+    sweep_ms.push_back(time_ms([&] { (void)run_sweep_at(t); }));
+    bitwise.push_back(identical);
+  }
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::printf("%8zu %14.1f %9.2fx %14.1f %9.2fx %10s\n", thread_counts[i],
+                pipeline_ms[i], pipeline_ms[0] / pipeline_ms[i], sweep_ms[i],
+                sweep_ms[0] / sweep_ms[i], bitwise[i] ? "yes" : "NO");
+  }
+
+  FILE* json = std::fopen("BENCH_perf_pipeline.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_perf_pipeline.json\n");
+    return;
+  }
+  std::fprintf(json, "{\n  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(json, "  \"dataset_days\": 98,\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"pipeline_ms\": %.3f, "
+                 "\"pipeline_speedup\": %.3f, \"sweep4_ms\": %.3f, "
+                 "\"sweep4_speedup\": %.3f, \"bitwise_identical\": %s}%s\n",
+                 thread_counts[i], pipeline_ms[i],
+                 pipeline_ms[0] / pipeline_ms[i], sweep_ms[i],
+                 sweep_ms[0] / sweep_ms[i], bitwise[i] ? "true" : "false",
+                 i + 1 < thread_counts.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_perf_pipeline.json\n");
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  speedup_report();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "auditherm/clustering/spectral.hpp"
+#include "auditherm/core/parallel.hpp"
 #include "auditherm/core/split.hpp"
 #include "auditherm/selection/evaluation.hpp"
 #include "auditherm/selection/gp_placement.hpp"
@@ -41,6 +42,10 @@ struct PipelineConfig {
   sysid::EstimationOptions estimation;
   sysid::EvaluationOptions evaluation;
   hvac::Mode mode = hvac::Mode::kOccupied;
+  /// Threads for the pipeline's parallel kernels; 0 inherits the global
+  /// setting (AUDITHERM_THREADS, else hardware concurrency). Results are
+  /// bitwise identical at any value — see parallel.hpp.
+  std::size_t threads = 0;
 };
 
 /// Everything the pipeline produces.
@@ -79,6 +84,26 @@ class ThermalModelingPipeline {
  private:
   PipelineConfig config_;
 };
+
+/// One case of a strategy sweep: a selection strategy plus the seed its
+/// random draws use (ignored by the deterministic strategies).
+struct SweepCase {
+  SelectionStrategy strategy = SelectionStrategy::kStratifiedNearMean;
+  std::uint64_t seed = 7;
+};
+
+/// Run the pipeline once per case (the per-strategy × per-seed evaluation
+/// sweeps behind Tables I-II and Figs 8-11), parallelized over cases with
+/// the deterministic runtime: results arrive in case order and each case
+/// equals a standalone run() with that strategy/seed. `base` supplies
+/// every other configuration field, including `threads`.
+[[nodiscard]] std::vector<PipelineResult> run_strategy_sweep(
+    const PipelineConfig& base, const std::vector<SweepCase>& cases,
+    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+    const DataSplit& split,
+    const std::vector<timeseries::ChannelId>& sensor_ids,
+    const std::vector<timeseries::ChannelId>& input_ids,
+    const std::vector<timeseries::ChannelId>& thermostat_ids = {});
 
 /// Evaluate a reduced model's cluster-mean predictions (Fig. 11 metric):
 /// simulate the model over each window, average the predicted selected

@@ -37,6 +37,9 @@ PipelineResult ThermalModelingPipeline::run(
     const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
     const std::vector<ChannelId>& input_ids,
     const std::vector<ChannelId>& thermostat_ids) const {
+  // Apply the configured thread count for the duration of the run; every
+  // kernel below is bitwise deterministic in it.
+  const ThreadCountScope thread_scope(config_.threads);
   const auto mode_mask = schedule.mode_mask(trace.grid(), config_.mode);
 
   // Training view: training days in the configured mode, rows reindexed.
@@ -144,11 +147,15 @@ selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
     cluster_means.push_back(timeseries::row_mean(trace, members));
   }
 
-  selection::ClusterMeanErrors errors;
-  errors.per_cluster_abs.resize(clusters.size());
-  for (const auto& window : windows) {
-    const auto wp = sysid::predict_window(model, trace, window, options);
-    if (!wp) continue;
+  // Each window's open-loop simulation is independent; per-window error
+  // buffers are concatenated in window order afterwards, so the pooled
+  // error samples are identical at any thread count.
+  std::vector<std::vector<linalg::Vector>> window_errors(windows.size());
+  parallel_for(0, windows.size(), 1, [&](std::size_t w) {
+    const auto wp = sysid::predict_window(model, trace, windows[w], options);
+    if (!wp) return;
+    auto& local = window_errors[w];
+    local.resize(clusters.size());
     for (std::size_t k = 0; k < wp->predicted.rows(); ++k) {
       const std::size_t row = wp->first_row + k;
       for (std::size_t c = 0; c < clusters.size(); ++c) {
@@ -159,11 +166,43 @@ selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
           pred += wp->predicted(k, s);
         }
         pred /= static_cast<double>(cluster_state_idx[c].size());
-        errors.per_cluster_abs[c].push_back(std::abs(pred - target));
+        local[c].push_back(std::abs(pred - target));
       }
+    }
+  });
+
+  selection::ClusterMeanErrors errors;
+  errors.per_cluster_abs.resize(clusters.size());
+  for (const auto& local : window_errors) {
+    for (std::size_t c = 0; c < local.size(); ++c) {
+      errors.per_cluster_abs[c].insert(errors.per_cluster_abs[c].end(),
+                                       local[c].begin(), local[c].end());
     }
   }
   return errors;
+}
+
+std::vector<PipelineResult> run_strategy_sweep(
+    const PipelineConfig& base, const std::vector<SweepCase>& cases,
+    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+    const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
+    const std::vector<ChannelId>& input_ids,
+    const std::vector<ChannelId>& thermostat_ids) {
+  const ThreadCountScope thread_scope(base.threads);
+  std::vector<PipelineResult> results(cases.size());
+  // Cases fan out across the pool; each case's own kernels then run
+  // serially (nested regions are inline), which is the right granularity:
+  // whole pipeline runs dwarf any single kernel.
+  parallel_for(0, cases.size(), 1, [&](std::size_t i) {
+    PipelineConfig config = base;
+    config.strategy = cases[i].strategy;
+    config.selection_seed = cases[i].seed;
+    config.threads = 0;  // the sweep's scope already applied base.threads
+    const ThermalModelingPipeline pipeline(config);
+    results[i] = pipeline.run(trace, schedule, split, sensor_ids, input_ids,
+                              thermostat_ids);
+  });
+  return results;
 }
 
 }  // namespace auditherm::core

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "auditherm/core/parallel.hpp"
+
 namespace auditherm::linalg {
 
 // ---------------------------------------------------------------------------
@@ -259,10 +261,23 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
   }
 
   const double scale = std::max(s.max_abs(), 1e-300);
+  // Row grains: the off-norm is an ordered reduction over row chunks (chunk
+  // boundaries depend only on n, so the grouping — and hence the float
+  // result — is identical at any thread count); the rotations update each
+  // row/column element independently. Both stay serial below a few
+  // thousand rows, where pool latency would dwarf the O(n) work.
+  const std::size_t row_grain = core::grain_for_cost(n);
+  const std::size_t rot_grain = core::grain_for_cost(6);
   for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
-    double off = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j) off += s(i, j) * s(i, j);
+    const double off = core::parallel_reduce(
+        std::size_t{0}, n, row_grain, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double local = 0.0;
+          for (std::size_t i = lo; i < hi; ++i)
+            for (std::size_t j = i + 1; j < n; ++j) local += s(i, j) * s(i, j);
+          return local;
+        },
+        [](double acc, double part) { return acc + part; });
     if (std::sqrt(off) <= 1e-14 * scale * static_cast<double>(n)) break;
     if (sweep + 1 == max_sweeps) {
       throw std::domain_error("eigen_symmetric: Jacobi did not converge");
@@ -276,25 +291,25 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
                          (std::abs(theta) + std::sqrt(theta * theta + 1.0));
         const double c = 1.0 / std::sqrt(t * t + 1.0);
         const double sn = t * c;
-        // Rotate rows/cols p and q of S.
-        for (std::size_t k = 0; k < n; ++k) {
+        // Rotate rows/cols p and q of S; each k is independent.
+        core::parallel_for(0, n, rot_grain, [&](std::size_t k) {
           const double skp = s(k, p);
           const double skq = s(k, q);
           s(k, p) = c * skp - sn * skq;
           s(k, q) = sn * skp + c * skq;
-        }
-        for (std::size_t k = 0; k < n; ++k) {
+        });
+        core::parallel_for(0, n, rot_grain, [&](std::size_t k) {
           const double spk = s(p, k);
           const double sqk = s(q, k);
           s(p, k) = c * spk - sn * sqk;
           s(q, k) = sn * spk + c * sqk;
-        }
-        for (std::size_t k = 0; k < n; ++k) {
+        });
+        core::parallel_for(0, n, rot_grain, [&](std::size_t k) {
           const double vkp = v(k, p);
           const double vkq = v(k, q);
           v(k, p) = c * vkp - sn * vkq;
           v(k, q) = sn * vkp + c * vkq;
-        }
+        });
       }
     }
   }

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "auditherm/core/parallel.hpp"
+
 namespace auditherm::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -162,15 +164,20 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows())
     throw std::invalid_argument("Matrix product: inner dimension mismatch");
   Matrix c(a.rows(), b.cols());
+  // Parallel over output rows: row i depends only on row i of a and all of
+  // b, and each c(i,j) accumulates over ascending k — the same summation
+  // order at any thread count, so the product is bitwise deterministic.
   // Loop order (i,k,j) keeps the inner traversal contiguous for row-major
   // storage, which matters for the regressor Gram products in sysid.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
-    }
-  }
+  core::parallel_for(
+      0, a.rows(), core::grain_for_cost(a.cols() * b.cols()),
+      [&](std::size_t i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+          const double aik = a(i, k);
+          if (aik == 0.0) continue;
+          for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+        }
+      });
   return c;
 }
 
@@ -190,13 +197,19 @@ Matrix gram(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows())
     throw std::invalid_argument("gram: row count mismatch");
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = a(k, i);
-      if (aki == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
-    }
-  }
+  // Parallel over output rows (columns of a). Each c(i,j) still sums
+  // a(k,i) * b(k,j) over ascending k with the same zero-skip the serial
+  // k-outer loop used, so every element sees an identical sequence of
+  // partial sums at any thread count.
+  core::parallel_for(
+      0, a.cols(), core::grain_for_cost(a.rows() * b.cols()),
+      [&](std::size_t i) {
+        for (std::size_t k = 0; k < a.rows(); ++k) {
+          const double aki = a(k, i);
+          if (aki == 0.0) continue;
+          for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
+        }
+      });
   return c;
 }
 
@@ -204,13 +217,16 @@ Matrix outer_product(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.cols())
     throw std::invalid_argument("outer_product: column count mismatch");
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      double s = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(j, k);
-      c(i, j) = s;
-    }
-  }
+  // Each element is an independent dot product; parallel over rows.
+  core::parallel_for(
+      0, a.rows(), core::grain_for_cost(a.cols() * b.rows()),
+      [&](std::size_t i) {
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+          double s = 0.0;
+          for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(j, k);
+          c(i, j) = s;
+        }
+      });
   return c;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "auditherm/core/parallel.hpp"
 #include "auditherm/linalg/least_squares.hpp"
 
 namespace auditherm::sysid {
@@ -98,10 +99,18 @@ ThermalModel ModelEstimator::fit(const timeseries::MultiTrace& trace,
   // Assemble Z (transitions x n_params) and Y (transitions x p): for each
   // in-segment transition k -> k+1, Z row = [T(k), dT(k)?, u(k)],
   // Y row = T(k+1). This is exactly the ensemble objective of eq. 4.
+  // Each segment owns a precomputed disjoint row range, so segments fill
+  // in parallel and the assembled regression is independent of the thread
+  // count.
+  std::vector<std::size_t> seg_row_offset(segments.size() + 1, 0);
+  for (std::size_t si = 0; si < segments.size(); ++si) {
+    seg_row_offset[si + 1] = seg_row_offset[si] + (segments[si].length() - h);
+  }
   linalg::Matrix z(transitions, n_params);
   linalg::Matrix y(transitions, p);
-  std::size_t row = 0;
-  for (const auto& seg : segments) {
+  core::parallel_for(0, segments.size(), 1, [&](std::size_t si) {
+    const auto& seg = segments[si];
+    std::size_t row = seg_row_offset[si];
     for (std::size_t k = seg.first + h - 1; k + 1 < seg.last; ++k) {
       for (std::size_t i = 0; i < p; ++i) {
         z(row, i) = trace.value(k, state_cols[i]);
@@ -122,7 +131,7 @@ ThermalModel ModelEstimator::fit(const timeseries::MultiTrace& trace,
       }
       ++row;
     }
-  }
+  });
 
   linalg::LeastSquaresOptions ls;
   ls.ridge = options_.ridge;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "auditherm/core/parallel.hpp"
 #include "auditherm/linalg/stats.hpp"
 
 namespace auditherm::sysid {
@@ -138,38 +139,63 @@ PredictionEvaluation evaluate_prediction(
   ev.channels = model.state_channels();
   ev.channel_abs_errors.resize(p);
 
-  std::vector<linalg::Vector> window_rms_rows;
-  linalg::Vector pooled_sq(p, 0.0);
-  std::vector<std::size_t> pooled_n(p, 0);
-  double total_sq = 0.0;
-  std::size_t total_n = 0;
-
-  for (const auto& window : windows) {
-    const auto wp = predict_window(model, trace, window, options);
-    if (!wp) continue;
-    linalg::Vector sq(p, 0.0);
-    std::vector<std::size_t> n(p, 0);
+  // Per-window statistics, computed independently (open-loop simulation of
+  // each window is the dominant cost) and then folded in window order so
+  // every accumulated sum sees the same addition sequence at any thread
+  // count.
+  struct WindowStats {
+    bool used = false;
+    linalg::Vector sq;
+    std::vector<std::size_t> n;
+    std::vector<linalg::Vector> abs_errors;  ///< per channel, row order
+    double total_sq = 0.0;
+    std::size_t total_n = 0;
+  };
+  std::vector<WindowStats> per_window(windows.size());
+  core::parallel_for(0, windows.size(), 1, [&](std::size_t w) {
+    const auto wp = predict_window(model, trace, windows[w], options);
+    if (!wp) return;
+    WindowStats& ws = per_window[w];
+    ws.used = true;
+    ws.sq.assign(p, 0.0);
+    ws.n.assign(p, 0);
+    ws.abs_errors.resize(p);
     for (std::size_t k = 0; k < wp->predicted.rows(); ++k) {
       const std::size_t row = wp->first_row + k;
       for (std::size_t c = 0; c < p; ++c) {
         if (!trace.valid(row, state_cols[c])) continue;
         const double err =
             wp->predicted(k, c) - trace.value(row, state_cols[c]);
-        sq[c] += err * err;
-        ++n[c];
-        ev.channel_abs_errors[c].push_back(std::abs(err));
-        total_sq += err * err;
-        ++total_n;
+        ws.sq[c] += err * err;
+        ++ws.n[c];
+        ws.abs_errors[c].push_back(std::abs(err));
+        ws.total_sq += err * err;
+        ++ws.total_n;
       }
     }
+  });
+
+  std::vector<linalg::Vector> window_rms_rows;
+  linalg::Vector pooled_sq(p, 0.0);
+  std::vector<std::size_t> pooled_n(p, 0);
+  double total_sq = 0.0;
+  std::size_t total_n = 0;
+
+  for (auto& ws : per_window) {
+    if (!ws.used) continue;
     linalg::Vector rms_row(p, kNaN);
     for (std::size_t c = 0; c < p; ++c) {
-      if (n[c] > 0) {
-        rms_row[c] = std::sqrt(sq[c] / static_cast<double>(n[c]));
-        pooled_sq[c] += sq[c];
-        pooled_n[c] += n[c];
+      if (ws.n[c] > 0) {
+        rms_row[c] = std::sqrt(ws.sq[c] / static_cast<double>(ws.n[c]));
+        pooled_sq[c] += ws.sq[c];
+        pooled_n[c] += ws.n[c];
       }
+      ev.channel_abs_errors[c].insert(ev.channel_abs_errors[c].end(),
+                                      ws.abs_errors[c].begin(),
+                                      ws.abs_errors[c].end());
     }
+    total_sq += ws.total_sq;
+    total_n += ws.total_n;
     window_rms_rows.push_back(std::move(rms_row));
     ++ev.window_count;
   }

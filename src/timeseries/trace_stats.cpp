@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "auditherm/core/parallel.hpp"
+
 namespace auditherm::timeseries {
 
 namespace {
@@ -60,52 +62,61 @@ PairAccumulator accumulate_pair(const MultiTrace& trace, std::size_t ca,
   return acc;
 }
 
+/// Grain for the pairwise matrices: each index i scans the whole trace for
+/// every j > i, so even one row is heavy enough to be its own chunk once
+/// the trace has a few hundred samples. Each (i, j) entry is computed
+/// independently by exactly one thread, so the matrices are bitwise
+/// deterministic at any thread count.
+std::size_t pair_row_grain(const MultiTrace& trace) {
+  return core::grain_for_cost(trace.size() * 4);
+}
+
 }  // namespace
 
 linalg::Matrix correlation_matrix(const MultiTrace& trace) {
   const std::size_t p = trace.channel_count();
   linalg::Matrix r(p, p);
-  for (std::size_t i = 0; i < p; ++i) {
+  core::parallel_for(0, p, pair_row_grain(trace), [&](std::size_t i) {
     r(i, i) = 1.0;
     for (std::size_t j = i + 1; j < p; ++j) {
       const double c = accumulate_pair(trace, i, j).correlation();
       r(i, j) = c;
       r(j, i) = c;
     }
-  }
+  });
   return r;
 }
 
 linalg::Matrix covariance_matrix(const MultiTrace& trace) {
   const std::size_t p = trace.channel_count();
   linalg::Matrix c(p, p);
-  for (std::size_t i = 0; i < p; ++i) {
+  core::parallel_for(0, p, pair_row_grain(trace), [&](std::size_t i) {
     for (std::size_t j = i; j < p; ++j) {
       const double v = accumulate_pair(trace, i, j).covariance();
       c(i, j) = v;
       c(j, i) = v;
     }
-  }
+  });
   return c;
 }
 
 linalg::Matrix rms_distance_matrix(const MultiTrace& trace) {
   const std::size_t p = trace.channel_count();
   linalg::Matrix d(p, p);
-  for (std::size_t i = 0; i < p; ++i) {
+  core::parallel_for(0, p, pair_row_grain(trace), [&](std::size_t i) {
     for (std::size_t j = i + 1; j < p; ++j) {
       const double v = accumulate_pair(trace, i, j).rms_distance();
       d(i, j) = v;
       d(j, i) = v;
     }
-  }
+  });
   return d;
 }
 
 linalg::Vector channel_means(const MultiTrace& trace) {
   const std::size_t p = trace.channel_count();
   linalg::Vector means(p, std::numeric_limits<double>::quiet_NaN());
-  for (std::size_t c = 0; c < p; ++c) {
+  core::parallel_for(0, p, pair_row_grain(trace), [&](std::size_t c) {
     double s = 0.0;
     std::size_t n = 0;
     for (std::size_t k = 0; k < trace.size(); ++k) {
@@ -115,7 +126,7 @@ linalg::Vector channel_means(const MultiTrace& trace) {
       }
     }
     if (n > 0) means[c] = s / static_cast<double>(n);
-  }
+  });
   return means;
 }
 

@@ -1,0 +1,257 @@
+// Tests for the deterministic thread-pool runtime (core/parallel.hpp):
+// correctness of parallel_for / parallel_reduce, bitwise determinism
+// across thread counts, pool edge cases (empty ranges, fewer items than
+// threads, exception propagation), nesting, and thread-count resolution.
+
+#include "auditherm/core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace core = auditherm::core;
+
+namespace {
+
+/// Run `body` under a forced thread count.
+template <typename Fn>
+auto with_threads(std::size_t n, Fn&& body) {
+  core::ThreadCountScope scope(n);
+  return body();
+}
+
+std::vector<double> random_doubles(std::size_t n, std::uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(gen);
+  return v;
+}
+
+}  // namespace
+
+TEST(Parallel, ThreadCountScopeOverridesAndRestores) {
+  const std::size_t ambient = core::thread_count();
+  {
+    core::ThreadCountScope scope(3);
+    EXPECT_EQ(core::thread_count(), 3u);
+    {
+      core::ThreadCountScope inner(8);
+      EXPECT_EQ(core::thread_count(), 8u);
+      // A zero scope inherits rather than overriding.
+      core::ThreadCountScope noop(0);
+      EXPECT_EQ(core::thread_count(), 8u);
+    }
+    EXPECT_EQ(core::thread_count(), 3u);
+  }
+  EXPECT_EQ(core::thread_count(), ambient);
+}
+
+TEST(Parallel, EnvVariableFeedsThreadCount) {
+  ASSERT_EQ(setenv("AUDITHERM_THREADS", "5", 1), 0);
+  EXPECT_EQ(core::thread_count(), 5u);
+  // An explicit override still wins over the environment.
+  {
+    core::ThreadCountScope scope(2);
+    EXPECT_EQ(core::thread_count(), 2u);
+  }
+  ASSERT_EQ(setenv("AUDITHERM_THREADS", "bogus", 1), 0);
+  EXPECT_THROW((void)core::thread_count(), std::runtime_error);
+  ASSERT_EQ(unsetenv("AUDITHERM_THREADS"), 0);
+  EXPECT_GE(core::thread_count(), 1u);
+}
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    with_threads(threads, [&] {
+      std::vector<std::atomic<int>> hits(1000);
+      core::parallel_for(0, hits.size(), 7,
+                         [&](std::size_t i) { ++hits[i]; });
+      for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+      return 0;
+    });
+  }
+}
+
+TEST(Parallel, ForHandlesZeroItems) {
+  for (std::size_t threads : {1u, 8u}) {
+    with_threads(threads, [&] {
+      std::atomic<int> calls{0};
+      core::parallel_for(0, 0, 4, [&](std::size_t) { ++calls; });
+      core::parallel_for(5, 5, 4, [&](std::size_t) { ++calls; });
+      // An inverted range is empty, not an error.
+      core::parallel_for(5, 3, 4, [&](std::size_t) { ++calls; });
+      EXPECT_EQ(calls.load(), 0);
+      return 0;
+    });
+  }
+}
+
+TEST(Parallel, ForHandlesFewerItemsThanThreads) {
+  with_threads(8, [&] {
+    std::vector<std::atomic<int>> hits(3);
+    core::parallel_for(0, hits.size(), 1, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    return 0;
+  });
+}
+
+TEST(Parallel, ForRespectsOffsetRanges) {
+  with_threads(4, [&] {
+    std::vector<int> hits(20, 0);
+    core::parallel_for(5, 15, 3, [&](std::size_t i) { hits[i] = 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i], (i >= 5 && i < 15) ? 1 : 0) << "index " << i;
+    }
+    return 0;
+  });
+}
+
+TEST(Parallel, ChunkBoundariesDependOnlyOnRangeAndGrain) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const auto chunks = with_threads(threads, [&] {
+      std::vector<std::pair<std::size_t, std::size_t>> seen(4);
+      core::parallel_for_chunks(0, 10, 3,
+                                [&](std::size_t lo, std::size_t hi) {
+                                  seen[lo / 3] = {lo, hi};
+                                });
+      return seen;
+    });
+    const std::vector<std::pair<std::size_t, std::size_t>> expected{
+        {0, 3}, {3, 6}, {6, 9}, {9, 10}};
+    EXPECT_EQ(chunks, expected) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, ReduceIsBitwiseIdenticalAcrossThreadCounts) {
+  const auto data = random_doubles(10007, 42);
+  const auto sum_at = [&](std::size_t threads, std::size_t grain) {
+    return with_threads(threads, [&] {
+      return core::parallel_reduce(
+          std::size_t{0}, data.size(), grain, 0.0,
+          [&](std::size_t lo, std::size_t hi) {
+            double s = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) s += data[i];
+            return s;
+          },
+          [](double acc, double part) { return acc + part; });
+    });
+  };
+  for (std::size_t grain : {1u, 64u, 1000u, 20000u}) {
+    const double serial = sum_at(1, grain);
+    // Reference: explicit chunked fold in ascending order.
+    double expected = 0.0;
+    for (std::size_t lo = 0; lo < data.size(); lo += grain) {
+      const std::size_t hi = std::min(lo + grain, data.size());
+      double part = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) part += data[i];
+      expected += part;
+    }
+    ASSERT_EQ(serial, expected) << "grain=" << grain;
+    for (std::size_t threads : {2u, 3u, 8u}) {
+      EXPECT_EQ(sum_at(threads, grain), serial)
+          << "grain=" << grain << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Parallel, ReduceEmptyRangeReturnsIdentity) {
+  with_threads(8, [&] {
+    const double r = core::parallel_reduce(
+        std::size_t{0}, std::size_t{0}, 4, 123.5,
+        [](std::size_t, std::size_t) { return 1.0; },
+        [](double a, double b) { return a + b; });
+    EXPECT_EQ(r, 123.5);
+    return 0;
+  });
+}
+
+TEST(Parallel, ExceptionPropagatesOutOfATask) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    with_threads(threads, [&] {
+      EXPECT_THROW(
+          core::parallel_for(0, 100, 1,
+                             [&](std::size_t i) {
+                               if (i == 37) {
+                                 throw std::runtime_error("task 37 failed");
+                               }
+                             }),
+          std::runtime_error);
+      return 0;
+    });
+  }
+}
+
+TEST(Parallel, LowestIndexExceptionWins) {
+  // With several failing tasks, the caller must observe the lowest-index
+  // failure regardless of execution order.
+  for (std::size_t threads : {1u, 8u}) {
+    with_threads(threads, [&] {
+      std::string what;
+      try {
+        core::parallel_for(0, 64, 1, [&](std::size_t i) {
+          if (i % 2 == 1) {
+            throw std::runtime_error("task " + std::to_string(i));
+          }
+        });
+      } catch (const std::runtime_error& e) {
+        what = e.what();
+      }
+      EXPECT_EQ(what, "task 1") << "threads=" << threads;
+      return 0;
+    });
+  }
+}
+
+TEST(Parallel, PoolStaysUsableAfterAnException) {
+  with_threads(8, [&] {
+    EXPECT_THROW(core::parallel_for(0, 16, 1,
+                                    [](std::size_t) {
+                                      throw std::runtime_error("boom");
+                                    }),
+                 std::runtime_error);
+    std::atomic<int> calls{0};
+    core::parallel_for(0, 16, 1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 16);
+    return 0;
+  });
+}
+
+TEST(Parallel, NestedRegionsRunInlineWithoutDeadlock) {
+  with_threads(8, [&] {
+    std::vector<std::atomic<int>> hits(64);
+    core::parallel_for(0, 8, 1, [&](std::size_t outer) {
+      EXPECT_TRUE(core::detail::in_parallel_region() ||
+                  core::thread_count() == 1);
+      core::parallel_for(0, 8, 1, [&](std::size_t inner) {
+        ++hits[outer * 8 + inner];
+      });
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    return 0;
+  });
+}
+
+TEST(Parallel, ManyConsecutiveRegionsReuseThePool) {
+  with_threads(4, [&] {
+    std::atomic<long> total{0};
+    for (int round = 0; round < 200; ++round) {
+      core::parallel_for(0, 32, 1, [&](std::size_t) { ++total; });
+    }
+    EXPECT_EQ(total.load(), 200L * 32L);
+    return 0;
+  });
+}
+
+TEST(Parallel, GrainForCostScalesInverselyWithItemCost) {
+  EXPECT_EQ(core::grain_for_cost(16384), 1u);
+  EXPECT_EQ(core::grain_for_cost(100000), 1u);  // never below 1
+  EXPECT_EQ(core::grain_for_cost(1), 16384u);
+  EXPECT_EQ(core::grain_for_cost(0), 16384u);  // zero cost treated as 1
+  EXPECT_EQ(core::grain_for_cost(16), 1024u);
+}

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "auditherm/sim/dataset.hpp"
 
@@ -38,14 +39,39 @@ core::DataSplit make_split() {
 }
 
 core::PipelineResult run_with(core::SelectionStrategy strategy,
-                              std::size_t per_cluster = 1) {
+                              std::size_t per_cluster = 1,
+                              std::size_t threads = 0) {
   const auto& ds = dataset();
   core::PipelineConfig config;
   config.strategy = strategy;
   config.sensors_per_cluster = per_cluster;
+  config.threads = threads;
   const core::ThermalModelingPipeline pipeline(config);
   return pipeline.run(ds.trace, ds.schedule, make_split(), ds.wireless_ids(),
                       ds.input_ids(), ds.thermostat_ids());
+}
+
+/// Bitwise comparison of full pipeline results: every float is compared
+/// with == (no tolerances), which is the determinism guarantee the
+/// parallel runtime makes.
+void expect_bitwise_equal(const core::PipelineResult& a,
+                          const core::PipelineResult& b,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+  EXPECT_EQ(a.clustering.cluster_count, b.clustering.cluster_count);
+  EXPECT_EQ(a.clustering.eigenvalues, b.clustering.eigenvalues);
+  EXPECT_EQ(a.selection.per_cluster, b.selection.per_cluster);
+  EXPECT_EQ(a.reduced_model.a(), b.reduced_model.a());
+  EXPECT_EQ(a.reduced_model.a2(), b.reduced_model.a2());
+  EXPECT_EQ(a.reduced_model.b(), b.reduced_model.b());
+  EXPECT_EQ(a.reduced_eval.window_count, b.reduced_eval.window_count);
+  EXPECT_EQ(a.reduced_eval.channel_rms, b.reduced_eval.channel_rms);
+  EXPECT_EQ(a.reduced_eval.channel_abs_errors, b.reduced_eval.channel_abs_errors);
+  EXPECT_EQ(a.reduced_eval.window_channel_rms, b.reduced_eval.window_channel_rms);
+  EXPECT_EQ(a.reduced_eval.pooled_rms, b.reduced_eval.pooled_rms);
+  EXPECT_EQ(a.cluster_mean_errors.per_cluster_abs,
+            b.cluster_mean_errors.per_cluster_abs);
 }
 
 }  // namespace
@@ -143,6 +169,49 @@ TEST(Pipeline, DeterministicForSameConfig) {
   EXPECT_EQ(a.selection.flattened(), b.selection.flattened());
   EXPECT_DOUBLE_EQ(a.cluster_mean_errors.percentile(99.0),
                    b.cluster_mean_errors.percentile(99.0));
+}
+
+TEST(Pipeline, BitwiseIdenticalAcrossThreadCounts) {
+  // The determinism guarantee of the parallel runtime, end to end: the
+  // full three-step pipeline — models, cluster labels, selections, error
+  // samples — is bitwise identical at 1, 2, and 8 threads.
+  for (auto strategy : {core::SelectionStrategy::kStratifiedNearMean,
+                        core::SelectionStrategy::kSimpleRandom}) {
+    const auto serial = run_with(strategy, 1, 1);
+    const auto two = run_with(strategy, 1, 2);
+    const auto eight = run_with(strategy, 1, 8);
+    expect_bitwise_equal(serial, two, "1 vs 2 threads");
+    expect_bitwise_equal(serial, eight, "1 vs 8 threads");
+  }
+}
+
+TEST(Pipeline, StrategySweepMatchesIndividualRuns) {
+  const auto& ds = dataset();
+  core::PipelineConfig base;
+  base.threads = 4;
+  const std::vector<core::SweepCase> cases{
+      {core::SelectionStrategy::kStratifiedNearMean, 7},
+      {core::SelectionStrategy::kStratifiedRandom, 1},
+      {core::SelectionStrategy::kStratifiedRandom, 2},
+      {core::SelectionStrategy::kSimpleRandom, 1},
+  };
+  const auto sweep =
+      core::run_strategy_sweep(base, cases, ds.trace, ds.schedule,
+                               make_split(), ds.wireless_ids(), ds.input_ids(),
+                               ds.thermostat_ids());
+  ASSERT_EQ(sweep.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    core::PipelineConfig config;
+    config.strategy = cases[i].strategy;
+    config.selection_seed = cases[i].seed;
+    config.threads = 1;
+    const core::ThermalModelingPipeline pipeline(config);
+    const auto individual =
+        pipeline.run(ds.trace, ds.schedule, make_split(), ds.wireless_ids(),
+                     ds.input_ids(), ds.thermostat_ids());
+    expect_bitwise_equal(sweep[i], individual,
+                         "sweep case " + std::to_string(i));
+  }
 }
 
 TEST(Pipeline, ConfigValidation) {
