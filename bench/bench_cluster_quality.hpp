@@ -33,18 +33,16 @@ inline double mean_intra_correlation(
 /// Print the Fig. 7/8 panel for one metric: for each k, the per-cluster
 /// max-difference distribution (median / 95th pct over sensor pairs) and
 /// the mean intra-cluster correlation, plus the all-sensor baseline.
+/// The graph and its spectrum are precomputed once by the caller (the
+/// stage-cache split), so the k-loop only redoes the cheap embedding.
 inline void report_metric_quality(
     const auditherm::sim::AuditoriumDataset& dataset,
     const auditherm::timeseries::MultiTrace& training,
-    auditherm::clustering::SimilarityMetric metric,
+    const auditherm::clustering::SimilarityGraph& graph,
+    const auditherm::clustering::SpectralAnalysis& spectrum,
     const std::vector<std::size_t>& cluster_counts,
     std::size_t eigengap_choice) {
   using namespace auditherm;
-
-  clustering::SimilarityOptions sim_opts;
-  sim_opts.metric = metric;
-  const auto graph = clustering::build_similarity_graph(
-      training, dataset.wireless_ids(), sim_opts);
 
   const auto overall = timeseries::pairwise_max_differences(
       training, dataset.wireless_ids());
@@ -55,7 +53,7 @@ inline void report_metric_quality(
   for (std::size_t k : cluster_counts) {
     clustering::SpectralOptions spec;
     spec.cluster_count = k;
-    const auto result = clustering::spectral_cluster(graph, spec);
+    const auto result = clustering::spectral_cluster(graph, spectrum, spec);
     std::printf("k = %zu%s\n", k,
                 k == eigengap_choice ? "  (the eigengap's choice)" : "");
     const auto clusters = result.clusters();

@@ -55,6 +55,28 @@ inline std::vector<auditherm::timeseries::Segment> evaluation_windows(
   return timeseries::find_segments(mask, 2);
 }
 
+/// Step-1 artifacts (training view, similarity graph, spectrum,
+/// clustering, windows, cluster means) shared through `cache`: benches
+/// that sweep cluster counts or strategies reuse the expensive stages —
+/// notably the eigendecomposition — instead of rebuilding them per point.
+inline auditherm::core::StageArtifacts prepare_stages(
+    const auditherm::sim::AuditoriumDataset& dataset,
+    const auditherm::core::DataSplit& split,
+    auditherm::core::StageCache& cache, std::size_t cluster_count = 0) {
+  auditherm::core::PipelineConfig config;
+  config.spectral.cluster_count = cluster_count;
+  const auditherm::core::ThermalModelingPipeline pipeline(config);
+  return pipeline.prepare(dataset.trace, dataset.schedule, split,
+                          dataset.wireless_ids(), dataset.input_ids(),
+                          &cache);
+}
+
+inline void print_cache_stats(const auditherm::core::StageCache& cache) {
+  const auto totals = cache.totals();
+  std::printf("stage cache: %zu hits / %zu misses (%zu artifacts)\n",
+              totals.hits, totals.misses, cache.size());
+}
+
 inline void print_header(const std::string& title) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());

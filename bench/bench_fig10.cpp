@@ -16,20 +16,20 @@ int main() {
   const auto split = bench::standard_split(dataset);
   const auto mode_mask = dataset.schedule.mode_mask(dataset.trace.grid(),
                                                     hvac::Mode::kOccupied);
-  const auto training = dataset.trace.filter_rows(
-      core::and_masks(split.train_mask, mode_mask));
   const auto validation = dataset.trace.filter_rows(
       core::and_masks(split.validation_mask, mode_mask));
 
-  const auto graph = clustering::build_similarity_graph(
-      training, dataset.wireless_ids(), {});
+  // One stage cache across the whole k-sweep: the training view, the
+  // similarity graph, and the eigendecomposition are computed at k=2 and
+  // hit for every later k; only the clustering stage rebuilds per k.
+  core::StageCache cache;
 
   std::printf("%-10s %-10s %-10s %-10s\n", "clusters", "SMS", "SRS", "RS");
   linalg::Vector sms_curve, srs_curve, rs_curve;
   for (std::size_t k = 2; k <= 8; ++k) {
-    clustering::SpectralOptions spec;
-    spec.cluster_count = k;
-    const auto clusters = clustering::spectral_cluster(graph, spec).clusters();
+    const auto art = bench::prepare_stages(dataset, split, cache, k);
+    const auto& training = *art.training;
+    const auto& clusters = *art.clusters;
 
     const auto p99 = [&](const selection::Selection& sel) {
       return selection::evaluate_cluster_mean_prediction(validation, clusters,
@@ -66,5 +66,6 @@ int main() {
               "RS: %s | SMS and SRS converge at high k: %s\n",
               sms_below_rs ? "yes" : "NO", srs_below_rs ? "yes" : "NO",
               converge ? "yes" : "NO");
+  bench::print_cache_stats(cache);
   return 0;
 }

@@ -24,18 +24,19 @@ int main() {
   sim_opts.metric = clustering::SimilarityMetric::kEuclidean;
   const auto graph = clustering::build_similarity_graph(
       training, dataset.wireless_ids(), sim_opts);
-  const auto eigengap_k =
-      clustering::analyze_spectrum(graph.weights).eigengap_cluster_count();
+  // One eigendecomposition, shared by the eigengap probe, the k-sweep
+  // panel, and the shape check below.
+  const auto spectrum = clustering::analyze_spectrum(graph.weights);
+  const auto eigengap_k = spectrum.eigengap_cluster_count();
 
-  bench::report_metric_quality(dataset, training,
-                               clustering::SimilarityMetric::kEuclidean,
-                               {3, 4, 5}, eigengap_k);
+  bench::report_metric_quality(dataset, training, graph, spectrum, {3, 4, 5},
+                               eigengap_k);
 
   // Shape check: at k=3 at least one cluster is much tighter than the
   // whole-room baseline.
   clustering::SpectralOptions spec;
   spec.cluster_count = 3;
-  const auto result = clustering::spectral_cluster(graph, spec);
+  const auto result = clustering::spectral_cluster(graph, spectrum, spec);
   const auto overall = linalg::percentile(
       timeseries::pairwise_max_differences(training, dataset.wireless_ids()),
       95.0);

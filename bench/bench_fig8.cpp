@@ -13,25 +13,23 @@ int main() {
   bench::print_header("Fig. 8: correlation clustering quality");
   const auto dataset = bench::make_standard_dataset();
   const auto split = bench::standard_split(dataset);
-  const auto mode_mask = dataset.schedule.mode_mask(dataset.trace.grid(),
-                                                    hvac::Mode::kOccupied);
-  const auto training = dataset.trace.filter_rows(
-      core::and_masks(split.train_mask, mode_mask));
+  // Training view, similarity graph (correlation default), and the one
+  // eigendecomposition all come from the shared stage cache; the k-sweep
+  // below only redoes the cheap embedding per k.
+  core::StageCache cache;
+  const auto art = bench::prepare_stages(dataset, split, cache);
+  const auto& training = *art.training;
+  const auto& graph = *art.graph;
+  const auto eigengap_k = art.spectrum->eigengap_cluster_count();
 
-  const auto graph = clustering::build_similarity_graph(
-      training, dataset.wireless_ids(), {});  // correlation default
-  const auto eigengap_k =
-      clustering::analyze_spectrum(graph.weights).eigengap_cluster_count();
-
-  bench::report_metric_quality(dataset, training,
-                               clustering::SimilarityMetric::kCorrelation,
+  bench::report_metric_quality(dataset, training, graph, *art.spectrum,
                                {2, 3, 4, 5}, eigengap_k);
 
   // Shape checks at the eigengap's k=2: every cluster tighter than the
   // room, and intra-cluster correlation high.
   clustering::SpectralOptions spec;
   spec.cluster_count = 2;
-  const auto result = clustering::spectral_cluster(graph, spec);
+  const auto result = clustering::spectral_cluster(graph, *art.spectrum, spec);
   const auto overall = linalg::percentile(
       timeseries::pairwise_max_differences(training, dataset.wireless_ids()),
       95.0);

@@ -15,16 +15,14 @@ int main() {
   const auto split = bench::standard_split(dataset);
   const auto mode_mask = dataset.schedule.mode_mask(dataset.trace.grid(),
                                                     hvac::Mode::kOccupied);
-  const auto training = dataset.trace.filter_rows(
-      core::and_masks(split.train_mask, mode_mask));
   const auto validation = dataset.trace.filter_rows(
       core::and_masks(split.validation_mask, mode_mask));
 
-  const auto graph = clustering::build_similarity_graph(
-      training, dataset.wireless_ids(), {});
-  clustering::SpectralOptions spec;
-  spec.cluster_count = 2;
-  const auto clusters = clustering::spectral_cluster(graph, spec).clusters();
+  // The 2-cluster partition comes from the shared stage cache (training
+  // view -> similarity graph -> spectrum -> clustering).
+  core::StageCache cache;
+  const auto art = bench::prepare_stages(dataset, split, cache, 2);
+  const auto& clusters = *art.clusters;
 
   std::printf("%-18s %-24s\n", "sensors/cluster",
               "99th-pct error (degC, mean over 25 seeds)");

@@ -3,9 +3,11 @@
 // identification, multi-step evaluation, and the full pipeline.
 //
 // After the microbenchmarks, main() times the full pipeline and a
-// 4-strategy sweep at 1/2/4/8 threads, prints a serial-vs-parallel
-// speedup table, verifies the results are bitwise identical across
-// thread counts, and writes the numbers to BENCH_perf_pipeline.json.
+// 4-strategy sweep at 1/2/4/8 threads — the sweep both uncached
+// (standalone run() per case) and through the content-keyed stage cache —
+// prints a speedup table with cache hit/miss counters, verifies the
+// results are bitwise identical across thread counts and cache modes, and
+// writes the numbers to BENCH_perf_pipeline.json.
 
 #include <benchmark/benchmark.h>
 
@@ -178,19 +180,46 @@ core::PipelineResult run_pipeline_at(std::size_t threads) {
                       standard_dataset().thermostat_ids());
 }
 
-std::vector<core::PipelineResult> run_sweep_at(std::size_t threads) {
-  core::PipelineConfig base;
-  base.threads = threads;
-  const std::vector<core::SweepCase> cases{
+const std::vector<core::SweepCase>& sweep_cases() {
+  static const std::vector<core::SweepCase> cases{
       {core::SelectionStrategy::kStratifiedNearMean, 7},
       {core::SelectionStrategy::kStratifiedRandom, 1},
       {core::SelectionStrategy::kSimpleRandom, 1},
       {core::SelectionStrategy::kThermostats, 7},
   };
+  return cases;
+}
+
+/// The sweep through run_strategy_sweep: the Step-1 prefix (similarity
+/// graph, eigendecomposition, clustering, windows) is computed once and
+/// shared via `cache` across all cases.
+std::vector<core::PipelineResult> run_sweep_cached(std::size_t threads,
+                                                   core::StageCache* cache) {
+  core::PipelineConfig base;
+  base.threads = threads;
   return core::run_strategy_sweep(
-      base, cases, standard_dataset().trace, standard_dataset().schedule,
-      standard_split(), standard_dataset().wireless_ids(),
-      standard_dataset().input_ids(), standard_dataset().thermostat_ids());
+      base, sweep_cases(), standard_dataset().trace,
+      standard_dataset().schedule, standard_split(),
+      standard_dataset().wireless_ids(), standard_dataset().input_ids(),
+      standard_dataset().thermostat_ids(), cache);
+}
+
+/// The pre-cache baseline: each case is a full standalone run() that
+/// recomputes every Step-1 stage from scratch.
+std::vector<core::PipelineResult> run_sweep_uncached(std::size_t threads) {
+  std::vector<core::PipelineResult> results;
+  for (const auto& c : sweep_cases()) {
+    core::PipelineConfig config;
+    config.threads = threads;
+    config.strategy = c.strategy;
+    config.selection_seed = c.seed;
+    const core::ThermalModelingPipeline pipeline(config);
+    results.push_back(pipeline.run(
+        standard_dataset().trace, standard_dataset().schedule,
+        standard_split(), standard_dataset().wireless_ids(),
+        standard_dataset().input_ids(), standard_dataset().thermostat_ids()));
+  }
+  return results;
 }
 
 /// Best-of-3 wall time in milliseconds.
@@ -222,31 +251,52 @@ bool results_bitwise_equal(const core::PipelineResult& a,
 void speedup_report() {
   const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
   const auto reference = run_pipeline_at(1);
+  const auto sweep_reference = run_sweep_uncached(1);
 
   std::printf("\n----------------------------------------------------------\n");
   std::printf("Threads-vs-serial speedup (98-day dataset, best of 3)\n");
+  std::printf("sweep4 = 4-strategy sweep; uncached recomputes Step 1 per\n");
+  std::printf("case, cached shares it through the stage cache\n");
   std::printf("hardware_concurrency: %u\n",
               std::thread::hardware_concurrency());
   std::printf("----------------------------------------------------------\n");
-  std::printf("%8s %14s %10s %14s %10s %10s\n", "threads", "pipeline_ms",
-              "speedup", "sweep4_ms", "speedup", "bitwise");
+  std::printf("%8s %12s %8s %17s %15s %9s %8s\n", "threads", "pipeline_ms",
+              "speedup", "sweep4_uncached", "sweep4_cached", "cache_x",
+              "bitwise");
 
-  std::vector<double> pipeline_ms, sweep_ms;
+  std::vector<double> pipeline_ms, uncached_ms, cached_ms;
   std::vector<bool> bitwise;
+  std::size_t cache_hits = 0, cache_misses = 0;
   for (std::size_t t : thread_counts) {
     bool identical = true;
     pipeline_ms.push_back(time_ms([&] {
       const auto r = run_pipeline_at(t);
       identical = identical && results_bitwise_equal(r, reference);
     }));
-    sweep_ms.push_back(time_ms([&] { (void)run_sweep_at(t); }));
+    uncached_ms.push_back(time_ms([&] { (void)run_sweep_uncached(t); }));
+    cached_ms.push_back(time_ms([&] {
+      // Fresh cache per repetition: the timed region includes the one
+      // Step-1 build plus the all-hit fan-out, like a real sweep.
+      core::StageCache cache;
+      const auto sweep = run_sweep_cached(t, &cache);
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        identical =
+            identical && results_bitwise_equal(sweep[i], sweep_reference[i]);
+      }
+      const auto totals = cache.totals();
+      cache_hits = totals.hits;
+      cache_misses = totals.misses;
+    }));
     bitwise.push_back(identical);
   }
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
-    std::printf("%8zu %14.1f %9.2fx %14.1f %9.2fx %10s\n", thread_counts[i],
-                pipeline_ms[i], pipeline_ms[0] / pipeline_ms[i], sweep_ms[i],
-                sweep_ms[0] / sweep_ms[i], bitwise[i] ? "yes" : "NO");
+    std::printf("%8zu %12.1f %7.2fx %17.1f %15.1f %8.2fx %8s\n",
+                thread_counts[i], pipeline_ms[i],
+                pipeline_ms[0] / pipeline_ms[i], uncached_ms[i], cached_ms[i],
+                uncached_ms[i] / cached_ms[i], bitwise[i] ? "yes" : "NO");
   }
+  std::printf("stage cache per sweep: %zu hits / %zu misses\n", cache_hits,
+              cache_misses);
 
   FILE* json = std::fopen("BENCH_perf_pipeline.json", "w");
   if (json == nullptr) {
@@ -255,15 +305,21 @@ void speedup_report() {
   }
   std::fprintf(json, "{\n  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
-  std::fprintf(json, "  \"dataset_days\": 98,\n  \"runs\": [\n");
+  std::fprintf(json, "  \"dataset_days\": 98,\n");
+  std::fprintf(json, "  \"sweep_cases\": %zu,\n", sweep_cases().size());
+  std::fprintf(json,
+               "  \"stage_cache\": {\"hits\": %zu, \"misses\": %zu},\n",
+               cache_hits, cache_misses);
+  std::fprintf(json, "  \"runs\": [\n");
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     std::fprintf(json,
                  "    {\"threads\": %zu, \"pipeline_ms\": %.3f, "
-                 "\"pipeline_speedup\": %.3f, \"sweep4_ms\": %.3f, "
-                 "\"sweep4_speedup\": %.3f, \"bitwise_identical\": %s}%s\n",
+                 "\"pipeline_speedup\": %.3f, "
+                 "\"sweep4_uncached_ms\": %.3f, \"sweep4_cached_ms\": %.3f, "
+                 "\"cache_speedup\": %.3f, \"bitwise_identical\": %s}%s\n",
                  thread_counts[i], pipeline_ms[i],
-                 pipeline_ms[0] / pipeline_ms[i], sweep_ms[i],
-                 sweep_ms[0] / sweep_ms[i], bitwise[i] ? "true" : "false",
+                 pipeline_ms[0] / pipeline_ms[i], uncached_ms[i], cached_ms[i],
+                 uncached_ms[i] / cached_ms[i], bitwise[i] ? "true" : "false",
                  i + 1 < thread_counts.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

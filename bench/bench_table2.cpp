@@ -48,18 +48,16 @@ int main() {
   const auto mode_mask = dataset.schedule.mode_mask(dataset.trace.grid(),
                                                     hvac::Mode::kOccupied);
 
-  const auto training = dataset.trace.filter_rows(
-      core::and_masks(split.train_mask, mode_mask));
   const auto validation = dataset.trace.filter_rows(
       core::and_masks(split.validation_mask, mode_mask));
 
   // Correlation-based clustering (Section V decides it groups sensors more
-  // consistently); the eigengap picks k = 2 on this building.
-  const auto graph = clustering::build_similarity_graph(
-      training, dataset.wireless_ids(),
-      {.metric = clustering::SimilarityMetric::kCorrelation});
-  const auto clustering_result = clustering::spectral_cluster(graph);
-  const auto clusters = clustering_result.clusters();
+  // consistently); the eigengap picks k = 2 on this building. The training
+  // view / similarity graph / clustering come from the shared stage cache.
+  core::StageCache cache;
+  const auto art = bench::prepare_stages(dataset, split, cache);
+  const auto& training = *art.training;
+  const auto& clusters = *art.clusters;
   std::printf("clusters found by eigengap: %zu\n", clusters.size());
 
   const auto eval = [&](const selection::Selection& sel) {

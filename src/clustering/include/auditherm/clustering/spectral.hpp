@@ -69,6 +69,8 @@ struct ClusteringResult {
   linalg::Vector eigenvalues;       ///< Laplacian spectrum (for Fig. 6)
 
   /// Channel ids grouped per cluster (cluster index = position).
+  /// Throws std::out_of_range when a label is >= cluster_count (a
+  /// malformed result) rather than writing out of bounds.
   [[nodiscard]] std::vector<std::vector<timeseries::ChannelId>> clusters()
       const;
 
@@ -97,5 +99,16 @@ struct SpectralOptions {
 /// count.
 [[nodiscard]] ClusteringResult spectral_cluster(
     const SimilarityGraph& graph, const SpectralOptions& options = {});
+
+/// Spectral clustering from a precomputed Laplacian eigendecomposition
+/// (the stage-cache split: the spectrum is the expensive operator, the
+/// k-means embedding step is cheap and depends on k). `analysis` must come
+/// from analyze_spectrum(graph.weights, options.laplacian); results are
+/// bitwise identical to the one-shot overload. Throws std::invalid_argument
+/// when cluster_count exceeds the vertex count or the analysis dimensions
+/// don't match the graph.
+[[nodiscard]] ClusteringResult spectral_cluster(
+    const SimilarityGraph& graph, const SpectralAnalysis& analysis,
+    const SpectralOptions& options = {});
 
 }  // namespace auditherm::clustering

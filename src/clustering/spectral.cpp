@@ -103,8 +103,19 @@ SpectralAnalysis analyze_spectrum(const linalg::Matrix& weights,
 
 std::vector<std::vector<timeseries::ChannelId>> ClusteringResult::clusters()
     const {
+  if (labels.size() != channels.size()) {
+    throw std::out_of_range(
+        "ClusteringResult::clusters: " + std::to_string(labels.size()) +
+        " labels for " + std::to_string(channels.size()) + " channels");
+  }
   std::vector<std::vector<timeseries::ChannelId>> out(cluster_count);
   for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (labels[i] >= cluster_count) {
+      throw std::out_of_range(
+          "ClusteringResult::clusters: label " + std::to_string(labels[i]) +
+          " at index " + std::to_string(i) + " >= cluster_count " +
+          std::to_string(cluster_count));
+    }
     out[labels[i]].push_back(channels[i]);
   }
   return out;
@@ -119,11 +130,22 @@ std::size_t ClusteringResult::cluster_of(timeseries::ChannelId id) const {
 
 ClusteringResult spectral_cluster(const SimilarityGraph& graph,
                                   const SpectralOptions& options) {
+  return spectral_cluster(
+      graph, analyze_spectrum(graph.weights, options.laplacian), options);
+}
+
+ClusteringResult spectral_cluster(const SimilarityGraph& graph,
+                                  const SpectralAnalysis& analysis,
+                                  const SpectralOptions& options) {
   const std::size_t n = graph.channels.size();
   if (options.cluster_count > n) {
     throw std::invalid_argument("spectral_cluster: cluster_count > vertices");
   }
-  const auto analysis = analyze_spectrum(graph.weights, options.laplacian);
+  if (analysis.eigenvalues.size() != n || analysis.eigenvectors.rows() != n ||
+      analysis.eigenvectors.cols() != n) {
+    throw std::invalid_argument(
+        "spectral_cluster: analysis dimensions do not match the graph");
+  }
 
   std::size_t k = options.cluster_count;
   if (k == 0) {

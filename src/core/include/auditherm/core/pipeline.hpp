@@ -9,11 +9,14 @@
 /// (Fig. 11).
 
 #include <cstdint>
+#include <memory>
+#include <string_view>
 #include <vector>
 
 #include "auditherm/clustering/spectral.hpp"
 #include "auditherm/core/parallel.hpp"
 #include "auditherm/core/split.hpp"
+#include "auditherm/core/stage_cache.hpp"
 #include "auditherm/selection/evaluation.hpp"
 #include "auditherm/selection/gp_placement.hpp"
 #include "auditherm/selection/strategies.hpp"
@@ -46,6 +49,39 @@ struct PipelineConfig {
   /// setting (AUDITHERM_THREADS, else hardware concurrency). Results are
   /// bitwise identical at any value — see parallel.hpp.
   std::size_t threads = 0;
+};
+
+/// StageCache stage names used by the pipeline (for stats() queries; see
+/// DESIGN.md for the key-chaining rules).
+namespace stage {
+inline constexpr std::string_view kTrainingView = "training_view";
+inline constexpr std::string_view kSimilarityGraph = "similarity_graph";
+inline constexpr std::string_view kSpectrum = "spectrum";
+inline constexpr std::string_view kClustering = "clustering";
+inline constexpr std::string_view kClusterSets = "cluster_sets";
+inline constexpr std::string_view kClusterMeans = "cluster_means";
+inline constexpr std::string_view kWindows = "evaluation_windows";
+}  // namespace stage
+
+/// The strategy/seed-independent Step-1 artifacts a sweep's cases share:
+/// everything the pipeline computes before representative selection.
+/// Obtained from ThermalModelingPipeline::prepare(); fields are shared
+/// pointers so cache hits alias the stored artifacts without copying.
+struct StageArtifacts {
+  /// Training days in the configured mode, rows reindexed.
+  std::shared_ptr<const timeseries::MultiTrace> training;
+  std::shared_ptr<const clustering::SimilarityGraph> graph;
+  /// Laplacian eigendecomposition of the graph (reused across cluster
+  /// counts — only the cheap k-means embedding depends on k).
+  std::shared_ptr<const clustering::SpectralAnalysis> spectrum;
+  std::shared_ptr<const clustering::ClusteringResult> clustering;
+  std::shared_ptr<const selection::ClusterSets> clusters;
+  /// Validation evaluation windows (mode rows with valid inputs).
+  std::shared_ptr<const std::vector<timeseries::Segment>> windows;
+  /// Measured all-sensor mean per cluster over the whole trace.
+  std::shared_ptr<const std::vector<linalg::Vector>> cluster_means;
+  /// Train-day AND mode rows on the source trace (cheap, never cached).
+  std::vector<bool> train_mode_mask;
 };
 
 /// Everything the pipeline produces.
@@ -81,7 +117,39 @@ class ThermalModelingPipeline {
       const std::vector<timeseries::ChannelId>& input_ids,
       const std::vector<timeseries::ChannelId>& thermostat_ids = {}) const;
 
+  /// Like run(), but fetches the strategy/seed-independent Step-1
+  /// artifacts through `cache`, computing them only on a miss. Results are
+  /// bitwise identical to the uncached overload (both execute the same
+  /// stage builders on the same inputs); only the work is shared. Safe to
+  /// call concurrently on one cache.
+  [[nodiscard]] PipelineResult run(
+      const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+      const DataSplit& split,
+      const std::vector<timeseries::ChannelId>& sensor_ids,
+      const std::vector<timeseries::ChannelId>& input_ids,
+      const std::vector<timeseries::ChannelId>& thermostat_ids,
+      StageCache& cache) const;
+
+  /// Build (or fetch, when `cache` is non-null) the Step-1 artifacts:
+  /// training view, similarity graph, spectrum, clustering, cluster sets,
+  /// evaluation windows, and measured cluster means. Strategy and seed do
+  /// not enter the cache keys, so every case of a sweep resolves to the
+  /// same entries.
+  [[nodiscard]] StageArtifacts prepare(
+      const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+      const DataSplit& split,
+      const std::vector<timeseries::ChannelId>& sensor_ids,
+      const std::vector<timeseries::ChannelId>& input_ids,
+      StageCache* cache = nullptr) const;
+
  private:
+  /// Steps 2 + 3 + evaluation on prepared Step-1 artifacts.
+  [[nodiscard]] PipelineResult run_from(
+      const StageArtifacts& artifacts, const timeseries::MultiTrace& trace,
+      const std::vector<timeseries::ChannelId>& sensor_ids,
+      const std::vector<timeseries::ChannelId>& input_ids,
+      const std::vector<timeseries::ChannelId>& thermostat_ids) const;
+
   PipelineConfig config_;
 };
 
@@ -97,13 +165,22 @@ struct SweepCase {
 /// the deterministic runtime: results arrive in case order and each case
 /// equals a standalone run() with that strategy/seed. `base` supplies
 /// every other configuration field, including `threads`.
+///
+/// The strategy/seed-independent Step-1 prefix (training view, similarity
+/// graph, eigendecomposition, clustering, windows, cluster means) is
+/// computed exactly once through a StageCache and shared by every case;
+/// only Step 2 + Step 3 + evaluation fan out. Pass `cache` to share the
+/// prefix across successive sweeps too (e.g. per-k sweeps reuse the
+/// spectrum); with nullptr a sweep-local cache is used. Results stay
+/// bitwise identical to per-case run() at any thread count.
 [[nodiscard]] std::vector<PipelineResult> run_strategy_sweep(
     const PipelineConfig& base, const std::vector<SweepCase>& cases,
     const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
     const DataSplit& split,
     const std::vector<timeseries::ChannelId>& sensor_ids,
     const std::vector<timeseries::ChannelId>& input_ids,
-    const std::vector<timeseries::ChannelId>& thermostat_ids = {});
+    const std::vector<timeseries::ChannelId>& thermostat_ids = {},
+    StageCache* cache = nullptr);
 
 /// Evaluate a reduced model's cluster-mean predictions (Fig. 11 metric):
 /// simulate the model over each window, average the predicted selected
@@ -114,6 +191,18 @@ struct SweepCase {
     const selection::ClusterSets& clusters,
     const selection::Selection& selection,
     const std::vector<timeseries::Segment>& windows,
+    const sysid::EvaluationOptions& options);
+
+/// Same, with the measured per-cluster means precomputed (the stage-cache
+/// path: the means depend only on trace and clustering, so a sweep
+/// computes them once). `cluster_means[c]` must be row-aligned with
+/// `trace`; throws std::invalid_argument on count mismatch.
+[[nodiscard]] selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
+    const sysid::ThermalModel& model, const timeseries::MultiTrace& trace,
+    const selection::ClusterSets& clusters,
+    const selection::Selection& selection,
+    const std::vector<timeseries::Segment>& windows,
+    const std::vector<linalg::Vector>& cluster_means,
     const sysid::EvaluationOptions& options);
 
 }  // namespace auditherm::core

@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file stage_cache.hpp
+/// Content-keyed memoization of the modeling pipeline's expensive stages.
+///
+/// The paper's evaluation sweeps (Tables I-II, Figs 8-11) rerun the
+/// pipeline across selection strategies and seeds over a *fixed*
+/// clustering: the training view, similarity graph, Laplacian spectrum,
+/// k-means labels, evaluation windows, and measured cluster means never
+/// depend on strategy or seed. A StageCache memoizes those artifacts under
+/// a cheap structural hash of everything they *do* depend on, so a sweep
+/// over N cases performs the Step-1 work exactly once (amgcl's
+/// setup/solve split: build the expensive operator once, reuse it across
+/// many solves).
+///
+/// Key rules (see DESIGN.md §"Stage cache"):
+///   * Keys are chained: each stage's key folds its upstream stage's key
+///     with the options that stage newly consumes. Changing, say, the
+///     spectral options invalidates the clustering but still reuses the
+///     similarity graph.
+///   * Trace content enters keys via trace_fingerprint(): grid, channel
+///     ids, and every sample's bit pattern (NaN gaps normalized to one
+///     pattern). Two bitwise-equal traces share cache entries; any edit
+///     misses.
+///   * Hits return shared_ptr aliases of the stored artifact — callers
+///     never copy, and a cached run is bitwise identical to an uncached
+///     one because both execute the same builder code on the same inputs.
+///
+/// Thread safety: get_or_build() may be called concurrently from the
+/// sweep's worker threads. One mutex guards the table; builders run with
+/// NO cache lock held (a builder may itself fan out over the thread
+/// pool, so holding a lock across build() would order it against the
+/// pool's batch mutex — a lock-order inversion TSan rejects). A key's
+/// first toucher marks it building and later publishes; concurrent
+/// touchers park on a condition variable — except inside a parallel
+/// region, where parking would stall the pool, so they build a duplicate
+/// and the first publish wins. Outside parallel regions a key is built
+/// exactly once.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::core {
+
+/// Incremental FNV-1a (64-bit) over the structural content of cache-key
+/// inputs. Not cryptographic — keys are a memoization address, not a
+/// security boundary.
+class StageKeyHasher {
+ public:
+  void add_bytes(const void* data, std::size_t size) noexcept;
+  void add(std::uint64_t v) noexcept;
+  void add(std::int64_t v) noexcept { add(static_cast<std::uint64_t>(v)); }
+  void add(bool v) noexcept { add(static_cast<std::uint64_t>(v ? 1 : 2)); }
+  /// Doubles hash by bit pattern; NaNs collapse to one sentinel so every
+  /// gap encoding keys identically.
+  void add(double v) noexcept;
+  void add(std::string_view s) noexcept;
+  void add(const std::vector<bool>& mask) noexcept;
+  void add(const std::vector<int>& v) noexcept;
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+/// Structural fingerprint of a trace: grid, channel ids, and all sample
+/// bits. O(rows x channels) but pure streaming arithmetic — microseconds
+/// against the milliseconds-to-seconds stages it guards.
+[[nodiscard]] std::uint64_t trace_fingerprint(
+    const timeseries::MultiTrace& trace);
+
+/// Hit/miss counters for one stage (or the cache-wide totals).
+struct StageStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;  ///< == number of times the stage was computed
+};
+
+/// Thread-safe content-keyed memo table for pipeline stage artifacts.
+///
+/// Values are type-erased internally; get_or_build<T> stores and returns
+/// shared_ptr<const T>. A key must always be used with the same T (keys
+/// fold in a per-stage tag, so distinct stages never collide).
+class StageCache {
+ public:
+  StageCache() = default;
+  StageCache(const StageCache&) = delete;
+  StageCache& operator=(const StageCache&) = delete;
+
+  /// Return the artifact for (stage, key). On first touch `build` runs
+  /// once; concurrent first-touchers either wait for it or (inside a
+  /// parallel region) race a duplicate build whose loser is discarded, so
+  /// every caller receives the same stored artifact.
+  template <typename T, typename BuildFn>
+  std::shared_ptr<const T> get_or_build(std::string_view stage,
+                                        std::uint64_t key, BuildFn&& build) {
+    auto erased = get_or_build_erased(
+        stage, tag_key(stage, key), [&]() -> std::shared_ptr<const void> {
+          return std::make_shared<const T>(build());
+        });
+    return std::static_pointer_cast<const T>(std::move(erased));
+  }
+
+  /// Counters for one stage name ({0,0} for a never-seen stage).
+  [[nodiscard]] StageStats stats(std::string_view stage) const;
+  /// Counters summed over all stages.
+  [[nodiscard]] StageStats totals() const;
+  /// Number of cached artifacts.
+  [[nodiscard]] std::size_t size() const;
+  /// Drop every artifact and counter.
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    bool building = false;  ///< a builder is running for this key
+  };
+
+  /// Fold the stage name into the key so two stages with equal content
+  /// keys address different slots.
+  [[nodiscard]] static std::uint64_t tag_key(std::string_view stage,
+                                             std::uint64_t key) noexcept;
+
+  std::shared_ptr<const void> get_or_build_erased(
+      std::string_view stage, std::uint64_t tagged_key,
+      const std::function<std::shared_ptr<const void>()>& build);
+
+  mutable std::mutex mutex_;
+  std::condition_variable build_done_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<std::string, StageStats> stats_;
+};
+
+}  // namespace auditherm::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace auditherm::core {
 
@@ -22,6 +23,28 @@ std::vector<ChannelId> unique_ordered(const std::vector<ChannelId>& ids) {
   return out;
 }
 
+void add_similarity_options(StageKeyHasher& h,
+                            const clustering::SimilarityOptions& o) {
+  h.add(static_cast<std::uint64_t>(o.metric));
+  h.add(o.sigma);
+  h.add(o.threshold);
+  h.add(o.threshold_quantile);
+  h.add(static_cast<std::uint64_t>(o.knn_floor));
+}
+
+/// Everything spectral_cluster consumes *beyond* the spectrum itself
+/// (the Laplacian kind is folded into the spectrum stage's key).
+void add_spectral_options(StageKeyHasher& h,
+                          const clustering::SpectralOptions& o) {
+  h.add(static_cast<std::uint64_t>(o.cluster_count));
+  h.add(static_cast<std::uint64_t>(o.k_min));
+  h.add(static_cast<std::uint64_t>(o.k_max));
+  h.add(o.normalize_rows);
+  h.add(static_cast<std::uint64_t>(o.kmeans.max_iterations));
+  h.add(static_cast<std::uint64_t>(o.kmeans.restarts));
+  h.add(o.kmeans.seed);
+}
+
 }  // namespace
 
 ThermalModelingPipeline::ThermalModelingPipeline(PipelineConfig config)
@@ -32,29 +55,114 @@ ThermalModelingPipeline::ThermalModelingPipeline(PipelineConfig config)
   }
 }
 
-PipelineResult ThermalModelingPipeline::run(
+StageArtifacts ThermalModelingPipeline::prepare(
     const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
     const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
-    const std::vector<ChannelId>& input_ids,
-    const std::vector<ChannelId>& thermostat_ids) const {
-  // Apply the configured thread count for the duration of the run; every
-  // kernel below is bitwise deterministic in it.
+    const std::vector<ChannelId>& input_ids, StageCache* cache) const {
   const ThreadCountScope thread_scope(config_.threads);
   const auto mode_mask = schedule.mode_mask(trace.grid(), config_.mode);
 
-  // Training view: training days in the configured mode, rows reindexed.
-  // Clustering and selection only need cross-sectional statistics, so the
-  // reindexing is harmless.
-  const auto training =
-      trace.filter_rows(and_masks(split.train_mask, mode_mask));
+  StageArtifacts art;
+  art.train_mode_mask = and_masks(split.train_mask, mode_mask);
+
+  // Runs a stage through the cache, or builds it inline when uncached;
+  // both paths execute the same builder, which is what makes cached and
+  // uncached results bitwise identical.
+  const auto run_stage = [&](std::string_view name, std::uint64_t key,
+                             auto build) {
+    using T = std::remove_cvref_t<decltype(build())>;
+    if (cache != nullptr) return cache->get_or_build<T>(name, key, build);
+    return std::shared_ptr<const T>(std::make_shared<const T>(build()));
+  };
+
+  // Keys chain: each stage folds its upstream key with the options it
+  // newly consumes, so editing one knob invalidates exactly the suffix
+  // that depends on it. Strategy and seed never enter any key.
+  const std::uint64_t fp = trace_fingerprint(trace);
+
+  // --- Training view: train days in mode, rows reindexed. ----------------
+  StageKeyHasher train_h;
+  train_h.add(fp);
+  train_h.add(split.train_mask);
+  train_h.add(mode_mask);
+  const std::uint64_t train_key = train_h.value();
+  art.training = run_stage(stage::kTrainingView, train_key, [&] {
+    return trace.filter_rows(art.train_mode_mask);
+  });
+
+  // --- Similarity graph over the dense network. --------------------------
+  StageKeyHasher graph_h;
+  graph_h.add(train_key);
+  graph_h.add(sensor_ids);
+  add_similarity_options(graph_h, config_.similarity);
+  const std::uint64_t graph_key = graph_h.value();
+  art.graph = run_stage(stage::kSimilarityGraph, graph_key, [&] {
+    return clustering::build_similarity_graph(*art.training, sensor_ids,
+                                              config_.similarity);
+  });
+
+  // --- Laplacian eigendecomposition (the expensive operator). ------------
+  StageKeyHasher spectrum_h;
+  spectrum_h.add(graph_key);
+  spectrum_h.add(static_cast<std::uint64_t>(config_.spectral.laplacian));
+  const std::uint64_t spectrum_key = spectrum_h.value();
+  art.spectrum = run_stage(stage::kSpectrum, spectrum_key, [&] {
+    return clustering::analyze_spectrum(art.graph->weights,
+                                        config_.spectral.laplacian);
+  });
+
+  // --- Clustering: eigengap + k-means on the spectral embedding. ---------
+  StageKeyHasher cluster_h;
+  cluster_h.add(spectrum_key);
+  add_spectral_options(cluster_h, config_.spectral);
+  const std::uint64_t cluster_key = cluster_h.value();
+  art.clustering = run_stage(stage::kClustering, cluster_key, [&] {
+    return clustering::spectral_cluster(*art.graph, *art.spectrum,
+                                        config_.spectral);
+  });
+  art.clusters = run_stage(stage::kClusterSets, cluster_key, [&] {
+    return art.clustering->clusters();
+  });
+
+  // --- Measured all-sensor mean per cluster over the whole trace. --------
+  art.cluster_means = run_stage(stage::kClusterMeans, cluster_key, [&] {
+    std::vector<linalg::Vector> means;
+    means.reserve(art.clusters->size());
+    for (const auto& members : *art.clusters) {
+      means.push_back(timeseries::row_mean(trace, members));
+    }
+    return means;
+  });
+
+  // --- Evaluation windows on the validation days. ------------------------
+  StageKeyHasher windows_h;
+  windows_h.add(fp);
+  windows_h.add(split.validation_mask);
+  windows_h.add(mode_mask);
+  windows_h.add(input_ids);
+  windows_h.add(static_cast<std::uint64_t>(config_.evaluation.min_steps));
+  art.windows = run_stage(stage::kWindows, windows_h.value(), [&] {
+    auto window_mask = and_masks(split.validation_mask, mode_mask);
+    window_mask = and_masks(
+        window_mask, timeseries::rows_with_all_valid(trace, input_ids));
+    return timeseries::find_segments(
+        window_mask, std::max<std::size_t>(config_.evaluation.min_steps, 2));
+  });
+
+  return art;
+}
+
+PipelineResult ThermalModelingPipeline::run_from(
+    const StageArtifacts& artifacts, const timeseries::MultiTrace& trace,
+    const std::vector<ChannelId>& sensor_ids,
+    const std::vector<ChannelId>& input_ids,
+    const std::vector<ChannelId>& thermostat_ids) const {
+  const ThreadCountScope thread_scope(config_.threads);
+  const auto& training = *artifacts.training;
+  const auto& clusters = *artifacts.clusters;
 
   PipelineResult result;
-
-  // --- Step 1: spectral clustering of the dense network. ---------------
-  const auto graph = clustering::build_similarity_graph(training, sensor_ids,
-                                                        config_.similarity);
-  result.clustering = clustering::spectral_cluster(graph, config_.spectral);
-  const auto clusters = result.clustering.clusters();
+  result.clustering = *artifacts.clustering;
 
   // --- Step 2: representative selection. --------------------------------
   switch (config_.strategy) {
@@ -90,23 +198,37 @@ PipelineResult ThermalModelingPipeline::run(
   const auto states = unique_ordered(result.selection.flattened());
   const sysid::ModelEstimator estimator(states, input_ids, config_.order,
                                         config_.estimation);
-  result.reduced_model =
-      estimator.fit(trace, and_masks(split.train_mask, mode_mask));
+  result.reduced_model = estimator.fit(trace, artifacts.train_mode_mask);
 
   // --- Evaluation on the validation days. --------------------------------
-  std::vector<ChannelId> required = input_ids;  // windows need valid inputs
-  auto window_mask = and_masks(split.validation_mask, mode_mask);
-  const auto valid_inputs = timeseries::rows_with_all_valid(trace, required);
-  window_mask = and_masks(window_mask, valid_inputs);
-  const auto windows = timeseries::find_segments(
-      window_mask, std::max<std::size_t>(config_.evaluation.min_steps, 2));
-
-  result.reduced_eval = sysid::evaluate_prediction(result.reduced_model, trace,
-                                                   windows, config_.evaluation);
+  result.reduced_eval = sysid::evaluate_prediction(
+      result.reduced_model, trace, *artifacts.windows, config_.evaluation);
   result.cluster_mean_errors = evaluate_reduced_model_cluster_mean(
-      result.reduced_model, trace, clusters, result.selection, windows,
-      config_.evaluation);
+      result.reduced_model, trace, clusters, result.selection,
+      *artifacts.windows, *artifacts.cluster_means, config_.evaluation);
   return result;
+}
+
+PipelineResult ThermalModelingPipeline::run(
+    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+    const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
+    const std::vector<ChannelId>& input_ids,
+    const std::vector<ChannelId>& thermostat_ids) const {
+  const ThreadCountScope thread_scope(config_.threads);
+  const auto artifacts =
+      prepare(trace, schedule, split, sensor_ids, input_ids, nullptr);
+  return run_from(artifacts, trace, sensor_ids, input_ids, thermostat_ids);
+}
+
+PipelineResult ThermalModelingPipeline::run(
+    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+    const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
+    const std::vector<ChannelId>& input_ids,
+    const std::vector<ChannelId>& thermostat_ids, StageCache& cache) const {
+  const ThreadCountScope thread_scope(config_.threads);
+  const auto artifacts =
+      prepare(trace, schedule, split, sensor_ids, input_ids, &cache);
+  return run_from(artifacts, trace, sensor_ids, input_ids, thermostat_ids);
 }
 
 selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
@@ -115,9 +237,30 @@ selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
     const selection::Selection& selection,
     const std::vector<timeseries::Segment>& windows,
     const sysid::EvaluationOptions& options) {
+  // Measured all-sensor mean per cluster over the whole trace.
+  std::vector<linalg::Vector> cluster_means;
+  cluster_means.reserve(clusters.size());
+  for (const auto& members : clusters) {
+    cluster_means.push_back(timeseries::row_mean(trace, members));
+  }
+  return evaluate_reduced_model_cluster_mean(model, trace, clusters, selection,
+                                             windows, cluster_means, options);
+}
+
+selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
+    const sysid::ThermalModel& model, const timeseries::MultiTrace& trace,
+    const selection::ClusterSets& clusters,
+    const selection::Selection& selection,
+    const std::vector<timeseries::Segment>& windows,
+    const std::vector<linalg::Vector>& cluster_means,
+    const sysid::EvaluationOptions& options) {
   if (selection.per_cluster.size() != clusters.size()) {
     throw std::invalid_argument(
         "evaluate_reduced_model_cluster_mean: cluster count mismatch");
+  }
+  if (cluster_means.size() != clusters.size()) {
+    throw std::invalid_argument(
+        "evaluate_reduced_model_cluster_mean: cluster mean count mismatch");
   }
 
   // Map each cluster to the model-state indices of its selected sensors.
@@ -138,13 +281,6 @@ selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
       throw std::invalid_argument(
           "evaluate_reduced_model_cluster_mean: cluster with no selection");
     }
-  }
-
-  // Measured all-sensor mean per cluster over the whole trace.
-  std::vector<linalg::Vector> cluster_means;
-  cluster_means.reserve(clusters.size());
-  for (const auto& members : clusters) {
-    cluster_means.push_back(timeseries::row_mean(trace, members));
   }
 
   // Each window's open-loop simulation is independent; per-window error
@@ -187,12 +323,26 @@ std::vector<PipelineResult> run_strategy_sweep(
     const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
     const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
     const std::vector<ChannelId>& input_ids,
-    const std::vector<ChannelId>& thermostat_ids) {
+    const std::vector<ChannelId>& thermostat_ids, StageCache* cache) {
   const ThreadCountScope thread_scope(base.threads);
+  StageCache local_cache;
+  StageCache& shared = cache != nullptr ? *cache : local_cache;
+
+  // Compute (or fetch) the shared Step-1 prefix exactly once, before the
+  // fan-out: every case resolves to the same keys because strategy and
+  // seed are not part of them.
+  {
+    const ThermalModelingPipeline prefix(base);
+    (void)prefix.prepare(trace, schedule, split, sensor_ids, input_ids,
+                         &shared);
+  }
+
   std::vector<PipelineResult> results(cases.size());
   // Cases fan out across the pool; each case's own kernels then run
   // serially (nested regions are inline), which is the right granularity:
-  // whole pipeline runs dwarf any single kernel.
+  // whole pipeline runs dwarf any single kernel. Each case takes the
+  // cache's hit path for the Step-1 stages and computes only Step 2 +
+  // Step 3 + evaluation.
   parallel_for(0, cases.size(), 1, [&](std::size_t i) {
     PipelineConfig config = base;
     config.strategy = cases[i].strategy;
@@ -200,7 +350,7 @@ std::vector<PipelineResult> run_strategy_sweep(
     config.threads = 0;  // the sweep's scope already applied base.threads
     const ThermalModelingPipeline pipeline(config);
     results[i] = pipeline.run(trace, schedule, split, sensor_ids, input_ids,
-                              thermostat_ids);
+                              thermostat_ids, shared);
   });
   return results;
 }

@@ -1,0 +1,176 @@
+#include "auditherm/core/stage_cache.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "auditherm/core/parallel.hpp"
+
+namespace auditherm::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// All NaN payloads key identically: a gap is a gap.
+constexpr std::uint64_t kNanSentinel = 0x7ff8dead00000000ull;
+
+}  // namespace
+
+void StageKeyHasher::add_bytes(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  state_ = h;
+}
+
+void StageKeyHasher::add(std::uint64_t v) noexcept {
+  add_bytes(&v, sizeof(v));
+}
+
+void StageKeyHasher::add(double v) noexcept {
+  const std::uint64_t bits =
+      std::isnan(v) ? kNanSentinel : std::bit_cast<std::uint64_t>(v);
+  add(bits);
+}
+
+void StageKeyHasher::add(std::string_view s) noexcept {
+  add(static_cast<std::uint64_t>(s.size()));
+  add_bytes(s.data(), s.size());
+}
+
+void StageKeyHasher::add(const std::vector<bool>& mask) noexcept {
+  add(static_cast<std::uint64_t>(mask.size()));
+  std::uint64_t word = 0;
+  std::size_t filled = 0;
+  for (bool b : mask) {
+    word = (word << 1) | (b ? 1u : 0u);
+    if (++filled == 64) {
+      add(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) add(word);
+}
+
+void StageKeyHasher::add(const std::vector<int>& v) noexcept {
+  add(static_cast<std::uint64_t>(v.size()));
+  for (int x : v) add(static_cast<std::uint64_t>(static_cast<std::int64_t>(x)));
+}
+
+std::uint64_t trace_fingerprint(const timeseries::MultiTrace& trace) {
+  StageKeyHasher h;
+  h.add(trace.grid().start());
+  h.add(trace.grid().step());
+  h.add(static_cast<std::uint64_t>(trace.size()));
+  h.add(trace.channels());
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+      h.add(trace.value(k, c));
+    }
+  }
+  return h.value();
+}
+
+std::uint64_t StageCache::tag_key(std::string_view stage,
+                                  std::uint64_t key) noexcept {
+  StageKeyHasher h;
+  h.add(stage);
+  h.add(key);
+  return h.value();
+}
+
+std::shared_ptr<const void> StageCache::get_or_build_erased(
+    std::string_view stage, std::uint64_t tagged_key,
+    const std::function<std::shared_ptr<const void>()>& build) {
+  bool claimed = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      Entry& entry = entries_[tagged_key];
+      if (entry.value) {
+        ++stats_[std::string(stage)].hits;
+        return entry.value;
+      }
+      if (!entry.building) {
+        entry.building = true;
+        claimed = true;
+        break;
+      }
+      // Someone else is building this key. Parking inside a parallel
+      // region would stall the pool the builder may itself be waiting
+      // for, so there we race a duplicate build instead (first publish
+      // wins); otherwise wait for the builder to publish.
+      if (detail::in_parallel_region()) break;
+      build_done_.wait(lock);
+    }
+  }
+
+  // The builder runs with no cache lock held: it may fan out over the
+  // thread pool, and holding a lock here would order the cache against
+  // the pool's internals (lock-order inversion).
+  std::shared_ptr<const void> value;
+  try {
+    value = build();
+  } catch (...) {
+    if (claimed) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      entries_[tagged_key].building = false;
+      build_done_.notify_all();
+    }
+    throw;
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[tagged_key];
+  if (!entry.value) {
+    entry.value = std::move(value);
+    ++stats_[std::string(stage)].misses;
+  } else {
+    // Lost a duplicate-build race; keep the published artifact so every
+    // caller aliases the same object.
+    ++stats_[std::string(stage)].hits;
+  }
+  if (claimed) {
+    entry.building = false;
+    build_done_.notify_all();
+  }
+  return entry.value;
+}
+
+StageStats StageCache::stats(std::string_view stage) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stats_.find(std::string(stage));
+  return it == stats_.end() ? StageStats{} : it->second;
+}
+
+StageStats StageCache::totals() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StageStats total;
+  for (const auto& [name, s] : stats_) {
+    total.hits += s.hits;
+    total.misses += s.misses;
+  }
+  return total;
+}
+
+std::size_t StageCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.value) ++n;
+  }
+  return n;
+}
+
+void StageCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_.clear();
+}
+
+}  // namespace auditherm::core

@@ -13,15 +13,22 @@
 
 namespace auditherm::timeseries {
 
-/// Write the trace as CSV to a stream.
+/// Write the trace as CSV to a stream. Values are written with
+/// max_digits10 precision so doubles round-trip exactly, and the grid
+/// step is persisted as a leading "# step_minutes=N" comment so
+/// single-row traces keep their step.
 void write_csv(std::ostream& os, const MultiTrace& trace);
 
 /// Write the trace to a file; throws std::runtime_error on I/O failure.
 void write_csv_file(const std::string& path, const MultiTrace& trace);
 
-/// Parse a trace from CSV; the grid step is inferred from the first two
-/// rows (a single-row file gets step 1). Throws std::runtime_error on
-/// malformed input (bad header, ragged rows, non-uniform time steps).
+/// Parse a trace from CSV. `#` comment lines are skipped; a
+/// "# step_minutes=N" comment fixes the grid step, otherwise it is
+/// inferred from the first two rows (a single-row file without the
+/// comment gets step 1). CRLF line endings are accepted. Throws
+/// std::runtime_error on malformed input (bad header, ragged rows,
+/// non-uniform or contradicting time steps, unparsable numbers — each
+/// reported with its line/column).
 [[nodiscard]] MultiTrace read_csv(std::istream& is);
 
 /// Read a trace from a file; throws std::runtime_error on I/O failure.

@@ -1,6 +1,7 @@
 #include "auditherm/timeseries/segmentation.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace auditherm::timeseries {
 
@@ -34,7 +35,15 @@ std::vector<Segment> intersect_segments(const std::vector<Segment>& segments,
                                         std::size_t min_length) {
   std::vector<bool> combined(mask.size(), false);
   for (const auto& s : segments) {
-    for (std::size_t k = s.first; k < s.last && k < mask.size(); ++k) {
+    // A segment past the mask is a caller bug (mask built for a different
+    // trace); clamping would silently evaluate on truncated windows.
+    if (s.last > mask.size()) {
+      throw std::out_of_range(
+          "intersect_segments: segment [" + std::to_string(s.first) + ", " +
+          std::to_string(s.last) + ") exceeds mask size " +
+          std::to_string(mask.size()));
+    }
+    for (std::size_t k = s.first; k < s.last; ++k) {
       combined[k] = mask[k];
     }
   }

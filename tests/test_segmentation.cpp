@@ -59,3 +59,18 @@ TEST(Segmentation, IntersectRespectsSegmentBounds) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], (Segment{2, 5}));
 }
+
+TEST(Segmentation, IntersectOutOfRangeSegmentThrows) {
+  // A segment past the mask means the mask was built for a different
+  // trace — that used to be silently clamped (truncated windows), now it
+  // throws.
+  const std::vector<bool> mask(8, true);
+  EXPECT_THROW((void)ts::intersect_segments({{6, 9}}, mask),
+               std::out_of_range);
+  EXPECT_THROW((void)ts::intersect_segments({{8, 12}}, mask),
+               std::out_of_range);
+  EXPECT_THROW((void)ts::intersect_segments({{0, 3}}, std::vector<bool>{}),
+               std::out_of_range);
+  // A segment ending exactly at the mask boundary is in range.
+  EXPECT_NO_THROW((void)ts::intersect_segments({{5, 8}}, mask));
+}

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 namespace clustering = auditherm::clustering;
 namespace linalg = auditherm::linalg;
@@ -129,6 +130,50 @@ TEST(Spectral, ClustersAccessor) {
     }
   }
   EXPECT_THROW((void)result.cluster_of(999), std::invalid_argument);
+}
+
+TEST(Spectral, MalformedClustersThrowInsteadOfUB) {
+  // A label >= cluster_count used to index out[labels[i]] out of bounds.
+  clustering::ClusteringResult bad;
+  bad.channels = {1, 2, 3};
+  bad.labels = {0, 1, 2};
+  bad.cluster_count = 2;  // label 2 is out of range
+  try {
+    (void)bad.clusters();
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("label 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("index 2"), std::string::npos) << what;
+  }
+
+  // Label/channel count mismatch is malformed too.
+  clustering::ClusteringResult ragged;
+  ragged.channels = {1, 2, 3};
+  ragged.labels = {0, 1};
+  ragged.cluster_count = 2;
+  EXPECT_THROW((void)ragged.clusters(), std::out_of_range);
+}
+
+TEST(Spectral, PrecomputedAnalysisOverloadMatchesOneShot) {
+  // The stage-cache split: spectral_cluster(graph, analysis, options) from
+  // a precomputed spectrum must equal the one-shot overload bitwise.
+  const auto graph = block_graph(3, 5);
+  clustering::SpectralOptions options;
+  options.cluster_count = 3;
+  const auto one_shot = clustering::spectral_cluster(graph, options);
+  const auto analysis =
+      clustering::analyze_spectrum(graph.weights, options.laplacian);
+  const auto staged = clustering::spectral_cluster(graph, analysis, options);
+  EXPECT_EQ(one_shot.labels, staged.labels);
+  EXPECT_EQ(one_shot.cluster_count, staged.cluster_count);
+  EXPECT_EQ(one_shot.eigenvalues, staged.eigenvalues);
+
+  // Mismatched analysis dimensions are rejected.
+  const auto wrong = clustering::analyze_spectrum(
+      block_graph(2, 3).weights, options.laplacian);
+  EXPECT_THROW((void)clustering::spectral_cluster(graph, wrong, options),
+               std::invalid_argument);
 }
 
 TEST(Spectral, ClusterCountValidation) {

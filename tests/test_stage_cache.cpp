@@ -1,0 +1,358 @@
+// Tests for the content-keyed stage cache: build-once semantics, key
+// chaining, concurrency, and the sweep contract — cached sweep results
+// are bitwise identical to standalone per-case run() at any thread count
+// while the Step-1 stages compute exactly once per unique key.
+
+#include "auditherm/core/stage_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auditherm/core/pipeline.hpp"
+#include "auditherm/sim/dataset.hpp"
+
+namespace core = auditherm::core;
+namespace sim = auditherm::sim;
+namespace hvac = auditherm::hvac;
+namespace timeseries = auditherm::timeseries;
+
+namespace {
+
+/// Shared small dataset (generation costs a few hundred ms).
+const sim::AuditoriumDataset& dataset() {
+  static const sim::AuditoriumDataset ds = [] {
+    sim::DatasetConfig config;
+    config.days = 28;
+    config.failure_days = 4;
+    return sim::generate_dataset(config);
+  }();
+  return ds;
+}
+
+const core::DataSplit& split() {
+  static const core::DataSplit s = [] {
+    auto required = dataset().sensor_ids();
+    const auto inputs = dataset().input_ids();
+    required.insert(required.end(), inputs.begin(), inputs.end());
+    return core::split_dataset(dataset().trace, required, dataset().schedule,
+                               hvac::Mode::kOccupied);
+  }();
+  return s;
+}
+
+/// Full-strength bitwise comparison of pipeline results.
+void expect_bitwise_equal(const core::PipelineResult& a,
+                          const core::PipelineResult& b,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+  EXPECT_EQ(a.clustering.cluster_count, b.clustering.cluster_count);
+  EXPECT_EQ(a.clustering.eigenvalues, b.clustering.eigenvalues);
+  EXPECT_EQ(a.selection.per_cluster, b.selection.per_cluster);
+  EXPECT_EQ(a.reduced_model.a(), b.reduced_model.a());
+  EXPECT_EQ(a.reduced_model.a2(), b.reduced_model.a2());
+  EXPECT_EQ(a.reduced_model.b(), b.reduced_model.b());
+  EXPECT_EQ(a.reduced_eval.window_count, b.reduced_eval.window_count);
+  EXPECT_EQ(a.reduced_eval.channel_rms, b.reduced_eval.channel_rms);
+  EXPECT_EQ(a.reduced_eval.pooled_rms, b.reduced_eval.pooled_rms);
+  EXPECT_EQ(a.cluster_mean_errors.per_cluster_abs,
+            b.cluster_mean_errors.per_cluster_abs);
+}
+
+const std::vector<core::SweepCase>& sweep_cases() {
+  static const std::vector<core::SweepCase> cases{
+      {core::SelectionStrategy::kStratifiedNearMean, 7},
+      {core::SelectionStrategy::kStratifiedRandom, 1},
+      {core::SelectionStrategy::kStratifiedRandom, 2},
+      {core::SelectionStrategy::kSimpleRandom, 1},
+      {core::SelectionStrategy::kSimpleRandom, 2},
+      {core::SelectionStrategy::kThermostats, 7},
+  };
+  return cases;
+}
+
+}  // namespace
+
+TEST(StageKeyHasher, OrderAndContentSensitive) {
+  core::StageKeyHasher a, b;
+  a.add(std::uint64_t{1});
+  a.add(std::uint64_t{2});
+  b.add(std::uint64_t{2});
+  b.add(std::uint64_t{1});
+  EXPECT_NE(a.value(), b.value());
+
+  core::StageKeyHasher c, d;
+  c.add(1.5);
+  d.add(1.5);
+  EXPECT_EQ(c.value(), d.value());
+  d.add(false);
+  EXPECT_NE(c.value(), d.value());
+}
+
+TEST(StageKeyHasher, NanPayloadsCollapse) {
+  // Every NaN encoding is "a gap"; keys must not depend on the payload.
+  core::StageKeyHasher a, b;
+  a.add(std::nan("1"));
+  b.add(std::nan("2"));
+  EXPECT_EQ(a.value(), b.value());
+  core::StageKeyHasher c;
+  c.add(0.0);
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(StageKeyHasher, MaskBitsMatter) {
+  const std::vector<bool> mask_a{true, false, true};
+  const std::vector<bool> mask_b{true, false, false};
+  const std::vector<bool> mask_c{true, false};
+  core::StageKeyHasher a, b, c;
+  a.add(mask_a);
+  b.add(mask_b);
+  c.add(mask_c);
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());
+  EXPECT_NE(b.value(), c.value());
+}
+
+TEST(TraceFingerprint, SensitiveToContentInsensitiveToNanPayload) {
+  timeseries::MultiTrace a(timeseries::TimeGrid(0, 30, 4), {1, 2});
+  a.set(0, 0, 20.0);
+  a.set(1, 1, 21.5);
+  auto b = a;
+  EXPECT_EQ(core::trace_fingerprint(a), core::trace_fingerprint(b));
+
+  b.set(1, 1, 21.500000000000004);  // one ulp-ish edit must miss
+  EXPECT_NE(core::trace_fingerprint(a), core::trace_fingerprint(b));
+
+  // Same values on a different grid is different content.
+  timeseries::MultiTrace c(timeseries::TimeGrid(0, 15, 4), {1, 2});
+  c.set(0, 0, 20.0);
+  c.set(1, 1, 21.5);
+  EXPECT_NE(core::trace_fingerprint(a), core::trace_fingerprint(c));
+}
+
+TEST(StageCache, BuildsOncePerKeyAndCountsHits) {
+  core::StageCache cache;
+  std::atomic<int> builds{0};
+  const auto build = [&] {
+    ++builds;
+    return 42;
+  };
+  const auto first = cache.get_or_build<int>("stage_a", 1, build);
+  const auto again = cache.get_or_build<int>("stage_a", 1, build);
+  EXPECT_EQ(*first, 42);
+  EXPECT_EQ(first.get(), again.get());  // hit aliases the stored artifact
+  EXPECT_EQ(builds.load(), 1);
+
+  (void)cache.get_or_build<int>("stage_a", 2, build);  // new key
+  EXPECT_EQ(builds.load(), 2);
+
+  const auto stats = cache.stats("stage_a");
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats("stage_a").misses, 0u);
+}
+
+TEST(StageCache, StagesWithEqualKeysDoNotCollide) {
+  core::StageCache cache;
+  const auto a =
+      cache.get_or_build<int>("stage_a", 7, [] { return 1; });
+  const auto b =
+      cache.get_or_build<double>("stage_b", 7, [] { return 2.5; });
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2.5);
+  EXPECT_EQ(cache.stats("stage_a").misses, 1u);
+  EXPECT_EQ(cache.stats("stage_b").misses, 1u);
+}
+
+TEST(StageCache, ConcurrentFirstTouchBuildsExactlyOnce) {
+  // Hammer one key from many raw threads: the entry mutex must serialize
+  // the builders so the artifact is built exactly once, and every caller
+  // gets the same object.
+  core::StageCache cache;
+  std::atomic<int> builds{0};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const int>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 50; ++rep) {
+        seen[t] = cache.get_or_build<int>("shared", 99, [&] {
+          ++builds;
+          return 7;
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(seen[t]);
+    EXPECT_EQ(seen[t].get(), seen[0].get());
+  }
+  const auto stats = cache.stats("shared");
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kThreads * 50u - 1u);
+}
+
+TEST(StageCache, PreparePopulatesEveryStage) {
+  core::StageCache cache;
+  core::PipelineConfig config;
+  const core::ThermalModelingPipeline pipeline(config);
+  const auto art =
+      pipeline.prepare(dataset().trace, dataset().schedule, split(),
+                       dataset().wireless_ids(), dataset().input_ids(), &cache);
+  ASSERT_TRUE(art.training);
+  ASSERT_TRUE(art.graph);
+  ASSERT_TRUE(art.spectrum);
+  ASSERT_TRUE(art.clustering);
+  ASSERT_TRUE(art.clusters);
+  ASSERT_TRUE(art.windows);
+  ASSERT_TRUE(art.cluster_means);
+  EXPECT_EQ(art.cluster_means->size(), art.clusters->size());
+  EXPECT_EQ(art.train_mode_mask.size(), dataset().trace.size());
+  for (const auto name :
+       {core::stage::kTrainingView, core::stage::kSimilarityGraph,
+        core::stage::kSpectrum, core::stage::kClustering,
+        core::stage::kClusterSets, core::stage::kClusterMeans,
+        core::stage::kWindows}) {
+    EXPECT_EQ(cache.stats(name).misses, 1u) << name;
+    EXPECT_EQ(cache.stats(name).hits, 0u) << name;
+  }
+
+  // A second prepare with the same inputs is all hits, aliasing the same
+  // artifacts.
+  const auto again =
+      pipeline.prepare(dataset().trace, dataset().schedule, split(),
+                       dataset().wireless_ids(), dataset().input_ids(), &cache);
+  EXPECT_EQ(art.clustering.get(), again.clustering.get());
+  EXPECT_EQ(art.spectrum.get(), again.spectrum.get());
+  EXPECT_EQ(cache.stats(core::stage::kClustering).misses, 1u);
+  EXPECT_EQ(cache.stats(core::stage::kClustering).hits, 1u);
+}
+
+TEST(StageCache, KeyChainingReusesUpstreamStages) {
+  // Changing the cluster count must rebuild the clustering but reuse the
+  // training view, similarity graph, and spectrum (the expensive
+  // eigendecomposition) — the fig-10 access pattern.
+  core::StageCache cache;
+  core::PipelineConfig base;
+  for (std::size_t k = 2; k <= 5; ++k) {
+    core::PipelineConfig config = base;
+    config.spectral.cluster_count = k;
+    const core::ThermalModelingPipeline pipeline(config);
+    (void)pipeline.prepare(dataset().trace, dataset().schedule, split(),
+                           dataset().wireless_ids(), dataset().input_ids(),
+                           &cache);
+  }
+  EXPECT_EQ(cache.stats(core::stage::kTrainingView).misses, 1u);
+  EXPECT_EQ(cache.stats(core::stage::kSimilarityGraph).misses, 1u);
+  EXPECT_EQ(cache.stats(core::stage::kSpectrum).misses, 1u);
+  EXPECT_EQ(cache.stats(core::stage::kSpectrum).hits, 3u);
+  EXPECT_EQ(cache.stats(core::stage::kClustering).misses, 4u);
+  EXPECT_EQ(cache.stats(core::stage::kClustering).hits, 0u);
+  // Windows don't depend on the clustering at all.
+  EXPECT_EQ(cache.stats(core::stage::kWindows).misses, 1u);
+}
+
+TEST(StageCache, CachedRunMatchesUncachedRunBitwise) {
+  core::PipelineConfig config;
+  config.strategy = core::SelectionStrategy::kStratifiedNearMean;
+  const core::ThermalModelingPipeline pipeline(config);
+  const auto uncached =
+      pipeline.run(dataset().trace, dataset().schedule, split(),
+                   dataset().wireless_ids(), dataset().input_ids(),
+                   dataset().thermostat_ids());
+  core::StageCache cache;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto cached =
+        pipeline.run(dataset().trace, dataset().schedule, split(),
+                     dataset().wireless_ids(), dataset().input_ids(),
+                     dataset().thermostat_ids(), cache);
+    expect_bitwise_equal(uncached, cached,
+                         "cached rep " + std::to_string(rep));
+  }
+  EXPECT_EQ(cache.stats(core::stage::kClustering).misses, 1u);
+  EXPECT_EQ(cache.stats(core::stage::kClustering).hits, 1u);
+}
+
+TEST(StageCache, SweepIsBitwiseIdenticalToPerCaseRunsAtAnyThreadCount) {
+  // The acceptance contract: a sweep over N cases performs exactly one
+  // clustering/eigendecomposition (cache counters say so) and its results
+  // are bitwise identical to standalone uncached per-case runs, at 1, 2,
+  // 4, and 8 threads.
+  const auto& ds = dataset();
+  const auto& cases = sweep_cases();
+
+  // Reference: standalone uncached serial runs.
+  std::vector<core::PipelineResult> reference;
+  for (const auto& c : cases) {
+    core::PipelineConfig config;
+    config.strategy = c.strategy;
+    config.selection_seed = c.seed;
+    config.threads = 1;
+    const core::ThermalModelingPipeline pipeline(config);
+    reference.push_back(pipeline.run(ds.trace, ds.schedule, split(),
+                                     ds.wireless_ids(), ds.input_ids(),
+                                     ds.thermostat_ids()));
+  }
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    core::StageCache cache;
+    core::PipelineConfig base;
+    base.threads = threads;
+    const auto sweep = core::run_strategy_sweep(
+        base, cases, ds.trace, ds.schedule, split(), ds.wireless_ids(),
+        ds.input_ids(), ds.thermostat_ids(), &cache);
+    ASSERT_EQ(sweep.size(), cases.size());
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      expect_bitwise_equal(sweep[i], reference[i],
+                           "threads " + std::to_string(threads) + " case " +
+                               std::to_string(i));
+    }
+    // Exactly one Step-1 computation per stage for the whole sweep; every
+    // case then hits.
+    for (const auto name :
+         {core::stage::kTrainingView, core::stage::kSimilarityGraph,
+          core::stage::kSpectrum, core::stage::kClustering,
+          core::stage::kClusterSets, core::stage::kClusterMeans,
+          core::stage::kWindows}) {
+      EXPECT_EQ(cache.stats(name).misses, 1u)
+          << name << " at " << threads << " threads";
+      EXPECT_EQ(cache.stats(name).hits, cases.size())
+          << name << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(StageCache, SweepWithoutExternalCacheStillWorks) {
+  // The default path (no caller-provided cache) uses a sweep-local cache.
+  const auto& ds = dataset();
+  core::PipelineConfig base;
+  base.threads = 2;
+  const std::vector<core::SweepCase> cases{
+      {core::SelectionStrategy::kStratifiedNearMean, 7},
+      {core::SelectionStrategy::kSimpleRandom, 3},
+  };
+  const auto sweep =
+      core::run_strategy_sweep(base, cases, ds.trace, ds.schedule, split(),
+                               ds.wireless_ids(), ds.input_ids(),
+                               ds.thermostat_ids());
+  ASSERT_EQ(sweep.size(), 2u);
+  core::PipelineConfig config;
+  config.strategy = cases[1].strategy;
+  config.selection_seed = cases[1].seed;
+  const core::ThermalModelingPipeline pipeline(config);
+  const auto standalone =
+      pipeline.run(ds.trace, ds.schedule, split(), ds.wireless_ids(),
+                   ds.input_ids(), ds.thermostat_ids());
+  expect_bitwise_equal(sweep[1], standalone, "local-cache sweep case 1");
+}

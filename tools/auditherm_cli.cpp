@@ -62,7 +62,9 @@ int usage() {
       "  auditherm simulate --out trace.csv [--days N] [--failure-days N]\n"
       "                     [--seed S] [--truth truth.csv]\n"
       "  auditherm analyze  --data trace.csv [--metric correlation|euclidean]\n"
-      "                     [--clusters K] [--order 1|2] [--per-cluster N]\n");
+      "                     [--clusters K] [--order 1|2] [--per-cluster N]\n"
+      "                     [--sweep SEEDS]   compare strategies over SEEDS\n"
+      "                                       seeds, reusing cached stages\n");
   return 2;
 }
 
@@ -95,6 +97,16 @@ struct ChannelSets {
   std::vector<timeseries::ChannelId> thermostats;  // 40 / 41
   std::vector<timeseries::ChannelId> inputs;       // [flows, occ, light, amb]
 };
+
+const char* strategy_name(core::SelectionStrategy strategy) {
+  switch (strategy) {
+    case core::SelectionStrategy::kStratifiedNearMean: return "near-mean";
+    case core::SelectionStrategy::kStratifiedRandom: return "stratified-random";
+    case core::SelectionStrategy::kSimpleRandom: return "simple-random";
+    case core::SelectionStrategy::kThermostats: return "thermostats";
+  }
+  return "?";
+}
 
 ChannelSets classify_channels(const timeseries::MultiTrace& trace) {
   ChannelSets sets;
@@ -159,9 +171,12 @@ int cmd_analyze(const Args& args) {
   config.sensors_per_cluster =
       static_cast<std::size_t>(args.get_long("per-cluster", 1));
 
+  // All Step-1 artifacts (similarity graph, eigendecomposition, windows)
+  // are shared through the cache; the sweep below reuses them for free.
+  core::StageCache cache;
   const core::ThermalModelingPipeline pipeline(config);
   const auto result = pipeline.run(trace, schedule, split, sets.sensors,
-                                   sets.inputs, sets.thermostats);
+                                   sets.inputs, sets.thermostats, cache);
 
   std::printf("\nclusters (%zu):\n", result.clustering.cluster_count);
   const auto clusters = result.clustering.clusters();
@@ -181,6 +196,35 @@ int cmd_analyze(const Args& args) {
               result.reduced_eval.pooled_rms);
   std::printf("  cluster-mean 99th-pct error: %.3f degC\n",
               result.cluster_mean_errors.percentile(99.0));
+
+  const auto seeds = args.get_long("sweep", 0);
+  if (seeds > 0) {
+    std::vector<core::SweepCase> cases;
+    for (long s = 1; s <= seeds; ++s) {
+      const auto seed = static_cast<std::uint64_t>(s);
+      cases.push_back({core::SelectionStrategy::kStratifiedNearMean, seed});
+      cases.push_back({core::SelectionStrategy::kStratifiedRandom, seed});
+      cases.push_back({core::SelectionStrategy::kSimpleRandom, seed});
+    }
+    if (!sets.thermostats.empty()) {
+      cases.push_back({core::SelectionStrategy::kThermostats, 1});
+    }
+    const auto sweep = core::run_strategy_sweep(
+        config, cases, trace, schedule, split, sets.sensors, sets.inputs,
+        sets.thermostats, &cache);
+    std::printf("\nstrategy sweep (%zu cases, %ld seeds):\n", cases.size(),
+                seeds);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      std::printf("  %-22s seed %-3llu  pooled RMS %.3f  p99 %.3f\n",
+                  strategy_name(cases[i].strategy),
+                  static_cast<unsigned long long>(cases[i].seed),
+                  sweep[i].reduced_eval.pooled_rms,
+                  sweep[i].cluster_mean_errors.percentile(99.0));
+    }
+    const auto totals = cache.totals();
+    std::printf("stage cache: %zu hits / %zu misses (%zu artifacts)\n",
+                totals.hits, totals.misses, cache.size());
+  }
   return 0;
 }
 
