@@ -33,6 +33,7 @@ std::size_t front_back_agreement(const clustering::ClusteringResult& result) {
 }  // namespace
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header(
       "Ablation: spectral vs k-means vs single-linkage clustering (k=2)");
   const auto dataset = bench::make_standard_dataset();

@@ -10,6 +10,7 @@
 using namespace auditherm;
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Ablation: eigengap-chosen k vs fixed k (correlation)");
   const auto dataset = bench::make_standard_dataset();
   const auto split = bench::standard_split(dataset);

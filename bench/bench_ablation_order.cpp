@@ -13,6 +13,7 @@
 using namespace auditherm;
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Ablation: AIC/BIC order selection per HVAC mode");
   const auto dataset = bench::make_standard_dataset();
 

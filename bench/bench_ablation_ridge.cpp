@@ -11,6 +11,7 @@
 using namespace auditherm;
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Ablation: ridge strength for model identification");
   const auto dataset = bench::make_standard_dataset();
   const auto split = bench::standard_split(dataset);

@@ -8,12 +8,62 @@
 /// across benches.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "auditherm/auditherm.hpp"
 
 namespace bench {
+
+/// Environment-driven observability for bench mains, mirroring the CLI's
+/// --metrics-out / --trace flags:
+///   AUDITHERM_METRICS_OUT=FILE  write the run's metrics + spans as JSON
+///   AUDITHERM_TRACE=1           print the span tree + counters to stderr
+/// With neither set, no recorder is installed and the bench runs exactly
+/// as before (instrumentation sites cost one relaxed load each).
+/// Declare one at the top of main(); outputs are written on destruction.
+class ObsSession {
+ public:
+  ObsSession() : recorder_(make_recorder()), scope_(recorder_.get()) {}
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    if (recorder_ == nullptr) return;
+    if (trace_enabled()) {
+      auditherm::obs::write_summary(stderr, *recorder_);
+    }
+    const char* out = std::getenv("AUDITHERM_METRICS_OUT");
+    if (out != nullptr && *out != '\0' &&
+        !auditherm::obs::write_json_file(out, *recorder_)) {
+      std::fprintf(stderr, "warning: could not write %s\n", out);
+    }
+  }
+
+  [[nodiscard]] auditherm::obs::Recorder* recorder() const noexcept {
+    return recorder_.get();
+  }
+
+ private:
+  static bool trace_enabled() {
+    const char* t = std::getenv("AUDITHERM_TRACE");
+    return t != nullptr && *t != '\0' && std::strcmp(t, "0") != 0;
+  }
+
+  static std::unique_ptr<auditherm::obs::Recorder> make_recorder() {
+    const char* out = std::getenv("AUDITHERM_METRICS_OUT");
+    if (trace_enabled() || (out != nullptr && *out != '\0')) {
+      return std::make_unique<auditherm::obs::Recorder>();
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<auditherm::obs::Recorder> recorder_;
+  auditherm::obs::RecorderScope scope_;
+};
 
 /// The standard evaluation dataset: 98 days with ~34 failure days, as in
 /// the paper (98 collected, 64 usable).

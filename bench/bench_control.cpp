@@ -38,6 +38,7 @@ void show(const char* name, const control::ClosedLoopMetrics& m) {
 }  // namespace
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header(
       "Extension E1: closed-loop control value of the pipeline");
   const auto dataset = bench::make_standard_dataset();

@@ -11,6 +11,7 @@
 using namespace auditherm;
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Fig. 10: selection error vs cluster count");
   const auto dataset = bench::make_standard_dataset();
   const auto split = bench::standard_split(dataset);

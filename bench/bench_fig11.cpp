@@ -12,6 +12,7 @@
 using namespace auditherm;
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Fig. 11: reduced-model accuracy vs cluster count");
   const auto dataset = bench::make_standard_dataset();
   const auto split = bench::standard_split(dataset);
@@ -41,8 +42,9 @@ int main() {
     base.spectral.cluster_count = k;
     const auto sweep = core::run_strategy_sweep(
         base, cases, dataset.trace, dataset.schedule, split,
-        dataset.wireless_ids(), dataset.input_ids(), dataset.thermostat_ids(),
-        &cache);
+        dataset.wireless_ids(), dataset.input_ids(),
+        core::RunOptions{.thermostat_ids = dataset.thermostat_ids(),
+                         .cache = &cache});
     const auto p99 = [&](std::size_t i) {
       return sweep[i].cluster_mean_errors.percentile(99.0);
     };

@@ -13,6 +13,7 @@
 using namespace auditherm;
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Fig. 2: occupied-seminar spatial snapshot");
   const auto dataset = bench::make_standard_dataset();
 

@@ -39,6 +39,7 @@ linalg::Vector channel_rms_for(const sim::AuditoriumDataset& dataset,
 }  // namespace
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header(
       "Fig. 3: CDF over sensors of per-sensor RMS error (occupied)");
   const auto dataset = bench::make_standard_dataset();

@@ -13,6 +13,7 @@
 using namespace auditherm;
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header(
       "Fig. 4: measured vs predicted day trace for sensor 1 (occupied)");
   const auto dataset = bench::make_standard_dataset();

@@ -45,6 +45,7 @@ double error_for_training_horizon(const sim::AuditoriumDataset& dataset,
 }  // namespace
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Fig. 5: error vs training horizon / prediction length");
 
   // The horizon sweep needs more usable training days than the standard

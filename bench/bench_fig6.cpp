@@ -73,6 +73,7 @@ void report_metric(const char* label,
 }  // namespace
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Fig. 6: sensor clustering under both metrics");
   const auto dataset = bench::make_standard_dataset();
   const auto split = bench::standard_split(dataset);

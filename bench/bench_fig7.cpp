@@ -12,6 +12,7 @@
 using namespace auditherm;
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Fig. 7: Euclidean-distance clustering quality");
   const auto dataset = bench::make_standard_dataset();
   const auto split = bench::standard_split(dataset);

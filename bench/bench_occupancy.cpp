@@ -43,6 +43,7 @@ linalg::Vector profile_baseline(const timeseries::MultiTrace& training,
 }  // namespace
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Extension E3: occupancy estimation from CO2");
   const auto dataset = bench::make_standard_dataset();
   const std::vector<timeseries::ChannelId> required{

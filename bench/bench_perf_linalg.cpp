@@ -9,6 +9,7 @@
 
 #include "auditherm/linalg/decompositions.hpp"
 #include "auditherm/linalg/least_squares.hpp"
+#include "bench_common.hpp"
 
 namespace linalg = auditherm::linalg;
 using linalg::Matrix;
@@ -109,4 +110,11 @@ BENCHMARK(BM_LeastSquaresRidge);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bench::ObsSession obs_session;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

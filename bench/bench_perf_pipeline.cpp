@@ -18,6 +18,7 @@
 
 #include "auditherm/auditherm.hpp"
 #include "auditherm/core/parallel.hpp"
+#include "bench_common.hpp"
 
 using namespace auditherm;
 
@@ -139,7 +140,7 @@ void BM_FullPipeline(benchmark::State& state) {
     benchmark::DoNotOptimize(pipeline.run(
         dataset().trace, dataset().schedule, split(),
         dataset().wireless_ids(), dataset().input_ids(),
-        dataset().thermostat_ids()));
+        core::RunOptions{.thermostat_ids = dataset().thermostat_ids()}));
   }
 }
 BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
@@ -174,10 +175,10 @@ core::PipelineResult run_pipeline_at(std::size_t threads) {
   core::PipelineConfig config;
   config.threads = threads;
   const core::ThermalModelingPipeline pipeline(config);
-  return pipeline.run(standard_dataset().trace, standard_dataset().schedule,
-                      standard_split(), standard_dataset().wireless_ids(),
-                      standard_dataset().input_ids(),
-                      standard_dataset().thermostat_ids());
+  return pipeline.run(
+      standard_dataset().trace, standard_dataset().schedule, standard_split(),
+      standard_dataset().wireless_ids(), standard_dataset().input_ids(),
+      core::RunOptions{.thermostat_ids = standard_dataset().thermostat_ids()});
 }
 
 const std::vector<core::SweepCase>& sweep_cases() {
@@ -201,7 +202,9 @@ std::vector<core::PipelineResult> run_sweep_cached(std::size_t threads,
       base, sweep_cases(), standard_dataset().trace,
       standard_dataset().schedule, standard_split(),
       standard_dataset().wireless_ids(), standard_dataset().input_ids(),
-      standard_dataset().thermostat_ids(), cache);
+      core::RunOptions{
+          .thermostat_ids = standard_dataset().thermostat_ids(),
+          .cache = cache});
 }
 
 /// The pre-cache baseline: each case is a full standalone run() that
@@ -217,7 +220,9 @@ std::vector<core::PipelineResult> run_sweep_uncached(std::size_t threads) {
     results.push_back(pipeline.run(
         standard_dataset().trace, standard_dataset().schedule,
         standard_split(), standard_dataset().wireless_ids(),
-        standard_dataset().input_ids(), standard_dataset().thermostat_ids()));
+        standard_dataset().input_ids(),
+        core::RunOptions{
+            .thermostat_ids = standard_dataset().thermostat_ids()}));
   }
   return results;
 }
@@ -330,6 +335,7 @@ void speedup_report() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::ObsSession obs_session;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -35,6 +35,7 @@ double run_mode_order(const sim::AuditoriumDataset& dataset, hvac::Mode mode,
 }  // namespace
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header(
       "Table I: 90th-percentile per-sensor RMS prediction error (degC)");
   const auto dataset = bench::make_standard_dataset();

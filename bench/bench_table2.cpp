@@ -41,6 +41,7 @@ double mean_p99(const timeseries::MultiTrace& validation,
 }  // namespace
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header(
       "Table II: 99th-percentile cluster-mean error, 2 clusters (degC)");
   const auto dataset = bench::make_standard_dataset();

@@ -99,6 +99,7 @@ double reconstruction_rms(const sim::AuditoriumDataset& dataset,
 }  // namespace
 
 int main() {
+  const bench::ObsSession obs_session;
   bench::print_header("Extension E2: virtual sensing with a Kalman filter");
   const auto dataset = bench::make_standard_dataset();
   const auto split = bench::standard_split(dataset);

@@ -54,9 +54,9 @@ int main() {
   // --- 4. Run the full pipeline: cluster -> select (SMS) -> reduced model.
   core::PipelineConfig pipe_config;
   const core::ThermalModelingPipeline pipeline(pipe_config);
-  const auto result = pipeline.run(dataset.trace, dataset.schedule, split,
-                                   dataset.wireless_ids(), inputs,
-                                   dataset.thermostat_ids());
+  const auto result = pipeline.run(
+      dataset.trace, dataset.schedule, split, dataset.wireless_ids(), inputs,
+      core::RunOptions{.thermostat_ids = dataset.thermostat_ids()});
 
   std::printf("clustering: k = %zu clusters\n",
               result.clustering.cluster_count);

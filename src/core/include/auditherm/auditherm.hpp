@@ -62,6 +62,12 @@
 #include "auditherm/control/closed_loop.hpp"
 #include "auditherm/control/controllers.hpp"
 
+// Observability: metrics registry, tracing spans, exporters.
+#include "auditherm/obs/export.hpp"
+#include "auditherm/obs/metrics.hpp"
+#include "auditherm/obs/trace_span.hpp"
+
 // The end-to-end three-step pipeline.
+#include "auditherm/core/cli.hpp"
 #include "auditherm/core/pipeline.hpp"
 #include "auditherm/core/split.hpp"

@@ -17,6 +17,7 @@
 #include "auditherm/core/parallel.hpp"
 #include "auditherm/core/split.hpp"
 #include "auditherm/core/stage_cache.hpp"
+#include "auditherm/obs/trace_span.hpp"
 #include "auditherm/selection/evaluation.hpp"
 #include "auditherm/selection/gp_placement.hpp"
 #include "auditherm/selection/strategies.hpp"
@@ -84,6 +85,29 @@ struct StageArtifacts {
   std::vector<bool> train_mode_mask;
 };
 
+/// Per-call knobs for the unified run() / run_strategy_sweep() entry
+/// points. Every field is optional; a default-constructed RunOptions
+/// reproduces the plain uncached run. The struct only points at caller
+/// resources — it owns nothing but the thermostat id list.
+struct RunOptions {
+  /// HVAC thermostat channels; read only by the kThermostats strategy
+  /// (may stay empty otherwise).
+  std::vector<timeseries::ChannelId> thermostat_ids;
+  /// Stage cache to fetch/store the Step-1 artifacts through (null =
+  /// build them inline). Results are bitwise identical either way.
+  StageCache* cache = nullptr;
+  /// Precomputed Step-1 artifacts (from prepare()); when set, the run
+  /// skips prepare() entirely and `cache` is not consulted. Must outlive
+  /// the call.
+  const StageArtifacts* artifacts = nullptr;
+  /// Observability sink for this call: installed as the current recorder
+  /// for the duration (a no-op when null or already current), so every
+  /// TraceSpan, counter, and histogram the run touches lands in it.
+  /// Instrumentation only observes — results are bitwise identical with
+  /// or without a sink (pinned by test_obs).
+  obs::Recorder* metrics = nullptr;
+};
+
 /// Everything the pipeline produces.
 struct PipelineResult {
   clustering::ClusteringResult clustering;
@@ -105,30 +129,52 @@ class ThermalModelingPipeline {
     return config_;
   }
 
-  /// Run on one trace with a prepared split.
+  /// Run on one trace with a prepared split — the single entry point.
   ///
   /// `sensor_ids` are the dense-network temperature channels, `input_ids`
-  /// the [h; o; l; w] block, `thermostat_ids` the HVAC thermostats (used
-  /// only by the kThermostats strategy; may be empty otherwise).
+  /// the [h; o; l; w] block; everything optional (thermostats, stage
+  /// cache, precomputed artifacts, observability sink) rides in
+  /// `options`. Caching and instrumentation never change the result:
+  /// every combination of options is bitwise identical on the same
+  /// inputs. Safe to call concurrently when sharing one cache.
   [[nodiscard]] PipelineResult run(
       const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
       const DataSplit& split,
       const std::vector<timeseries::ChannelId>& sensor_ids,
       const std::vector<timeseries::ChannelId>& input_ids,
-      const std::vector<timeseries::ChannelId>& thermostat_ids = {}) const;
+      const RunOptions& options) const;
 
-  /// Like run(), but fetches the strategy/seed-independent Step-1
-  /// artifacts through `cache`, computing them only on a miss. Results are
-  /// bitwise identical to the uncached overload (both execute the same
-  /// stage builders on the same inputs); only the work is shared. Safe to
-  /// call concurrently on one cache.
-  [[nodiscard]] PipelineResult run(
+  /// \deprecated Forwarder for the pre-RunOptions signature; use
+  /// run(trace, schedule, split, sensor_ids, input_ids, RunOptions{...}).
+  [[deprecated(
+      "pass a RunOptions instead (thermostat_ids field)")]] [[nodiscard]]
+  PipelineResult run(
+      const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+      const DataSplit& split,
+      const std::vector<timeseries::ChannelId>& sensor_ids,
+      const std::vector<timeseries::ChannelId>& input_ids,
+      const std::vector<timeseries::ChannelId>& thermostat_ids = {}) const {
+    RunOptions options;
+    options.thermostat_ids = thermostat_ids;
+    return run(trace, schedule, split, sensor_ids, input_ids, options);
+  }
+
+  /// \deprecated Forwarder for the pre-RunOptions cached signature; use
+  /// RunOptions{.thermostat_ids = ..., .cache = &cache}.
+  [[deprecated(
+      "pass a RunOptions instead (cache field)")]] [[nodiscard]]
+  PipelineResult run(
       const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
       const DataSplit& split,
       const std::vector<timeseries::ChannelId>& sensor_ids,
       const std::vector<timeseries::ChannelId>& input_ids,
       const std::vector<timeseries::ChannelId>& thermostat_ids,
-      StageCache& cache) const;
+      StageCache& cache) const {
+    RunOptions options;
+    options.thermostat_ids = thermostat_ids;
+    options.cache = &cache;
+    return run(trace, schedule, split, sensor_ids, input_ids, options);
+  }
 
   /// Build (or fetch, when `cache` is non-null) the Step-1 artifacts:
   /// training view, similarity graph, spectrum, clustering, cluster sets,
@@ -168,19 +214,39 @@ struct SweepCase {
 ///
 /// The strategy/seed-independent Step-1 prefix (training view, similarity
 /// graph, eigendecomposition, clustering, windows, cluster means) is
-/// computed exactly once through a StageCache and shared by every case;
-/// only Step 2 + Step 3 + evaluation fan out. Pass `cache` to share the
-/// prefix across successive sweeps too (e.g. per-k sweeps reuse the
-/// spectrum); with nullptr a sweep-local cache is used. Results stay
-/// bitwise identical to per-case run() at any thread count.
+/// computed exactly once and shared by every case; only Step 2 + Step 3 +
+/// evaluation fan out. Set `options.cache` to share the prefix across
+/// successive sweeps too (e.g. per-k sweeps reuse the spectrum); leave it
+/// null for a sweep-local cache. Set `options.artifacts` to skip the
+/// prefix computation entirely. `options.metrics` is installed for the
+/// whole sweep, so per-case spans/counters aggregate into one recorder.
+/// Results stay bitwise identical to per-case run() at any thread count
+/// and under any option combination.
 [[nodiscard]] std::vector<PipelineResult> run_strategy_sweep(
     const PipelineConfig& base, const std::vector<SweepCase>& cases,
     const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
     const DataSplit& split,
     const std::vector<timeseries::ChannelId>& sensor_ids,
     const std::vector<timeseries::ChannelId>& input_ids,
+    const RunOptions& options);
+
+/// \deprecated Forwarder for the pre-RunOptions signature; use the
+/// RunOptions overload (thermostat_ids / cache fields).
+[[deprecated("pass a RunOptions instead")]] [[nodiscard]] inline
+std::vector<PipelineResult> run_strategy_sweep(
+    const PipelineConfig& base, const std::vector<SweepCase>& cases,
+    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+    const DataSplit& split,
+    const std::vector<timeseries::ChannelId>& sensor_ids,
+    const std::vector<timeseries::ChannelId>& input_ids,
     const std::vector<timeseries::ChannelId>& thermostat_ids = {},
-    StageCache* cache = nullptr);
+    StageCache* cache = nullptr) {
+  RunOptions options;
+  options.thermostat_ids = thermostat_ids;
+  options.cache = cache;
+  return run_strategy_sweep(base, cases, trace, schedule, split, sensor_ids,
+                            input_ids, options);
+}
 
 /// Evaluate a reduced model's cluster-mean predictions (Fig. 11 metric):
 /// simulate the model over each window, average the predicted selected

@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "auditherm/obs/metrics.hpp"
 #include "auditherm/timeseries/multi_trace.hpp"
 
 namespace auditherm::core {
@@ -80,7 +81,12 @@ class StageKeyHasher {
 [[nodiscard]] std::uint64_t trace_fingerprint(
     const timeseries::MultiTrace& trace);
 
-/// Hit/miss counters for one stage (or the cache-wide totals).
+/// Hit/miss counters for one stage (or the cache-wide totals). Backed by
+/// the cache's own obs::MetricsRegistry (`stage_cache.hit.<stage>` /
+/// `stage_cache.miss.<stage>` counters); stats() and totals() are thin
+/// adapters over it. When a run recorder is installed (obs::RecorderScope)
+/// the same counters are mirrored there, so --metrics-out JSON carries
+/// them without any caller-side plumbing.
 struct StageStats {
   std::size_t hits = 0;
   std::size_t misses = 0;  ///< == number of times the stage was computed
@@ -117,7 +123,10 @@ class StageCache {
   [[nodiscard]] StageStats totals() const;
   /// Number of cached artifacts.
   [[nodiscard]] std::size_t size() const;
-  /// Drop every artifact and counter.
+  /// Drop every artifact and reset the visible hit/miss counters. The
+  /// backing registry stays monotonic (counters never decrease, matching
+  /// what a run recorder mirrors); stats()/totals() report deltas since
+  /// the last clear().
   void clear();
 
  private:
@@ -135,10 +144,19 @@ class StageCache {
       std::string_view stage, std::uint64_t tagged_key,
       const std::function<std::shared_ptr<const void>()>& build);
 
+  /// Record a hit/miss in the backing registry (and mirror it to the
+  /// current run recorder, if one is installed). Caller holds mutex_.
+  void count_event(std::string_view stage, bool hit);
+
   mutable std::mutex mutex_;
   std::condition_variable build_done_;
   std::unordered_map<std::uint64_t, Entry> entries_;
-  std::unordered_map<std::string, StageStats> stats_;
+  /// Hit/miss counters; see StageStats for the naming scheme.
+  obs::MetricsRegistry registry_;
+  /// Counter values captured at the last clear(); stats()/totals()
+  /// subtract these so clear() resets the visible numbers without making
+  /// the registry's counters non-monotonic.
+  std::unordered_map<std::string, std::uint64_t> baseline_;
 };
 
 }  // namespace auditherm::core

@@ -10,9 +10,32 @@
 #include <string>
 #include <thread>
 
+#include "auditherm/obs/trace_span.hpp"
+
 namespace auditherm::core {
 
 namespace {
+
+/// Batch/task metrics, resolved once. All recording below is purely
+/// observational (counters and clock reads) — it never influences the
+/// chunk decomposition or task claiming, so instrumented runs stay
+/// bitwise identical to uninstrumented ones.
+struct ParallelMetrics {
+  obs::MetricId batches = obs::counter_id("parallel.batches");
+  obs::MetricId pooled_batches = obs::counter_id("parallel.pooled_batches");
+  obs::MetricId tasks = obs::counter_id("parallel.tasks");
+  obs::MetricId tasks_caller = obs::counter_id("parallel.tasks_caller");
+  obs::MetricId tasks_helper = obs::counter_id("parallel.tasks_helper");
+  obs::MetricId helper_joins = obs::counter_id("parallel.helper_joins");
+  obs::MetricId threads = obs::gauge_id("parallel.threads");
+  obs::MetricId batch_us = obs::histogram_id("parallel.batch_us");
+  obs::MetricId task_us = obs::histogram_id("parallel.task_us");
+};
+
+const ParallelMetrics& parallel_metrics() {
+  static const ParallelMetrics m;
+  return m;
+}
 
 /// Upper bound on pool workers: beyond this, oversubscription only adds
 /// scheduler churn on any machine we target.
@@ -46,6 +69,9 @@ thread_local bool t_in_parallel_region = false;
 struct Batch {
   std::size_t count = 0;
   const std::function<void(std::size_t)>* task = nullptr;
+  /// Observability sink captured when the batch was posted (null = off);
+  /// workers record per-task timings through it.
+  obs::Recorder* recorder = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   /// Helpers currently inside run_some(); the batch may not be destroyed
@@ -55,15 +81,22 @@ struct Batch {
   /// rethrown so failure is as deterministic as success.
   std::vector<std::exception_ptr> errors;
 
-  void run_some() {
+  void run_some(bool helper) {
     t_in_parallel_region = true;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
+      const std::uint64_t t0 = recorder != nullptr ? recorder->now_ns() : 0;
       try {
         (*task)(i);
       } catch (...) {
         errors[i] = std::current_exception();
+      }
+      if (recorder != nullptr) {
+        const auto& m = parallel_metrics();
+        recorder->metrics().observe(
+            m.task_us, static_cast<double>(recorder->now_ns() - t0) / 1e3);
+        recorder->metrics().add(helper ? m.tasks_helper : m.tasks_caller);
       }
       done.fetch_add(1, std::memory_order_acq_rel);
     }
@@ -87,9 +120,23 @@ class Pool {
 
   void run(std::size_t count, const std::function<void(std::size_t)>& task,
            std::size_t max_threads) {
+    obs::Recorder* rec = obs::kCompiledIn ? obs::current() : nullptr;
+    // The batch span parents any span a worker thread opens while this
+    // batch runs (sweep cases, duplicate stage builds); top-level batches
+    // are serialized by batch_mutex, so the single ambient slot is safe.
+    obs::TraceSpan span("parallel.batch");
+    const std::uint64_t batch_t0 = rec != nullptr ? rec->now_ns() : 0;
+    if (rec != nullptr) {
+      const auto& m = parallel_metrics();
+      rec->metrics().add(m.pooled_batches);
+      rec->metrics().set(m.threads, static_cast<double>(max_threads));
+      obs::set_ambient_parent(span.id());
+    }
+
     Batch batch;
     batch.count = count;
     batch.task = &task;
+    batch.recorder = rec;
     batch.errors.resize(count);
 
     ensure_workers(max_threads - 1);
@@ -103,7 +150,7 @@ class Pool {
     }
     cv_.notify_all();
 
-    batch.run_some();
+    batch.run_some(/*helper=*/false);
     // The caller ran out of unclaimed tasks. Retract the batch, then wait
     // for claimed tasks to finish and registered helpers to step out
     // before the batch (and `task`) leaves scope.
@@ -119,6 +166,12 @@ class Pool {
       } else {
         std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
+    }
+    if (rec != nullptr) {
+      obs::set_ambient_parent(0);
+      rec->metrics().observe(
+          parallel_metrics().batch_us,
+          static_cast<double>(rec->now_ns() - batch_t0) / 1e3);
     }
     for (std::size_t i = 0; i < count; ++i) {
       if (batch.errors[i]) std::rethrow_exception(batch.errors[i]);
@@ -153,7 +206,10 @@ class Pool {
         // destroying it.
         batch->active.fetch_add(1, std::memory_order_acq_rel);
       }
-      batch->run_some();
+      if (batch->recorder != nullptr) {
+        batch->recorder->metrics().add(parallel_metrics().helper_joins);
+      }
+      batch->run_some(/*helper=*/true);
       batch->active.fetch_sub(1, std::memory_order_acq_rel);
     }
   }
@@ -203,6 +259,15 @@ bool in_parallel_region() noexcept { return t_in_parallel_region; }
 void run_tasks(std::size_t count,
                const std::function<void(std::size_t)>& task) {
   if (count == 0) return;
+  // Batch/task counts are identical at any thread count: the same
+  // decomposition reaches this point whether the tasks then run inline or
+  // on the pool. Timings (parallel.batch_us / task_us) cover only pooled
+  // batches, where the clock reads are amortized over real work.
+  if (obs::Recorder* rec = obs::kCompiledIn ? obs::current() : nullptr) {
+    const auto& m = parallel_metrics();
+    rec->metrics().add(m.batches);
+    rec->metrics().add(m.tasks, count);
+  }
   const std::size_t threads = thread_count();
   if (threads <= 1 || count == 1 || t_in_parallel_region) {
     // Serial fallback: same tasks, ascending order, no pool involved.

@@ -45,6 +45,30 @@ void add_spectral_options(StageKeyHasher& h,
   h.add(o.kmeans.seed);
 }
 
+/// Pipeline-level metrics, resolved once. Purely observational: counts
+/// and clock reads never feed back into the computation.
+struct PipelineMetrics {
+  obs::MetricId runs = obs::counter_id("pipeline.runs");
+  obs::MetricId prepares = obs::counter_id("pipeline.prepares");
+  obs::MetricId sweep_cases = obs::counter_id("pipeline.sweep_cases");
+  obs::MetricId run_us = obs::histogram_id("pipeline.run_us");
+};
+
+const PipelineMetrics& pipeline_metrics() {
+  static const PipelineMetrics m;
+  return m;
+}
+
+/// Span name for a cached stage ("stage." + name); tiny and off any hot
+/// loop — prepare() runs once per pipeline run.
+std::string stage_span_name(std::string_view name) {
+  std::string s;
+  s.reserve(6 + name.size());
+  s.append("stage.");
+  s.append(name);
+  return s;
+}
+
 }  // namespace
 
 ThermalModelingPipeline::ThermalModelingPipeline(PipelineConfig config)
@@ -59,6 +83,8 @@ StageArtifacts ThermalModelingPipeline::prepare(
     const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
     const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
     const std::vector<ChannelId>& input_ids, StageCache* cache) const {
+  obs::TraceSpan prepare_span("pipeline.prepare");
+  obs::add_counter(pipeline_metrics().prepares);
   const ThreadCountScope thread_scope(config_.threads);
   const auto mode_mask = schedule.mode_mask(trace.grid(), config_.mode);
 
@@ -67,9 +93,11 @@ StageArtifacts ThermalModelingPipeline::prepare(
 
   // Runs a stage through the cache, or builds it inline when uncached;
   // both paths execute the same builder, which is what makes cached and
-  // uncached results bitwise identical.
+  // uncached results bitwise identical. The stage span covers the cache
+  // probe too, so a hit shows up as a near-zero-duration stage.
   const auto run_stage = [&](std::string_view name, std::uint64_t key,
                              auto build) {
+    obs::TraceSpan stage_span(stage_span_name(name));
     using T = std::remove_cvref_t<decltype(build())>;
     if (cache != nullptr) return cache->get_or_build<T>(name, key, build);
     return std::shared_ptr<const T>(std::make_shared<const T>(build()));
@@ -165,47 +193,56 @@ PipelineResult ThermalModelingPipeline::run_from(
   result.clustering = *artifacts.clustering;
 
   // --- Step 2: representative selection. --------------------------------
-  switch (config_.strategy) {
-    case SelectionStrategy::kStratifiedNearMean:
-      result.selection = selection::stratified_near_mean(
-          training, clusters, config_.sensors_per_cluster);
-      break;
-    case SelectionStrategy::kStratifiedRandom:
-      result.selection = selection::stratified_random(
-          clusters, config_.selection_seed, config_.sensors_per_cluster);
-      break;
-    case SelectionStrategy::kSimpleRandom:
-      result.selection =
-          selection::simple_random(training, clusters, config_.selection_seed,
-                                   config_.sensors_per_cluster);
-      break;
-    case SelectionStrategy::kThermostats:
-      result.selection =
-          selection::thermostat_baseline(thermostat_ids, clusters.size());
-      break;
-    case SelectionStrategy::kGaussianProcess: {
-      const auto chosen = selection::gp_mutual_information_selection(
-          training, sensor_ids,
-          std::min(config_.sensors_per_cluster * clusters.size(),
-                   sensor_ids.size()));
-      result.selection = selection::assign_to_clusters(
-          training, clusters, chosen, config_.sensors_per_cluster);
-      break;
+  {
+    obs::TraceSpan select_span("pipeline.select");
+    switch (config_.strategy) {
+      case SelectionStrategy::kStratifiedNearMean:
+        result.selection = selection::stratified_near_mean(
+            training, clusters, config_.sensors_per_cluster);
+        break;
+      case SelectionStrategy::kStratifiedRandom:
+        result.selection = selection::stratified_random(
+            clusters, config_.selection_seed, config_.sensors_per_cluster);
+        break;
+      case SelectionStrategy::kSimpleRandom:
+        result.selection = selection::simple_random(
+            training, clusters, config_.selection_seed,
+            config_.sensors_per_cluster);
+        break;
+      case SelectionStrategy::kThermostats:
+        result.selection =
+            selection::thermostat_baseline(thermostat_ids, clusters.size());
+        break;
+      case SelectionStrategy::kGaussianProcess: {
+        const auto chosen = selection::gp_mutual_information_selection(
+            training, sensor_ids,
+            std::min(config_.sensors_per_cluster * clusters.size(),
+                     sensor_ids.size()));
+        result.selection = selection::assign_to_clusters(
+            training, clusters, chosen, config_.sensors_per_cluster);
+        break;
+      }
     }
   }
 
   // --- Step 3: identify the reduced model over the selected sensors. ----
-  const auto states = unique_ordered(result.selection.flattened());
-  const sysid::ModelEstimator estimator(states, input_ids, config_.order,
-                                        config_.estimation);
-  result.reduced_model = estimator.fit(trace, artifacts.train_mode_mask);
+  {
+    obs::TraceSpan identify_span("pipeline.identify");
+    const auto states = unique_ordered(result.selection.flattened());
+    const sysid::ModelEstimator estimator(states, input_ids, config_.order,
+                                          config_.estimation);
+    result.reduced_model = estimator.fit(trace, artifacts.train_mode_mask);
+  }
 
   // --- Evaluation on the validation days. --------------------------------
-  result.reduced_eval = sysid::evaluate_prediction(
-      result.reduced_model, trace, *artifacts.windows, config_.evaluation);
-  result.cluster_mean_errors = evaluate_reduced_model_cluster_mean(
-      result.reduced_model, trace, clusters, result.selection,
-      *artifacts.windows, *artifacts.cluster_means, config_.evaluation);
+  {
+    obs::TraceSpan evaluate_span("pipeline.evaluate");
+    result.reduced_eval = sysid::evaluate_prediction(
+        result.reduced_model, trace, *artifacts.windows, config_.evaluation);
+    result.cluster_mean_errors = evaluate_reduced_model_cluster_mean(
+        result.reduced_model, trace, clusters, result.selection,
+        *artifacts.windows, *artifacts.cluster_means, config_.evaluation);
+  }
   return result;
 }
 
@@ -213,22 +250,31 @@ PipelineResult ThermalModelingPipeline::run(
     const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
     const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
     const std::vector<ChannelId>& input_ids,
-    const std::vector<ChannelId>& thermostat_ids) const {
-  const ThreadCountScope thread_scope(config_.threads);
-  const auto artifacts =
-      prepare(trace, schedule, split, sensor_ids, input_ids, nullptr);
-  return run_from(artifacts, trace, sensor_ids, input_ids, thermostat_ids);
-}
+    const RunOptions& options) const {
+  // Install the caller's sink (no-op when null or already current) so
+  // every span/counter below this point lands in it.
+  const obs::RecorderScope obs_scope(options.metrics);
+  obs::Recorder* rec = obs::kCompiledIn ? obs::current() : nullptr;
+  obs::TraceSpan run_span("pipeline.run");
+  const std::uint64_t t0 = rec != nullptr ? rec->now_ns() : 0;
+  if (rec != nullptr) rec->metrics().add(pipeline_metrics().runs);
 
-PipelineResult ThermalModelingPipeline::run(
-    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
-    const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
-    const std::vector<ChannelId>& input_ids,
-    const std::vector<ChannelId>& thermostat_ids, StageCache& cache) const {
   const ThreadCountScope thread_scope(config_.threads);
-  const auto artifacts =
-      prepare(trace, schedule, split, sensor_ids, input_ids, &cache);
-  return run_from(artifacts, trace, sensor_ids, input_ids, thermostat_ids);
+  PipelineResult result;
+  if (options.artifacts != nullptr) {
+    result = run_from(*options.artifacts, trace, sensor_ids, input_ids,
+                      options.thermostat_ids);
+  } else {
+    const auto artifacts =
+        prepare(trace, schedule, split, sensor_ids, input_ids, options.cache);
+    result = run_from(artifacts, trace, sensor_ids, input_ids,
+                      options.thermostat_ids);
+  }
+  if (rec != nullptr) {
+    rec->metrics().observe(pipeline_metrics().run_us,
+                           static_cast<double>(rec->now_ns() - t0) / 1e3);
+  }
+  return result;
 }
 
 selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
@@ -322,16 +368,22 @@ std::vector<PipelineResult> run_strategy_sweep(
     const PipelineConfig& base, const std::vector<SweepCase>& cases,
     const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
     const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
-    const std::vector<ChannelId>& input_ids,
-    const std::vector<ChannelId>& thermostat_ids, StageCache* cache) {
+    const std::vector<ChannelId>& input_ids, const RunOptions& options) {
+  // One recorder for the whole sweep: per-case run() calls pass no sink
+  // of their own and see this one already current.
+  const obs::RecorderScope obs_scope(options.metrics);
+  obs::TraceSpan sweep_span("pipeline.sweep");
+  obs::add_counter(pipeline_metrics().sweep_cases, cases.size());
+
   const ThreadCountScope thread_scope(base.threads);
   StageCache local_cache;
-  StageCache& shared = cache != nullptr ? *cache : local_cache;
+  StageCache& shared = options.cache != nullptr ? *options.cache : local_cache;
 
   // Compute (or fetch) the shared Step-1 prefix exactly once, before the
   // fan-out: every case resolves to the same keys because strategy and
-  // seed are not part of them.
-  {
+  // seed are not part of them. With precomputed artifacts the prefix (and
+  // the cache) is skipped outright.
+  if (options.artifacts == nullptr) {
     const ThermalModelingPipeline prefix(base);
     (void)prefix.prepare(trace, schedule, split, sensor_ids, input_ids,
                          &shared);
@@ -344,13 +396,18 @@ std::vector<PipelineResult> run_strategy_sweep(
   // cache's hit path for the Step-1 stages and computes only Step 2 +
   // Step 3 + evaluation.
   parallel_for(0, cases.size(), 1, [&](std::size_t i) {
+    obs::TraceSpan case_span("sweep.case");
     PipelineConfig config = base;
     config.strategy = cases[i].strategy;
     config.selection_seed = cases[i].seed;
     config.threads = 0;  // the sweep's scope already applied base.threads
     const ThermalModelingPipeline pipeline(config);
+    RunOptions case_options;
+    case_options.thermostat_ids = options.thermostat_ids;
+    case_options.artifacts = options.artifacts;
+    if (options.artifacts == nullptr) case_options.cache = &shared;
     results[i] = pipeline.run(trace, schedule, split, sensor_ids, input_ids,
-                              thermostat_ids, shared);
+                              case_options);
   });
   return results;
 }

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "auditherm/core/parallel.hpp"
+#include "auditherm/obs/trace_span.hpp"
 
 namespace auditherm::core {
 
@@ -14,6 +15,17 @@ constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
 
 /// All NaN payloads key identically: a gap is a gap.
 constexpr std::uint64_t kNanSentinel = 0x7ff8dead00000000ull;
+
+constexpr std::string_view kHitPrefix = "stage_cache.hit.";
+constexpr std::string_view kMissPrefix = "stage_cache.miss.";
+
+std::string event_name(std::string_view prefix, std::string_view stage) {
+  std::string name;
+  name.reserve(prefix.size() + stage.size());
+  name.append(prefix);
+  name.append(stage);
+  return name;
+}
 
 }  // namespace
 
@@ -93,7 +105,7 @@ std::shared_ptr<const void> StageCache::get_or_build_erased(
     for (;;) {
       Entry& entry = entries_[tagged_key];
       if (entry.value) {
-        ++stats_[std::string(stage)].hits;
+        count_event(stage, /*hit=*/true);
         return entry.value;
       }
       if (!entry.building) {
@@ -129,11 +141,11 @@ std::shared_ptr<const void> StageCache::get_or_build_erased(
   Entry& entry = entries_[tagged_key];
   if (!entry.value) {
     entry.value = std::move(value);
-    ++stats_[std::string(stage)].misses;
+    count_event(stage, /*hit=*/false);
   } else {
     // Lost a duplicate-build race; keep the published artifact so every
     // caller aliases the same object.
-    ++stats_[std::string(stage)].hits;
+    count_event(stage, /*hit=*/true);
   }
   if (claimed) {
     entry.building = false;
@@ -142,18 +154,45 @@ std::shared_ptr<const void> StageCache::get_or_build_erased(
   return entry.value;
 }
 
+void StageCache::count_event(std::string_view stage, bool hit) {
+  const std::string name =
+      event_name(hit ? kHitPrefix : kMissPrefix, stage);
+  registry_.add_counter(name);
+  // Mirror into the current run recorder (if one is installed) so
+  // --metrics-out JSON carries cache behavior without caller plumbing.
+  obs::add_counter(name);
+}
+
 StageStats StageCache::stats(std::string_view stage) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = stats_.find(std::string(stage));
-  return it == stats_.end() ? StageStats{} : it->second;
+  StageStats s;
+  const std::string hit_name = event_name(kHitPrefix, stage);
+  const std::string miss_name = event_name(kMissPrefix, stage);
+  const auto since_baseline = [&](const std::string& name) -> std::size_t {
+    const std::uint64_t now = registry_.counter(name);
+    const auto it = baseline_.find(name);
+    return static_cast<std::size_t>(
+        now - (it == baseline_.end() ? 0 : it->second));
+  };
+  s.hits = since_baseline(hit_name);
+  s.misses = since_baseline(miss_name);
+  return s;
 }
 
 StageStats StageCache::totals() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   StageStats total;
-  for (const auto& [name, s] : stats_) {
-    total.hits += s.hits;
-    total.misses += s.misses;
+  for (const auto& [name, value] : registry_.snapshot().counters) {
+    std::uint64_t base = 0;
+    if (const auto it = baseline_.find(name); it != baseline_.end()) {
+      base = it->second;
+    }
+    const std::size_t delta = static_cast<std::size_t>(value - base);
+    if (name.starts_with(kHitPrefix)) {
+      total.hits += delta;
+    } else if (name.starts_with(kMissPrefix)) {
+      total.misses += delta;
+    }
   }
   return total;
 }
@@ -170,7 +209,11 @@ std::size_t StageCache::size() const {
 void StageCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
-  stats_.clear();
+  // Reset the visible counters by re-baselining, keeping the registry's
+  // counters (and the mirrored run-recorder copies) monotonic.
+  for (const auto& [name, value] : registry_.snapshot().counters) {
+    baseline_[name] = value;
+  }
 }
 
 }  // namespace auditherm::core

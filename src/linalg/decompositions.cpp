@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "auditherm/core/parallel.hpp"
+#include "auditherm/obs/trace_span.hpp"
 
 namespace auditherm::linalg {
 
@@ -246,6 +247,7 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("eigen_symmetric: matrix not square");
   }
+  obs::TraceSpan eigen_span("linalg.eigen_symmetric");
   const std::size_t n = a.rows();
   // Symmetrize to absorb roundoff asymmetry from upstream products.
   Matrix s(n, n);
@@ -268,6 +270,7 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
   // thousand rows, where pool latency would dwarf the O(n) work.
   const std::size_t row_grain = core::grain_for_cost(n);
   const std::size_t rot_grain = core::grain_for_cost(6);
+  std::size_t sweeps_done = 0;
   for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
     const double off = core::parallel_reduce(
         std::size_t{0}, n, row_grain, 0.0,
@@ -312,7 +315,16 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
         });
       }
     }
+    ++sweeps_done;
   }
+  // Convergence behavior per call, visible in --metrics-out output; the
+  // counts are thread-count independent because the reduction grouping is.
+  static const obs::MetricId kJacobiSweeps =
+      obs::counter_id("linalg.jacobi_sweeps");
+  static const obs::MetricId kEigenCalls =
+      obs::counter_id("linalg.eigen_calls");
+  obs::add_counter(kEigenCalls);
+  obs::add_counter(kJacobiSweeps, sweeps_done);
 
   // Sort eigenpairs ascending.
   std::vector<std::size_t> order(n);

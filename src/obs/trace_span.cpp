@@ -1,0 +1,116 @@
+#include "auditherm/obs/trace_span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace auditherm::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<Recorder*> g_current{nullptr};
+std::atomic<std::uint64_t> g_ambient_parent{0};
+
+/// Open-span stack of the current thread; parents are whatever is on top.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+}  // namespace
+
+Recorder::Recorder() : origin_ns_(steady_now_ns()) {}
+
+std::uint64_t Recorder::next_span_id() noexcept {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Recorder::now_ns() const noexcept {
+  return steady_now_ns() - origin_ns_;
+}
+
+std::uint32_t Recorder::thread_ordinal() {
+  // Caller holds mutex_.
+  const auto [it, inserted] = thread_ordinals_.emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(thread_ordinals_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void Recorder::append(SpanRecord&& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= kMaxSpans) {
+    metrics_.add_counter("obs.dropped_spans");
+    return;
+  }
+  record.thread = thread_ordinal();
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Recorder::spans() const {
+  std::vector<SpanRecord> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+Recorder* current() noexcept {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+RecorderScope::RecorderScope(Recorder* recorder) noexcept
+    : active_(recorder != nullptr && recorder != current()) {
+  if (active_) {
+    previous_ = g_current.exchange(recorder, std::memory_order_relaxed);
+  }
+}
+
+RecorderScope::~RecorderScope() {
+  if (active_) g_current.store(previous_, std::memory_order_relaxed);
+}
+
+void set_ambient_parent(std::uint64_t span_id) noexcept {
+  g_ambient_parent.store(span_id, std::memory_order_relaxed);
+}
+
+#if !defined(AUDITHERM_NO_OBS)
+
+TraceSpan::TraceSpan(std::string_view name) {
+  recorder_ = current();
+  if (recorder_ == nullptr) return;
+  id_ = recorder_->next_span_id();
+  parent_ = t_span_stack.empty()
+                ? g_ambient_parent.load(std::memory_order_relaxed)
+                : t_span_stack.back();
+  t_span_stack.push_back(id_);
+  name_.assign(name);
+  start_ns_ = recorder_->now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  const std::uint64_t end_ns = recorder_->now_ns();
+  if (!t_span_stack.empty() && t_span_stack.back() == id_) {
+    t_span_stack.pop_back();
+  }
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.name = std::move(name_);
+  record.start_ns = start_ns_;
+  record.duration_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  recorder_->append(std::move(record));
+}
+
+#endif  // !AUDITHERM_NO_OBS
+
+}  // namespace auditherm::obs

@@ -4,6 +4,7 @@
 
 #include "auditherm/core/parallel.hpp"
 #include "auditherm/linalg/least_squares.hpp"
+#include "auditherm/obs/trace_span.hpp"
 
 namespace auditherm::sysid {
 
@@ -69,6 +70,9 @@ RegressionSummary ModelEstimator::summarize(
 
 ThermalModel ModelEstimator::fit(const timeseries::MultiTrace& trace,
                                  const std::vector<bool>& row_filter) const {
+  obs::TraceSpan fit_span("sysid.fit");
+  static const obs::MetricId kFitTransitions =
+      obs::counter_id("sysid.fit_transitions");
   const auto segments = usable_segments(trace, row_filter);
   const std::size_t p = state_ids_.size();
   const std::size_t q = input_ids_.size();
@@ -77,6 +81,7 @@ ThermalModel ModelEstimator::fit(const timeseries::MultiTrace& trace,
 
   std::size_t transitions = 0;
   for (const auto& seg : segments) transitions += seg.length() - h;
+  obs::add_counter(kFitTransitions, transitions);
 
   std::size_t min_needed = options_.min_transitions;
   if (min_needed == 0) min_needed = std::max<std::size_t>(4 * n_params, 8);

@@ -1,0 +1,160 @@
+// Tests for the shared CLI option parser: the declarative OptionSet,
+// the duplicate/unknown/missing-flag error paths, and decoding of the
+// common observability flags (--threads, --cache, --metrics-out,
+// --trace).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "auditherm/core/cli.hpp"
+
+namespace {
+
+namespace cli = auditherm::core::cli;
+
+cli::OptionSet test_set() {
+  return cli::OptionSet(
+      "frob",
+      {
+          {.name = "data", .takes_value = true, .required = true,
+           .value_name = "FILE", .help = "input trace"},
+          {.name = "clusters", .takes_value = true, .required = false,
+           .value_name = "K", .help = "cluster count"},
+          {.name = "trace", .takes_value = false, .required = false,
+           .value_name = "", .help = "print span tree"},
+      });
+}
+
+cli::ParsedOptions parse(const cli::OptionSet& set,
+                         std::vector<std::string> args) {
+  std::vector<const char*> argv{"auditherm", set.command().c_str()};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  return set.parse(static_cast<int>(argv.size()), argv.data(), 2);
+}
+
+/// Expect `parse` to throw a UsageError whose message contains `needle`.
+void expect_usage_error(const cli::OptionSet& set,
+                        std::vector<std::string> args,
+                        const std::string& needle) {
+  try {
+    (void)parse(set, std::move(args));
+    FAIL() << "expected UsageError containing \"" << needle << "\"";
+  } catch (const cli::UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(CliOptionSet, ParsesValuesBooleansAndDefaults) {
+  const auto set = test_set();
+  const auto parsed =
+      parse(set, {"--data", "trace.csv", "--clusters", "4", "--trace"});
+  EXPECT_TRUE(parsed.has("data"));
+  EXPECT_EQ(parsed.require("data"), "trace.csv");
+  EXPECT_EQ(parsed.get_long("clusters", 2), 4);
+  EXPECT_TRUE(parsed.has("trace"));
+  EXPECT_FALSE(parsed.has("seed"));
+  EXPECT_EQ(parsed.get("seed"), std::nullopt);
+  EXPECT_EQ(parsed.get_long("seed", 7), 7);
+}
+
+TEST(CliOptionSet, RejectsDuplicateFlags) {
+  const auto set = test_set();
+  expect_usage_error(set, {"--data", "a.csv", "--data", "b.csv"},
+                     "duplicate flag --data");
+  // Boolean flags too — repetition is not idempotent, it is a typo.
+  expect_usage_error(set, {"--data", "a.csv", "--trace", "--trace"},
+                     "duplicate flag --trace");
+}
+
+TEST(CliOptionSet, RejectsUnknownFlagsNamingTheCommand) {
+  const auto set = test_set();
+  expect_usage_error(set, {"--data", "a.csv", "--bogus", "1"},
+                     "unknown flag --bogus");
+  expect_usage_error(set, {"--data", "a.csv", "--bogus", "1"}, "frob");
+}
+
+TEST(CliOptionSet, RejectsMissingRequiredAndMissingValue) {
+  const auto set = test_set();
+  expect_usage_error(set, {"--clusters", "4"}, "--data");
+  expect_usage_error(set, {"--data"}, "--data expects a value");
+}
+
+TEST(CliOptionSet, RejectsPositionalArguments) {
+  const auto set = test_set();
+  expect_usage_error(set, {"trace.csv"}, "trace.csv");
+}
+
+TEST(CliOptionSet, GetLongRejectsNonIntegers) {
+  const auto set = test_set();
+  const auto parsed = parse(set, {"--data", "a.csv", "--clusters", "4x"});
+  EXPECT_THROW((void)parsed.get_long("clusters", 0), cli::UsageError);
+}
+
+TEST(CliOptionSet, RequireThrowsWhenAbsent) {
+  const auto set = test_set();
+  const auto parsed = parse(set, {"--data", "a.csv"});
+  EXPECT_THROW((void)parsed.require("clusters"), cli::UsageError);
+}
+
+TEST(CliOptionSet, DuplicateSpecNamesAreAProgrammingError) {
+  cli::OptionSpec x;
+  x.name = "x";
+  EXPECT_THROW(cli::OptionSet("bad", {x, x}), std::invalid_argument);
+}
+
+TEST(CliOptionSet, UsageListsEveryFlag) {
+  const auto set = test_set();
+  const auto usage = set.usage();
+  EXPECT_NE(usage.find("frob"), std::string::npos);
+  EXPECT_NE(usage.find("--data"), std::string::npos);
+  EXPECT_NE(usage.find("--clusters"), std::string::npos);
+  EXPECT_NE(usage.find("--trace"), std::string::npos);
+  EXPECT_NE(usage.find("FILE"), std::string::npos);
+}
+
+// --- Common observability flags ------------------------------------------
+
+cli::OptionSet common_set() {
+  return cli::OptionSet("common", cli::common_options());
+}
+
+TEST(CliCommonOptions, DefaultsWhenNoFlagsGiven) {
+  const auto common = cli::parse_common(parse(common_set(), {}));
+  EXPECT_EQ(common.threads, 0u);
+  EXPECT_TRUE(common.cache);
+  EXPECT_TRUE(common.metrics_out.empty());
+  EXPECT_FALSE(common.trace);
+  EXPECT_FALSE(common.observability_enabled());
+}
+
+TEST(CliCommonOptions, DecodesAllFourFlags) {
+  const auto common = cli::parse_common(
+      parse(common_set(), {"--threads", "4", "--cache", "off",
+                           "--metrics-out", "m.json", "--trace"}));
+  EXPECT_EQ(common.threads, 4u);
+  EXPECT_FALSE(common.cache);
+  EXPECT_EQ(common.metrics_out, "m.json");
+  EXPECT_TRUE(common.trace);
+  EXPECT_TRUE(common.observability_enabled());
+}
+
+TEST(CliCommonOptions, MetricsOutAloneEnablesObservability) {
+  const auto common = cli::parse_common(
+      parse(common_set(), {"--metrics-out", "m.json"}));
+  EXPECT_FALSE(common.trace);
+  EXPECT_TRUE(common.observability_enabled());
+}
+
+TEST(CliCommonOptions, RejectsBadCacheAndNegativeThreads) {
+  EXPECT_THROW(
+      (void)cli::parse_common(parse(common_set(), {"--cache", "maybe"})),
+      cli::UsageError);
+  EXPECT_THROW(
+      (void)cli::parse_common(parse(common_set(), {"--threads", "-2"})),
+      cli::UsageError);
+}
+
+}  // namespace

@@ -53,9 +53,10 @@ core::PipelineResult run_strategy(core::SelectionStrategy strategy) {
   core::PipelineConfig config;
   config.strategy = strategy;
   const core::ThermalModelingPipeline pipeline(config);
-  return pipeline.run(dataset().trace, dataset().schedule, standard_split(),
-                      dataset().wireless_ids(), dataset().input_ids(),
-                      dataset().thermostat_ids());
+  return pipeline.run(
+      dataset().trace, dataset().schedule, standard_split(),
+      dataset().wireless_ids(), dataset().input_ids(),
+      core::RunOptions{.thermostat_ids = dataset().thermostat_ids()});
 }
 
 /// Table-I-style fit residual: 90th-percentile per-sensor RMS of the

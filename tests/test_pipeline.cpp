@@ -48,7 +48,8 @@ core::PipelineResult run_with(core::SelectionStrategy strategy,
   config.threads = threads;
   const core::ThermalModelingPipeline pipeline(config);
   return pipeline.run(ds.trace, ds.schedule, make_split(), ds.wireless_ids(),
-                      ds.input_ids(), ds.thermostat_ids());
+                      ds.input_ids(),
+                      core::RunOptions{.thermostat_ids = ds.thermostat_ids()});
 }
 
 /// Bitwise comparison of full pipeline results: every float is compared
@@ -195,10 +196,9 @@ TEST(Pipeline, StrategySweepMatchesIndividualRuns) {
       {core::SelectionStrategy::kStratifiedRandom, 2},
       {core::SelectionStrategy::kSimpleRandom, 1},
   };
-  const auto sweep =
-      core::run_strategy_sweep(base, cases, ds.trace, ds.schedule,
-                               make_split(), ds.wireless_ids(), ds.input_ids(),
-                               ds.thermostat_ids());
+  const auto sweep = core::run_strategy_sweep(
+      base, cases, ds.trace, ds.schedule, make_split(), ds.wireless_ids(),
+      ds.input_ids(), core::RunOptions{.thermostat_ids = ds.thermostat_ids()});
   ASSERT_EQ(sweep.size(), cases.size());
   for (std::size_t i = 0; i < cases.size(); ++i) {
     core::PipelineConfig config;
@@ -206,9 +206,9 @@ TEST(Pipeline, StrategySweepMatchesIndividualRuns) {
     config.selection_seed = cases[i].seed;
     config.threads = 1;
     const core::ThermalModelingPipeline pipeline(config);
-    const auto individual =
-        pipeline.run(ds.trace, ds.schedule, make_split(), ds.wireless_ids(),
-                     ds.input_ids(), ds.thermostat_ids());
+    const auto individual = pipeline.run(
+        ds.trace, ds.schedule, make_split(), ds.wireless_ids(), ds.input_ids(),
+        core::RunOptions{.thermostat_ids = ds.thermostat_ids()});
     expect_bitwise_equal(sweep[i], individual,
                          "sweep case " + std::to_string(i));
   }

@@ -267,16 +267,17 @@ TEST(StageCache, CachedRunMatchesUncachedRunBitwise) {
   core::PipelineConfig config;
   config.strategy = core::SelectionStrategy::kStratifiedNearMean;
   const core::ThermalModelingPipeline pipeline(config);
-  const auto uncached =
-      pipeline.run(dataset().trace, dataset().schedule, split(),
-                   dataset().wireless_ids(), dataset().input_ids(),
-                   dataset().thermostat_ids());
+  const auto uncached = pipeline.run(
+      dataset().trace, dataset().schedule, split(), dataset().wireless_ids(),
+      dataset().input_ids(),
+      core::RunOptions{.thermostat_ids = dataset().thermostat_ids()});
   core::StageCache cache;
   for (int rep = 0; rep < 2; ++rep) {
-    const auto cached =
-        pipeline.run(dataset().trace, dataset().schedule, split(),
-                     dataset().wireless_ids(), dataset().input_ids(),
-                     dataset().thermostat_ids(), cache);
+    const auto cached = pipeline.run(
+        dataset().trace, dataset().schedule, split(), dataset().wireless_ids(),
+        dataset().input_ids(),
+        core::RunOptions{.thermostat_ids = dataset().thermostat_ids(),
+                         .cache = &cache});
     expect_bitwise_equal(uncached, cached,
                          "cached rep " + std::to_string(rep));
   }
@@ -300,9 +301,9 @@ TEST(StageCache, SweepIsBitwiseIdenticalToPerCaseRunsAtAnyThreadCount) {
     config.selection_seed = c.seed;
     config.threads = 1;
     const core::ThermalModelingPipeline pipeline(config);
-    reference.push_back(pipeline.run(ds.trace, ds.schedule, split(),
-                                     ds.wireless_ids(), ds.input_ids(),
-                                     ds.thermostat_ids()));
+    reference.push_back(pipeline.run(
+        ds.trace, ds.schedule, split(), ds.wireless_ids(), ds.input_ids(),
+        core::RunOptions{.thermostat_ids = ds.thermostat_ids()}));
   }
 
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
@@ -311,7 +312,9 @@ TEST(StageCache, SweepIsBitwiseIdenticalToPerCaseRunsAtAnyThreadCount) {
     base.threads = threads;
     const auto sweep = core::run_strategy_sweep(
         base, cases, ds.trace, ds.schedule, split(), ds.wireless_ids(),
-        ds.input_ids(), ds.thermostat_ids(), &cache);
+        ds.input_ids(),
+        core::RunOptions{.thermostat_ids = ds.thermostat_ids(),
+                         .cache = &cache});
     ASSERT_EQ(sweep.size(), cases.size());
     for (std::size_t i = 0; i < cases.size(); ++i) {
       expect_bitwise_equal(sweep[i], reference[i],
@@ -342,17 +345,16 @@ TEST(StageCache, SweepWithoutExternalCacheStillWorks) {
       {core::SelectionStrategy::kStratifiedNearMean, 7},
       {core::SelectionStrategy::kSimpleRandom, 3},
   };
-  const auto sweep =
-      core::run_strategy_sweep(base, cases, ds.trace, ds.schedule, split(),
-                               ds.wireless_ids(), ds.input_ids(),
-                               ds.thermostat_ids());
+  const auto sweep = core::run_strategy_sweep(
+      base, cases, ds.trace, ds.schedule, split(), ds.wireless_ids(),
+      ds.input_ids(), core::RunOptions{.thermostat_ids = ds.thermostat_ids()});
   ASSERT_EQ(sweep.size(), 2u);
   core::PipelineConfig config;
   config.strategy = cases[1].strategy;
   config.selection_seed = cases[1].seed;
   const core::ThermalModelingPipeline pipeline(config);
-  const auto standalone =
-      pipeline.run(ds.trace, ds.schedule, split(), ds.wireless_ids(),
-                   ds.input_ids(), ds.thermostat_ids());
+  const auto standalone = pipeline.run(
+      ds.trace, ds.schedule, split(), ds.wireless_ids(), ds.input_ids(),
+      core::RunOptions{.thermostat_ids = ds.thermostat_ids()});
   expect_bitwise_equal(sweep[1], standalone, "local-cache sweep case 1");
 }

@@ -1,74 +1,106 @@
 // auditherm command-line tool.
 //
-//   auditherm simulate --days 98 --failure-days 34 --seed 1234
-//       --out trace.csv [--truth truth.csv]
+//   auditherm simulate --out trace.csv [--days N] [--failure-days N]
+//       [--seed S] [--truth truth.csv]
 //   auditherm analyze --data trace.csv [--metric correlation|euclidean]
-//       [--clusters K] [--order 1|2] [--per-cluster N]
+//       [--clusters K] [--order 1|2] [--per-cluster N] [--sweep SEEDS]
+//
+// Every subcommand also accepts the shared flags (--threads, --cache,
+// --metrics-out, --trace); see core/cli.hpp. Observability output goes to
+// stderr / the JSON file, so stdout stays byte-identical with the flags
+// off.
 //
 // The CSV uses the library's channel conventions: ids < 100 are
 // temperature sensors (40/41 the HVAC thermostats), 101..100+m the VAV
 // flows, 110 occupancy, 111 lighting, 112 ambient, 113 supply temperature.
 
 #include <cstdio>
-#include <cstring>
-#include <map>
-#include <optional>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "auditherm/auditherm.hpp"
 
 using namespace auditherm;
+namespace cli = auditherm::core::cli;
 
 namespace {
 
-/// Tiny --key value argument map.
-class Args {
+/// Observability lifecycle for one CLI invocation: installs a recorder
+/// when --trace / --metrics-out asked for one and writes the requested
+/// outputs when the command finishes.
+class ObsRun {
  public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        throw std::invalid_argument(std::string("expected --flag, got ") +
-                                    argv[i]);
-      }
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      throw std::invalid_argument("dangling flag without a value");
+  explicit ObsRun(const cli::CommonOptions& common)
+      : common_(common),
+        recorder_(common.observability_enabled() ? new obs::Recorder
+                                                 : nullptr),
+        scope_(recorder_.get()) {}
+
+  ObsRun(const ObsRun&) = delete;
+  ObsRun& operator=(const ObsRun&) = delete;
+
+  ~ObsRun() {
+    if (recorder_ == nullptr) return;
+    if (common_.trace) obs::write_summary(stderr, *recorder_);
+    if (!common_.metrics_out.empty() &&
+        !obs::write_json_file(common_.metrics_out, *recorder_)) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   common_.metrics_out.c_str());
     }
   }
 
-  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? std::nullopt
-                               : std::optional<std::string>(it->second);
-  }
-  [[nodiscard]] std::string require(const std::string& key) const {
-    const auto v = get(key);
-    if (!v) throw std::invalid_argument("missing required --" + key);
-    return *v;
-  }
-  [[nodiscard]] long get_long(const std::string& key, long fallback) const {
-    const auto v = get(key);
-    return v ? std::stol(*v) : fallback;
+  [[nodiscard]] obs::Recorder* recorder() const noexcept {
+    return recorder_.get();
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  cli::CommonOptions common_;
+  std::unique_ptr<obs::Recorder> recorder_;
+  obs::RecorderScope scope_;
 };
 
+cli::OptionSet simulate_options() {
+  std::vector<cli::OptionSpec> specs = {
+      {"out", true, true, "FILE", "write the simulated trace CSV here"},
+      {"days", true, false, "N", "days to simulate (default 98)"},
+      {"failure-days", true, false, "N",
+       "days with injected sensor failures (default 34)"},
+      {"seed", true, false, "S", "simulation seed (default 1234)"},
+      {"truth", true, false, "FILE", "also write the noise-free truth CSV"},
+  };
+  for (auto& spec : cli::common_options()) specs.push_back(std::move(spec));
+  return cli::OptionSet("simulate", std::move(specs));
+}
+
+cli::OptionSet analyze_options() {
+  std::vector<cli::OptionSpec> specs = {
+      {"data", true, true, "FILE", "trace CSV to analyze"},
+      {"metric", true, false, "correlation|euclidean",
+       "similarity metric (default correlation)"},
+      {"clusters", true, false, "K", "cluster count (0 = eigengap choice)"},
+      {"order", true, false, "1|2", "model order (default 2)"},
+      {"per-cluster", true, false, "N",
+       "representative sensors per cluster (default 1)"},
+      {"sweep", true, false, "SEEDS",
+       "compare strategies over SEEDS seeds, reusing cached stages"},
+  };
+  for (auto& spec : cli::common_options()) specs.push_back(std::move(spec));
+  return cli::OptionSet("analyze", std::move(specs));
+}
+
 int usage() {
-  std::printf(
-      "usage:\n"
-      "  auditherm simulate --out trace.csv [--days N] [--failure-days N]\n"
-      "                     [--seed S] [--truth truth.csv]\n"
-      "  auditherm analyze  --data trace.csv [--metric correlation|euclidean]\n"
-      "                     [--clusters K] [--order 1|2] [--per-cluster N]\n"
-      "                     [--sweep SEEDS]   compare strategies over SEEDS\n"
-      "                                       seeds, reusing cached stages\n");
+  std::fprintf(stderr, "usage: auditherm <simulate|analyze> [flags]\n\n%s\n%s",
+               simulate_options().usage().c_str(),
+               analyze_options().usage().c_str());
   return 2;
 }
 
-int cmd_simulate(const Args& args) {
+int cmd_simulate(const cli::ParsedOptions& args,
+                 const cli::CommonOptions& common) {
+  const ObsRun obs_run(common);
+  obs::TraceSpan span("cli.simulate");
+
   sim::DatasetConfig config;
   config.days = static_cast<std::size_t>(args.get_long("days", 98));
   config.failure_days =
@@ -104,6 +136,7 @@ const char* strategy_name(core::SelectionStrategy strategy) {
     case core::SelectionStrategy::kStratifiedRandom: return "stratified-random";
     case core::SelectionStrategy::kSimpleRandom: return "simple-random";
     case core::SelectionStrategy::kThermostats: return "thermostats";
+    case core::SelectionStrategy::kGaussianProcess: return "gaussian-process";
   }
   return "?";
 }
@@ -134,7 +167,11 @@ ChannelSets classify_channels(const timeseries::MultiTrace& trace) {
   return sets;
 }
 
-int cmd_analyze(const Args& args) {
+int cmd_analyze(const cli::ParsedOptions& args,
+                const cli::CommonOptions& common) {
+  const ObsRun obs_run(common);
+  obs::TraceSpan span("cli.analyze");
+
   const auto path = args.require("data");
   std::printf("loading %s...\n", path.c_str());
   const auto trace = timeseries::read_csv_file(path);
@@ -170,13 +207,17 @@ int cmd_analyze(const Args& args) {
                                                 : sysid::ModelOrder::kSecond;
   config.sensors_per_cluster =
       static_cast<std::size_t>(args.get_long("per-cluster", 1));
+  config.threads = common.threads;
 
   // All Step-1 artifacts (similarity graph, eigendecomposition, windows)
   // are shared through the cache; the sweep below reuses them for free.
   core::StageCache cache;
   const core::ThermalModelingPipeline pipeline(config);
+  core::RunOptions run_options;
+  run_options.thermostat_ids = sets.thermostats;
+  if (common.cache) run_options.cache = &cache;
   const auto result = pipeline.run(trace, schedule, split, sets.sensors,
-                                   sets.inputs, sets.thermostats, cache);
+                                   sets.inputs, run_options);
 
   std::printf("\nclusters (%zu):\n", result.clustering.cluster_count);
   const auto clusters = result.clustering.clusters();
@@ -211,7 +252,7 @@ int cmd_analyze(const Args& args) {
     }
     const auto sweep = core::run_strategy_sweep(
         config, cases, trace, schedule, split, sets.sensors, sets.inputs,
-        sets.thermostats, &cache);
+        run_options);
     std::printf("\nstrategy sweep (%zu cases, %ld seeds):\n", cases.size(),
                 seeds);
     for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -228,19 +269,45 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+using Command = std::function<int(const cli::ParsedOptions&,
+                                  const cli::CommonOptions&)>;
+
+int run_command(const cli::OptionSet& options, int argc, char** argv,
+                const Command& command) {
+  cli::ParsedOptions args;
+  cli::CommonOptions common;
+  try {
+    args = options.parse(argc, argv, 2);
+    common = cli::parse_common(args);
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "error: %s\n\n%s", e.what(),
+                 options.usage().c_str());
+    return 2;
+  }
+  if (common.threads > 0) core::set_thread_count(common.threads);
+  try {
+    return command(args, common);
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "error: %s\n\n%s", e.what(),
+                 options.usage().c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  try {
-    const Args args(argc, argv, 2);
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "analyze") return cmd_analyze(args);
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    return usage();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  if (command == "simulate") {
+    return run_command(simulate_options(), argc, argv, cmd_simulate);
   }
+  if (command == "analyze") {
+    return run_command(analyze_options(), argc, argv, cmd_analyze);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return usage();
 }
