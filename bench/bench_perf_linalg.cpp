@@ -1,20 +1,33 @@
 // Performance microbenchmarks for the numeric kernels (google-benchmark):
-// matrix products, the three factorizations, least squares and the Jacobi
-// eigensolver at the sizes the pipeline actually uses (27 sensors -> 27-61
-// column regressions, 27x27 Laplacians, 54x54 augmented systems).
+// matrix products, the three factorizations, least squares and the
+// symmetric eigensolvers at the sizes the pipeline actually uses (27
+// sensors -> 27-61 column regressions, 27x27 Laplacians, 54x54 augmented
+// systems) plus the scaled-up 128/256/512-sensor halls where the
+// tridiagonal partial-spectrum path takes over from Jacobi. After the
+// google benchmarks, main() runs a single-thread Jacobi-vs-partial
+// scaling report on synthetic-grid Laplacians and writes the per-PR
+// BENCH_perf_linalg.json artifact (CI's perf-smoke gate).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
 #include <random>
 
+#include "auditherm/clustering/spectral.hpp"
 #include "auditherm/linalg/decompositions.hpp"
 #include "auditherm/linalg/least_squares.hpp"
+#include "auditherm/sim/floorplan.hpp"
 #include "bench_common.hpp"
 
 namespace linalg = auditherm::linalg;
 using linalg::Matrix;
 
 namespace {
+
+/// Eigenpairs the pipeline asks the partial solver for on big halls:
+/// cluster_count/k_max sweeps top out at k_max = 8, so k_max + 1.
+constexpr std::size_t kPartialPairs = 9;
 
 Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
@@ -30,6 +43,28 @@ Matrix random_spd(std::size_t n, std::uint64_t seed) {
   auto spd = linalg::gram(a, a);
   for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
   return spd;
+}
+
+/// The normalized Laplacian of a synthetic `sensor_count`-sensor hall:
+/// Gaussian similarity over the grid geometry, exactly the matrix the
+/// spectral stage hands the eigensolver for a scaled-up auditorium.
+Matrix synthetic_hall_laplacian(std::size_t sensor_count) {
+  const auto plan = auditherm::sim::FloorPlan::synthetic_grid(sensor_count);
+  std::vector<auditherm::sim::Position> sites;
+  for (const auto& s : plan.sensors()) {
+    if (!s.is_thermostat) sites.push_back(s.position);
+  }
+  const std::size_t n = sites.size();
+  constexpr double kSigma = 4.0;  // meters; a few grid pitches
+  Matrix weights(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = auditherm::sim::distance(sites[i], sites[j]);
+      weights(i, j) = std::exp(-(d * d) / (2.0 * kSigma * kSigma));
+    }
+  }
+  return auditherm::clustering::normalized_laplacian(weights);
 }
 
 void BM_MatrixMultiply(benchmark::State& state) {
@@ -91,7 +126,49 @@ void BM_EigenSymmetric(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_EigenSymmetric)->Arg(8)->Arg(16)->Arg(27)->Arg(54)->Complexity();
+BENCHMARK(BM_EigenSymmetric)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(27)
+    ->Arg(54)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Complexity();
+
+void BM_EigenTridiagonal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_spd(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigen_symmetric_tridiagonal(a));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EigenTridiagonal)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(27)
+    ->Arg(54)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Complexity();
+
+void BM_EigenSmallest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_spd(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigen_symmetric_smallest(a, kPartialPairs));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EigenSmallest)
+    ->Arg(27)
+    ->Arg(54)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Complexity();
 
 void BM_LeastSquaresRidge(benchmark::State& state) {
   // The exact shape of the paper's second-order occupied-mode regression:
@@ -108,6 +185,95 @@ void BM_LeastSquaresRidge(benchmark::State& state) {
 }
 BENCHMARK(BM_LeastSquaresRidge);
 
+/// Best-of-`reps` wall time of `fn` in milliseconds.
+template <typename Fn>
+double best_of_ms(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Single-thread Jacobi vs tridiagonal (full + partial) on the normalized
+/// Laplacians of 128/256/512-sensor synthetic halls, with an eigenvalue
+/// agreement check, written to BENCH_perf_linalg.json. CI's perf-smoke job
+/// gates on the 256-sensor partial-vs-Jacobi speedup staying > 1.
+int run_scaling_report() {
+  bench::print_header(
+      "eigensolver scaling: Jacobi vs tridiagonal partial (1 thread)");
+  const auditherm::core::ThreadCountScope single_thread(1);
+
+  std::string points = "[";
+  double speedup_256 = 0.0;
+  bool all_agree = true;
+  for (const std::size_t sensors : {std::size_t{128}, std::size_t{256},
+                                    std::size_t{512}}) {
+    const auto l = synthetic_hall_laplacian(sensors);
+    const std::size_t n = l.rows();
+    const int reps = n >= 512 ? 1 : 3;
+
+    linalg::SymmetricEigen jacobi;
+    const double jacobi_ms =
+        best_of_ms(reps, [&] { jacobi = linalg::eigen_symmetric(l); });
+    const double tridiagonal_ms = best_of_ms(
+        reps, [&] { benchmark::DoNotOptimize(linalg::eigen_symmetric_tridiagonal(l)); });
+    linalg::SymmetricEigen partial;
+    const double partial_ms = best_of_ms(
+        reps, [&] { partial = linalg::eigen_symmetric_smallest(l, kPartialPairs); });
+
+    // The partial spectrum must reproduce Jacobi's smallest eigenvalues
+    // (normalized-Laplacian eigenvalues are O(1), so absolute tolerance).
+    bool agree = true;
+    for (std::size_t j = 0; j < kPartialPairs; ++j) {
+      if (std::abs(partial.eigenvalues[j] - jacobi.eigenvalues[j]) > 1e-8) {
+        agree = false;
+      }
+    }
+    all_agree = all_agree && agree;
+
+    const double speedup = partial_ms > 0.0 ? jacobi_ms / partial_ms : 0.0;
+    if (n == 256) speedup_256 = speedup;
+    std::printf(
+        "n=%3zu  jacobi %9.2f ms  tridiagonal %8.2f ms  partial(m=%zu) "
+        "%7.2f ms  speedup %6.1fx  eigenvalues %s\n",
+        n, jacobi_ms, tridiagonal_ms, kPartialPairs, partial_ms, speedup,
+        agree ? "agree" : "DISAGREE");
+
+    bench::JsonObject point;
+    point.add("n", n);
+    point.add("jacobi_ms", jacobi_ms);
+    point.add("tridiagonal_ms", tridiagonal_ms);
+    point.add("partial_pairs", kPartialPairs);
+    point.add("partial_ms", partial_ms);
+    point.add("speedup_partial_vs_jacobi", speedup);
+    point.add("eigenvalues_agree", agree);
+    std::string body = point.str();
+    body.pop_back();  // trailing newline
+    if (points.size() > 1) points += ", ";
+    points += body;
+  }
+  points += "]";
+
+  bench::JsonObject out;
+  out.add("bench", std::string("perf_linalg"));
+  out.add("threads", std::size_t{1});
+  out.add("partial_pairs", kPartialPairs);
+  out.add("speedup_256", speedup_256);
+  out.add("eigenvalues_agree", all_agree);
+  out.add_raw("scaling", points);
+  if (!out.write_file("BENCH_perf_linalg.json")) {
+    std::fprintf(stderr, "warning: could not write BENCH_perf_linalg.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_perf_linalg.json\n");
+  return all_agree ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,5 +282,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return run_scaling_report();
 }

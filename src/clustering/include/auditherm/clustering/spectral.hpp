@@ -12,6 +12,7 @@
 
 #include "auditherm/clustering/kmeans.hpp"
 #include "auditherm/clustering/similarity.hpp"
+#include "auditherm/linalg/decompositions.hpp"
 #include "auditherm/linalg/matrix.hpp"
 
 namespace auditherm::clustering {
@@ -39,6 +40,12 @@ enum class LaplacianKind {
     const linalg::Matrix& weights);
 
 /// Eigenstructure of a Laplacian, with the paper's eigengap heuristic.
+///
+/// May hold the full spectrum (n pairs) or just the m smallest pairs from
+/// the partial eigensolver; `eigenvectors` is then n x m with columns
+/// pairing with `eigenvalues`. The eigengap heuristic only ever looks at
+/// the small end of the spectrum, so it works unchanged on a partial
+/// analysis as long as m > k_max.
 struct SpectralAnalysis {
   linalg::Vector eigenvalues;  ///< ascending, >= 0 up to roundoff
   linalg::Matrix eigenvectors; ///< columns pair with eigenvalues
@@ -57,9 +64,17 @@ struct SpectralAnalysis {
 };
 
 /// Eigendecomposition of the (chosen) Laplacian of `weights`.
+///
+/// `method` selects the solver (resolved against the vertex count when
+/// kAuto). `max_pairs` bounds the spectrum: 0 means the full spectrum;
+/// a positive value below n computes only the `max_pairs` smallest
+/// eigenpairs via the tridiagonal partial path. Jacobi is the full-
+/// spectrum reference implementation and ignores `max_pairs`.
 [[nodiscard]] SpectralAnalysis analyze_spectrum(
     const linalg::Matrix& weights,
-    LaplacianKind kind = LaplacianKind::kSymmetricNormalized);
+    LaplacianKind kind = LaplacianKind::kSymmetricNormalized,
+    linalg::EigenMethod method = linalg::EigenMethod::kAuto,
+    std::size_t max_pairs = 0);
 
 /// Final output of spectral clustering.
 struct ClusteringResult {
@@ -92,7 +107,20 @@ struct SpectralOptions {
   /// objective and hiding the spatial partition.
   bool normalize_rows = true;
   KMeansOptions kmeans;
+  /// Which eigensolver computes the Laplacian spectrum. kAuto keeps the
+  /// paper-scale graphs (n < linalg::kEigenAutoThreshold) on the Jacobi
+  /// reference — bitwise identical to historical results — and routes
+  /// larger graphs through the tridiagonal partial path, which computes
+  /// only needed_eigenpairs() pairs instead of the full spectrum.
+  linalg::EigenMethod eigen_method = linalg::EigenMethod::kAuto;
 };
+
+/// Number of smallest eigenpairs spectral clustering actually consumes
+/// for an n-vertex graph under `options`: enough columns for the
+/// embedding (cluster_count when fixed) and one past k_max so the
+/// eigengap scan can see the gap at k_max; never more than n.
+[[nodiscard]] std::size_t needed_eigenpairs(const SpectralOptions& options,
+                                            std::size_t n);
 
 /// Run spectral clustering on a similarity graph.
 /// Throws std::invalid_argument when cluster_count exceeds the vertex
@@ -103,10 +131,11 @@ struct SpectralOptions {
 /// Spectral clustering from a precomputed Laplacian eigendecomposition
 /// (the stage-cache split: the spectrum is the expensive operator, the
 /// k-means embedding step is cheap and depends on k). `analysis` must come
-/// from analyze_spectrum(graph.weights, options.laplacian); results are
-/// bitwise identical to the one-shot overload. Throws std::invalid_argument
-/// when cluster_count exceeds the vertex count or the analysis dimensions
-/// don't match the graph.
+/// from analyze_spectrum(graph.weights, options.laplacian, ...); partial
+/// analyses are accepted as long as they carry at least the pairs the
+/// chosen k needs. Results are bitwise identical to the one-shot overload.
+/// Throws std::invalid_argument when cluster_count exceeds the vertex
+/// count or the analysis dimensions don't match the graph.
 [[nodiscard]] ClusteringResult spectral_cluster(
     const SimilarityGraph& graph, const SpectralAnalysis& analysis,
     const SpectralOptions& options = {});

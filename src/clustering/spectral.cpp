@@ -90,15 +90,33 @@ linalg::Matrix normalized_laplacian(const linalg::Matrix& weights) {
 }
 
 SpectralAnalysis analyze_spectrum(const linalg::Matrix& weights,
-                                  LaplacianKind kind) {
+                                  LaplacianKind kind,
+                                  linalg::EigenMethod method,
+                                  std::size_t max_pairs) {
   const auto l = kind == LaplacianKind::kUnnormalized
                      ? laplacian(weights)
                      : normalized_laplacian(weights);
-  const auto eig = linalg::eigen_symmetric(l);
+  const auto resolved = linalg::resolve_eigen_method(method, l.rows());
+  linalg::SymmetricEigen eig;
+  if (resolved == linalg::EigenMethod::kTridiagonal) {
+    eig = max_pairs > 0 && max_pairs < l.rows()
+              ? linalg::eigen_symmetric_smallest(l, max_pairs)
+              : linalg::eigen_symmetric_tridiagonal(l);
+  } else {
+    // Jacobi is the full-spectrum reference; max_pairs does not apply.
+    eig = linalg::eigen_symmetric(l);
+  }
   SpectralAnalysis a;
-  a.eigenvalues = eig.eigenvalues;
-  a.eigenvectors = eig.eigenvectors;
+  a.eigenvalues = std::move(eig.eigenvalues);
+  a.eigenvectors = std::move(eig.eigenvectors);
   return a;
+}
+
+std::size_t needed_eigenpairs(const SpectralOptions& options, std::size_t n) {
+  // The embedding uses cluster_count columns (when fixed); the eigengap
+  // scan inspects gaps up to index k_max - 1, i.e. eigenvalue k_max —
+  // one past it is enough for either consumer.
+  return std::min(n, std::max(options.cluster_count, options.k_max + 1));
 }
 
 std::vector<std::vector<timeseries::ChannelId>> ClusteringResult::clusters()
@@ -131,7 +149,10 @@ std::size_t ClusteringResult::cluster_of(timeseries::ChannelId id) const {
 ClusteringResult spectral_cluster(const SimilarityGraph& graph,
                                   const SpectralOptions& options) {
   return spectral_cluster(
-      graph, analyze_spectrum(graph.weights, options.laplacian), options);
+      graph,
+      analyze_spectrum(graph.weights, options.laplacian, options.eigen_method,
+                       needed_eigenpairs(options, graph.channels.size())),
+      options);
 }
 
 ClusteringResult spectral_cluster(const SimilarityGraph& graph,
@@ -141,8 +162,11 @@ ClusteringResult spectral_cluster(const SimilarityGraph& graph,
   if (options.cluster_count > n) {
     throw std::invalid_argument("spectral_cluster: cluster_count > vertices");
   }
-  if (analysis.eigenvalues.size() != n || analysis.eigenvectors.rows() != n ||
-      analysis.eigenvectors.cols() != n) {
+  // Accept a full (n-pair) or partial (m-pair) analysis; the embedding
+  // only reads the small end of the spectrum.
+  const std::size_t pairs = analysis.eigenvalues.size();
+  if (pairs == 0 || pairs > n || analysis.eigenvectors.rows() != n ||
+      analysis.eigenvectors.cols() != pairs) {
     throw std::invalid_argument(
         "spectral_cluster: analysis dimensions do not match the graph");
   }
@@ -151,6 +175,11 @@ ClusteringResult spectral_cluster(const SimilarityGraph& graph,
   if (k == 0) {
     k = analysis.eigengap_cluster_count(options.k_min,
                                         std::min(options.k_max, n - 1));
+  }
+  if (k > pairs) {
+    throw std::invalid_argument(
+        "spectral_cluster: analysis holds " + std::to_string(pairs) +
+        " eigenpairs but k = " + std::to_string(k) + " are needed");
   }
 
   // Spectral embedding: rows of the k eigenvectors of smallest eigenvalue.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -240,8 +242,302 @@ double LuDecomposition::determinant() const noexcept {
 }
 
 // ---------------------------------------------------------------------------
-// Jacobi eigensolver
+// Symmetric eigensolvers
 // ---------------------------------------------------------------------------
+
+namespace {
+
+// Pin each eigenvector column's sign so the largest-|component| entry
+// (lowest index on ties) ends up positive. This makes eigenvectors — and
+// hence cluster embeddings — comparable across solvers; k-means output is
+// bitwise-invariant under the flip because only squared distances and row
+// means of the embedding enter, and (-x)*(-x) == x*x exactly in IEEE.
+void pin_column_signs(Matrix& vecs) {
+  for (std::size_t j = 0; j < vecs.cols(); ++j) {
+    std::size_t lead = 0;
+    double lead_abs = -1.0;
+    for (std::size_t i = 0; i < vecs.rows(); ++i) {
+      const double mag = std::abs(vecs(i, j));
+      if (mag > lead_abs) {
+        lead_abs = mag;
+        lead = i;
+      }
+    }
+    if (vecs(lead, j) < 0.0) {
+      for (std::size_t i = 0; i < vecs.rows(); ++i) vecs(i, j) = -vecs(i, j);
+    }
+  }
+}
+
+// (A + A^T)/2: every solver tolerates the tiny asymmetries that upstream
+// products accumulate.
+Matrix symmetrized(const Matrix& a) {
+  const std::size_t n = a.rows();
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+  return s;
+}
+
+// Householder reduction A = Q T Q^T to symmetric tridiagonal form. The
+// unit reflectors are kept (column k holds v_k in rows k+1..n-1) instead
+// of accumulating Q eagerly, so the partial-spectrum path can back-apply
+// them to just the m eigenvectors it needs in O(n^2 m).
+struct HouseholderTridiagonal {
+  Vector diag;        // T diagonal, size n
+  Vector off;         // off[i] = T(i, i+1); off[n-1] = 0
+  Matrix reflectors;  // n x n; unit reflector k in rows k+1.. of column k
+};
+
+HouseholderTridiagonal tridiagonalize(Matrix s) {
+  const std::size_t n = s.rows();
+  HouseholderTridiagonal t;
+  t.diag.resize(n);
+  t.off.assign(n, 0.0);
+  t.reflectors = Matrix(n, n);
+  Vector v(n, 0.0);
+  Vector w(n, 0.0);
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    double nrm = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) nrm = std::hypot(nrm, s(i, k));
+    if (nrm == 0.0) continue;  // column already tridiagonal here
+    const double alpha = s(k + 1, k) >= 0.0 ? -nrm : nrm;
+    for (std::size_t i = k + 1; i < n; ++i) v[i] = s(i, k);
+    v[k + 1] -= alpha;
+    double vnorm = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vnorm = std::hypot(vnorm, v[i]);
+    t.off[k] = alpha;
+    if (vnorm == 0.0) continue;  // x == alpha e1: nothing to reflect
+    for (std::size_t i = k + 1; i < n; ++i) v[i] /= vnorm;
+    // Rank-2 update S -= v w^T + w v^T with w = 2 S v - (v . 2 S v) v
+    // applies H S H in one pass over the trailing block. Rows are
+    // independent and each row's inner loop is a serial ascending-j
+    // accumulation, so the result is bitwise identical at any thread
+    // count (the PR-1 determinism contract).
+    const std::size_t grain = core::grain_for_cost(n - k);
+    core::parallel_for(k + 1, n, grain, [&](std::size_t i) {
+      double sum = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) sum += s(i, j) * v[j];
+      w[i] = 2.0 * sum;
+    });
+    double vw = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vw += v[i] * w[i];
+    for (std::size_t i = k + 1; i < n; ++i) w[i] -= vw * v[i];
+    core::parallel_for(k + 1, n, grain, [&](std::size_t i) {
+      const double vi = v[i];
+      const double wi = w[i];
+      for (std::size_t j = k + 1; j < n; ++j) {
+        s(i, j) -= vi * w[j] + wi * v[j];
+      }
+    });
+    for (std::size_t i = k + 1; i < n; ++i) t.reflectors(i, k) = v[i];
+  }
+  if (n >= 2) t.off[n - 2] = s(n - 1, n - 2);
+  for (std::size_t i = 0; i < n; ++i) t.diag[i] = s(i, i);
+  return t;
+}
+
+// z := Q z for one tridiagonal-basis eigenvector: apply the stored
+// reflectors in reverse order (H_0 ... H_{n-3} z).
+void back_transform(const HouseholderTridiagonal& t, Vector& z) {
+  const std::size_t n = t.diag.size();
+  if (n < 3) return;
+  for (std::size_t k = n - 2; k-- > 0;) {
+    double dot = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) dot += t.reflectors(i, k) * z[i];
+    if (dot == 0.0) continue;  // includes skipped (all-zero) reflectors
+    const double f = 2.0 * dot;
+    for (std::size_t i = k + 1; i < n; ++i) z[i] -= f * t.reflectors(i, k);
+  }
+}
+
+// Dense Q = H_0 H_1 ... H_{n-3} for the full-spectrum QL path, which then
+// rotates Q's columns into eigenvectors in place.
+Matrix accumulate_q(const HouseholderTridiagonal& t) {
+  const std::size_t n = t.diag.size();
+  Matrix q = Matrix::identity(n);
+  if (n < 3) return q;
+  Vector u(n, 0.0);
+  const std::size_t grain = core::grain_for_cost(n);
+  for (std::size_t k = n - 2; k-- > 0;) {
+    // u^T = v_k^T Q accumulated serially ascending in i; the row-parallel
+    // rank-1 update below then has no cross-row dependence, keeping the
+    // result thread-count independent.
+    std::fill(u.begin(), u.end(), 0.0);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double vi = t.reflectors(i, k);
+      if (vi == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) u[j] += vi * q(i, j);
+    }
+    core::parallel_for(k + 1, n, grain, [&](std::size_t i) {
+      const double f = 2.0 * t.reflectors(i, k);
+      if (f == 0.0) return;
+      for (std::size_t j = 0; j < n; ++j) q(i, j) -= f * u[j];
+    });
+  }
+  return q;
+}
+
+// Implicit-shift QL iteration on the tridiagonal (d, e), rotating the
+// columns of z along so they end up as eigenvectors of the original
+// matrix (classic EISPACK tql2 recurrence; e[i] couples d[i] and d[i+1],
+// e[n-1] unused). Eigenvalues land in d, unsorted.
+void ql_implicit_shift(Vector& d, Vector& e, Matrix& z) {
+  const std::size_t n = d.size();
+  if (n == 0) return;
+  const double eps = std::numeric_limits<double>::epsilon();
+  e[n - 1] = 0.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iterations = 0;
+    for (;;) {
+      // Find the block [l, m]: m is the first index whose off-diagonal is
+      // negligible against its neighbors.
+      std::size_t m = l;
+      while (m + 1 < n) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= eps * dd) break;
+        ++m;
+      }
+      if (m == l) break;
+      if (++iterations > 50) {
+        throw std::domain_error(
+            "eigen_symmetric_tridiagonal: QL iteration did not converge");
+      }
+      // Wilkinson shift from the 2x2 at the l end.
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      bool deflated_early = false;
+      for (std::size_t i = m; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          deflated_early = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        for (std::size_t row = 0; row < z.rows(); ++row) {
+          f = z(row, i + 1);
+          z(row, i + 1) = s * z(row, i) + c * f;
+          z(row, i) = c * z(row, i) - s * f;
+        }
+      }
+      if (deflated_early) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+}
+
+// splitmix64-style hash to [0, 1): deterministic inverse-iteration start
+// vectors without touching any global RNG state.
+double hash_unit(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+// Sturm-sequence count of eigenvalues of the tridiagonal (d, e) strictly
+// below x.
+std::size_t count_below(const Vector& d, const Vector& e, double x,
+                        double pivot_floor) {
+  std::size_t count = 0;
+  double q = d[0] - x;
+  if (q < 0.0) ++count;
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    double denom = q;
+    if (denom == 0.0) denom = pivot_floor;
+    q = d[i] - x - e[i - 1] * e[i - 1] / denom;
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+// LU factorization of (T - lambda I) with partial pivoting; a row swap
+// can fill a second superdiagonal, hence three U bands.
+struct ShiftedTridiagonalLu {
+  Vector u0, u1, u2;        // rows of U: diagonal, first and second super
+  Vector mult;              // elimination multipliers
+  std::vector<char> swaps;  // 1 where rows i and i+1 were exchanged
+};
+
+ShiftedTridiagonalLu factor_shifted(const Vector& d, const Vector& e,
+                                    double lambda, double pivot_floor) {
+  const std::size_t n = d.size();
+  ShiftedTridiagonalLu f;
+  f.u0.assign(n, 0.0);
+  f.u1.assign(n, 0.0);
+  f.u2.assign(n, 0.0);
+  f.mult.assign(n, 0.0);
+  f.swaps.assign(n, 0);
+  // (p0, p1, p2) is the current pivot row at columns (i, i+1, i+2); row
+  // i+1 enters fresh from the tridiagonal each step.
+  double p0 = d[0] - lambda;
+  double p1 = n > 1 ? e[0] : 0.0;
+  double p2 = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    double q0 = e[i];
+    double q1 = d[i + 1] - lambda;
+    double q2 = i + 2 < n ? e[i + 1] : 0.0;
+    if (std::abs(q0) > std::abs(p0)) {
+      std::swap(p0, q0);
+      std::swap(p1, q1);
+      std::swap(p2, q2);
+      f.swaps[i] = 1;
+    }
+    if (p0 == 0.0) p0 = pivot_floor;  // shift sits on an exact eigenvalue
+    const double m = q0 / p0;
+    f.u0[i] = p0;
+    f.u1[i] = p1;
+    f.u2[i] = p2;
+    f.mult[i] = m;
+    p0 = q1 - m * p1;
+    p1 = q2 - m * p2;
+    p2 = 0.0;
+  }
+  if (p0 == 0.0) p0 = pivot_floor;
+  f.u0[n - 1] = p0;
+  return f;
+}
+
+void solve_shifted(const ShiftedTridiagonalLu& f, Vector& x) {
+  const std::size_t n = f.u0.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (f.swaps[i]) std::swap(x[i], x[i + 1]);
+    x[i + 1] -= f.mult[i] * x[i];
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = x[i];
+    if (i + 1 < n) s -= f.u1[i] * x[i + 1];
+    if (i + 2 < n) s -= f.u2[i] * x[i + 2];
+    x[i] = s / f.u0[i];
+  }
+}
+
+SymmetricEigen trivial_eigen(const Matrix& a) {
+  SymmetricEigen out;
+  out.eigenvalues = a.rows() == 1 ? Vector{a(0, 0)} : Vector{};
+  out.eigenvectors = Matrix::identity(a.rows());
+  return out;
+}
+
+}  // namespace
 
 SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
   if (a.rows() != a.cols()) {
@@ -249,18 +545,9 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
   }
   obs::TraceSpan eigen_span("linalg.eigen_symmetric");
   const std::size_t n = a.rows();
-  // Symmetrize to absorb roundoff asymmetry from upstream products.
-  Matrix s(n, n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
-
+  if (n <= 1) return trivial_eigen(a);
+  Matrix s = symmetrized(a);
   Matrix v = Matrix::identity(n);
-  if (n <= 1) {
-    SymmetricEigen out;
-    out.eigenvalues = n == 1 ? Vector{s(0, 0)} : Vector{};
-    out.eigenvectors = v;
-    return out;
-  }
 
   const double scale = std::max(s.max_abs(), 1e-300);
   // Row grains: the off-norm is an ordered reduction over row chunks (chunk
@@ -271,7 +558,11 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
   const std::size_t row_grain = core::grain_for_cost(n);
   const std::size_t rot_grain = core::grain_for_cost(6);
   std::size_t sweeps_done = 0;
-  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+  bool converged = false;
+  // max_sweeps rotation sweeps at most, with a convergence check before
+  // each and one after the last — so a matrix that converges exactly on
+  // the final allowed sweep succeeds instead of throwing.
+  for (std::size_t sweep = 0; sweep <= max_sweeps; ++sweep) {
     const double off = core::parallel_reduce(
         std::size_t{0}, n, row_grain, 0.0,
         [&](std::size_t lo, std::size_t hi) {
@@ -281,10 +572,11 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
           return local;
         },
         [](double acc, double part) { return acc + part; });
-    if (std::sqrt(off) <= 1e-14 * scale * static_cast<double>(n)) break;
-    if (sweep + 1 == max_sweeps) {
-      throw std::domain_error("eigen_symmetric: Jacobi did not converge");
+    if (std::sqrt(off) <= 1e-14 * scale * static_cast<double>(n)) {
+      converged = true;
+      break;
     }
+    if (sweep == max_sweeps) break;  // budget spent, off-norm still large
     for (std::size_t p = 0; p < n - 1; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = s(p, q);
@@ -317,6 +609,9 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
     }
     ++sweeps_done;
   }
+  if (!converged) {
+    throw std::domain_error("eigen_symmetric: Jacobi did not converge");
+  }
   // Convergence behavior per call, visible in --metrics-out output; the
   // counts are thread-count independent because the reduction grouping is.
   static const obs::MetricId kJacobiSweeps =
@@ -339,6 +634,167 @@ SymmetricEigen eigen_symmetric(const Matrix& a, std::size_t max_sweeps) {
     out.eigenvalues[j] = s(order[j], order[j]);
     out.eigenvectors.set_col(j, v.col_vector(order[j]));
   }
+  pin_column_signs(out.eigenvectors);
+  return out;
+}
+
+SymmetricEigen eigen_symmetric_tridiagonal(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument(
+        "eigen_symmetric_tridiagonal: matrix not square");
+  }
+  obs::TraceSpan span("linalg.eigen_tridiagonal");
+  const std::size_t n = a.rows();
+  if (n <= 1) return trivial_eigen(a);
+  static const obs::MetricId kTridiagonalCalls =
+      obs::counter_id("linalg.eigen_tridiagonal_calls");
+  static const obs::MetricId kEigenCalls =
+      obs::counter_id("linalg.eigen_calls");
+  obs::add_counter(kTridiagonalCalls);
+  obs::add_counter(kEigenCalls);
+
+  HouseholderTridiagonal t = tridiagonalize(symmetrized(a));
+  Matrix z = accumulate_q(t);
+  Vector d = t.diag;
+  Vector e = t.off;
+  ql_implicit_shift(d, e, z);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d[i] < d[j]; });
+
+  SymmetricEigen out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = d[order[j]];
+    out.eigenvectors.set_col(j, z.col_vector(order[j]));
+  }
+  pin_column_signs(out.eigenvectors);
+  return out;
+}
+
+SymmetricEigen eigen_symmetric_smallest(const Matrix& a, std::size_t m) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eigen_symmetric_smallest: matrix not square");
+  }
+  if (m == 0) {
+    throw std::invalid_argument("eigen_symmetric_smallest: m must be > 0");
+  }
+  obs::TraceSpan span("linalg.eigen_symmetric_smallest");
+  const std::size_t n = a.rows();
+  m = std::min(m, n);
+  if (n <= 1) return trivial_eigen(a);
+  static const obs::MetricId kPartialCalls =
+      obs::counter_id("linalg.eigen_partial_calls");
+  static const obs::MetricId kPartialPairs =
+      obs::counter_id("linalg.eigen_partial_pairs");
+  static const obs::MetricId kEigenCalls =
+      obs::counter_id("linalg.eigen_calls");
+  obs::add_counter(kPartialCalls);
+  obs::add_counter(kPartialPairs, m);
+  obs::add_counter(kEigenCalls);
+
+  HouseholderTridiagonal t = tridiagonalize(symmetrized(a));
+  const Vector& d = t.diag;
+  const Vector& e = t.off;
+
+  // Gershgorin interval of T bounds every eigenvalue and sets the scale
+  // for all tolerances below.
+  double glo = std::numeric_limits<double>::infinity();
+  double ghi = -glo;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double radius = (i > 0 ? std::abs(e[i - 1]) : 0.0) +
+                          (i + 1 < n ? std::abs(e[i]) : 0.0);
+    glo = std::min(glo, d[i] - radius);
+    ghi = std::max(ghi, d[i] + radius);
+  }
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double anorm = std::max({std::abs(glo), std::abs(ghi), 1e-300});
+  const double pivot_floor = eps * anorm;
+  glo -= pivot_floor;
+  ghi += pivot_floor;
+
+  // Bisection on the Sturm count: lambda_j is the infimum of x with
+  // count(x) >= j+1. Fully deterministic, O(n) per probe. Each bracket
+  // starts at the previous eigenvalue's lower bound since the spectrum is
+  // sorted.
+  Vector evals(m);
+  double lower = glo;
+  for (std::size_t j = 0; j < m; ++j) {
+    double lo = lower;
+    double hi = ghi;
+    for (std::size_t it = 0;
+         it < 200 &&
+         hi - lo > 2.0 * eps * (std::abs(lo) + std::abs(hi)) + pivot_floor;
+         ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (count_below(d, e, mid, pivot_floor) >= j + 1) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    evals[j] = 0.5 * (lo + hi);
+    lower = lo;
+  }
+
+  // Inverse iteration in the tridiagonal basis. Eigenvalues closer than
+  // cluster_tol form one multiplet: each member gets a slightly offset
+  // shift and is reorthogonalized against the members before it, which is
+  // what keeps repeated eigenvalues (e.g. the zero modes of a
+  // rank-deficient Laplacian) from collapsing onto a single vector.
+  const double cluster_tol = 1e-7 * anorm;
+  std::vector<Vector> tri(m);
+  std::size_t cluster_start = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j > 0 && evals[j] - evals[j - 1] > cluster_tol) cluster_start = j;
+    const double shift =
+        evals[j] +
+        static_cast<double>(j - cluster_start) * pivot_floor * 64.0;
+    const ShiftedTridiagonalLu lu = factor_shifted(d, e, shift, pivot_floor);
+    Vector z(n);
+    for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+      for (std::size_t i = 0; i < n; ++i) {
+        z[i] = hash_unit(static_cast<std::uint64_t>(j) * 1000003ULL +
+                         static_cast<std::uint64_t>(attempt) * 7919ULL +
+                         static_cast<std::uint64_t>(i)) -
+               0.5;
+      }
+      bool collapsed = false;
+      for (std::size_t iter = 0; iter < 3; ++iter) {
+        solve_shifted(lu, z);
+        for (std::size_t p = cluster_start; p < j; ++p) {
+          double dot = 0.0;
+          for (std::size_t i = 0; i < n; ++i) dot += tri[p][i] * z[i];
+          for (std::size_t i = 0; i < n; ++i) z[i] -= dot * tri[p][i];
+        }
+        double norm = 0.0;
+        for (double zi : z) norm += zi * zi;
+        norm = std::sqrt(norm);
+        if (norm < 1e-12) {
+          collapsed = true;  // start vector lay in the span already found
+          break;
+        }
+        for (double& zi : z) zi /= norm;
+      }
+      if (!collapsed) break;
+    }
+    tri[j] = std::move(z);
+  }
+
+  // Back-transform through the stored reflectors; vectors are independent
+  // so the row of work per j is deterministic regardless of thread count.
+  core::parallel_for(0, m, core::grain_for_cost(n * n), [&](std::size_t j) {
+    back_transform(t, tri[j]);
+  });
+
+  SymmetricEigen out;
+  out.eigenvalues = std::move(evals);
+  out.eigenvectors = Matrix(n, m);
+  for (std::size_t j = 0; j < m; ++j) out.eigenvectors.set_col(j, tri[j]);
+  pin_column_signs(out.eigenvectors);
   return out;
 }
 

@@ -6,8 +6,21 @@
 #include <stdexcept>
 
 #include "auditherm/core/parallel.hpp"
+#include "auditherm/obs/trace_span.hpp"
 
 namespace auditherm::linalg {
+
+namespace {
+
+// Tile edge for the cache-blocked dense kernels: 64x64 doubles = 32 KiB,
+// so one tile of each operand fits in L1/L2 together. The block size is a
+// compile-time constant — never derived from the thread count — and every
+// output element still accumulates its terms in ascending-k order inside
+// and across tiles, so blocked results are bitwise identical to the naive
+// loops at any thread count.
+constexpr std::size_t kDenseBlock = 64;
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -86,8 +99,16 @@ void Matrix::set_col(std::size_t j, const Vector& v) {
 
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
-  for (std::size_t i = 0; i < rows_; ++i)
-    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  // Tile the copy so both the row-major read and the column-strided write
+  // stay within a cache-resident kDenseBlock-square panel.
+  for (std::size_t ib = 0; ib < rows_; ib += kDenseBlock) {
+    const std::size_t iend = std::min(ib + kDenseBlock, rows_);
+    for (std::size_t jb = 0; jb < cols_; jb += kDenseBlock) {
+      const std::size_t jend = std::min(jb + kDenseBlock, cols_);
+      for (std::size_t i = ib; i < iend; ++i)
+        for (std::size_t j = jb; j < jend; ++j) t(j, i) = (*this)(i, j);
+    }
+  }
   return t;
 }
 
@@ -96,17 +117,23 @@ Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
   if (r0 + nr > rows_ || c0 + nc > cols_)
     throw std::out_of_range("Matrix::block");
   Matrix b(nr, nc);
-  for (std::size_t i = 0; i < nr; ++i)
-    for (std::size_t j = 0; j < nc; ++j) b(i, j) = (*this)(r0 + i, c0 + j);
+  for (std::size_t i = 0; i < nr; ++i) {
+    const double* src = data_.data() + (r0 + i) * cols_ + c0;
+    std::copy(src, src + nc,
+              b.data_.begin() + static_cast<std::ptrdiff_t>(i * nc));
+  }
   return b;
 }
 
 void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
   if (r0 + b.rows() > rows_ || c0 + b.cols() > cols_)
     throw std::out_of_range("Matrix::set_block");
-  for (std::size_t i = 0; i < b.rows(); ++i)
-    for (std::size_t j = 0; j < b.cols(); ++j)
-      (*this)(r0 + i, c0 + j) = b(i, j);
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    const double* src = b.data_.data() + i * b.cols_;
+    std::copy(src, src + b.cols_,
+              data_.begin() +
+                  static_cast<std::ptrdiff_t>((r0 + i) * cols_ + c0));
+  }
 }
 
 double Matrix::frobenius_norm() const noexcept {
@@ -164,18 +191,28 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows())
     throw std::invalid_argument("Matrix product: inner dimension mismatch");
   Matrix c(a.rows(), b.cols());
-  // Parallel over output rows: row i depends only on row i of a and all of
-  // b, and each c(i,j) accumulates over ascending k — the same summation
-  // order at any thread count, so the product is bitwise deterministic.
-  // Loop order (i,k,j) keeps the inner traversal contiguous for row-major
-  // storage, which matters for the regressor Gram products in sysid.
-  core::parallel_for(
+  // Parallel over row chunks, cache-blocked inside each chunk: a
+  // kDenseBlock-square tile of b is reused across every row of the chunk
+  // before moving on. Each c(i,j) still accumulates over ascending k (kb
+  // tiles ascend, k ascends within a tile, j never revisits a tile) with
+  // the same zero-skip as the naive (i,k,j) loop, so the product is
+  // bitwise identical to it — and hence thread-count independent.
+  core::parallel_for_chunks(
       0, a.rows(), core::grain_for_cost(a.cols() * b.cols()),
-      [&](std::size_t i) {
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-          const double aik = a(i, k);
-          if (aik == 0.0) continue;
-          for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t kb = 0; kb < a.cols(); kb += kDenseBlock) {
+          const std::size_t kend = std::min(kb + kDenseBlock, a.cols());
+          for (std::size_t jb = 0; jb < b.cols(); jb += kDenseBlock) {
+            const std::size_t jend = std::min(jb + kDenseBlock, b.cols());
+            for (std::size_t i = lo; i < hi; ++i) {
+              for (std::size_t k = kb; k < kend; ++k) {
+                const double aik = a(i, k);
+                if (aik == 0.0) continue;
+                for (std::size_t j = jb; j < jend; ++j)
+                  c(i, j) += aik * b(k, j);
+              }
+            }
+          }
         }
       });
   return c;
@@ -184,12 +221,21 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
 Vector operator*(const Matrix& a, const Vector& x) {
   if (a.cols() != x.size())
     throw std::invalid_argument("Matrix-vector product: dimension mismatch");
+  static const obs::MetricId kMatvecCalls =
+      obs::counter_id("linalg.matvec_calls");
+  obs::add_counter(kMatvecCalls);
   Vector y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double s = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
-    y[i] = s;
-  }
+  // Parallel over rows; each row is a serial ascending-j dot product into
+  // its own output slot, so the result is bitwise identical to the serial
+  // loop at any thread count. A counter (not a span) tracks call volume:
+  // sysid's hot loops issue thousands of matvecs per fit.
+  core::parallel_for(0, a.rows(), core::grain_for_cost(a.cols()),
+                     [&](std::size_t i) {
+                       double s = 0.0;
+                       for (std::size_t j = 0; j < a.cols(); ++j)
+                         s += a(i, j) * x[j];
+                       y[i] = s;
+                     });
   return y;
 }
 
@@ -197,17 +243,27 @@ Matrix gram(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows())
     throw std::invalid_argument("gram: row count mismatch");
   Matrix c(a.cols(), b.cols());
-  // Parallel over output rows (columns of a). Each c(i,j) still sums
-  // a(k,i) * b(k,j) over ascending k with the same zero-skip the serial
-  // k-outer loop used, so every element sees an identical sequence of
+  // Parallel over chunks of output rows (columns of a), cache-blocked
+  // like operator*: tiles of b are reused across the chunk, and each
+  // c(i,j) sums a(k,i) * b(k,j) over globally ascending k with the
+  // original zero-skip, so every element sees an identical sequence of
   // partial sums at any thread count.
-  core::parallel_for(
+  core::parallel_for_chunks(
       0, a.cols(), core::grain_for_cost(a.rows() * b.cols()),
-      [&](std::size_t i) {
-        for (std::size_t k = 0; k < a.rows(); ++k) {
-          const double aki = a(k, i);
-          if (aki == 0.0) continue;
-          for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t kb = 0; kb < a.rows(); kb += kDenseBlock) {
+          const std::size_t kend = std::min(kb + kDenseBlock, a.rows());
+          for (std::size_t jb = 0; jb < b.cols(); jb += kDenseBlock) {
+            const std::size_t jend = std::min(jb + kDenseBlock, b.cols());
+            for (std::size_t i = lo; i < hi; ++i) {
+              for (std::size_t k = kb; k < kend; ++k) {
+                const double aki = a(k, i);
+                if (aki == 0.0) continue;
+                for (std::size_t j = jb; j < jend; ++j)
+                  c(i, j) += aki * b(k, j);
+              }
+            }
+          }
         }
       });
   return c;
@@ -217,14 +273,27 @@ Matrix outer_product(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.cols())
     throw std::invalid_argument("outer_product: column count mismatch");
   Matrix c(a.rows(), b.rows());
-  // Each element is an independent dot product; parallel over rows.
-  core::parallel_for(
+  // Blocked over (j, k) tiles so b's rows are revisited while hot. The
+  // running sum for each c(i,j) is carried in the output element across
+  // k tiles and extended term by term in ascending k — the identical
+  // fold ((0 + t0) + t1) + ... the naive per-element dot produced, never
+  // a per-tile partial that would reassociate the sum.
+  core::parallel_for_chunks(
       0, a.rows(), core::grain_for_cost(a.cols() * b.rows()),
-      [&](std::size_t i) {
-        for (std::size_t j = 0; j < b.rows(); ++j) {
-          double s = 0.0;
-          for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(j, k);
-          c(i, j) = s;
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t kb = 0; kb < a.cols(); kb += kDenseBlock) {
+          const std::size_t kend = std::min(kb + kDenseBlock, a.cols());
+          for (std::size_t jb = 0; jb < b.rows(); jb += kDenseBlock) {
+            const std::size_t jend = std::min(jb + kDenseBlock, b.rows());
+            for (std::size_t i = lo; i < hi; ++i) {
+              for (std::size_t j = jb; j < jend; ++j) {
+                double acc = c(i, j);
+                for (std::size_t k = kb; k < kend; ++k)
+                  acc += a(i, k) * b(j, k);
+                c(i, j) = acc;
+              }
+            }
+          }
         }
       });
   return c;

@@ -112,6 +112,47 @@ FloorPlan FloorPlan::brauer_auditorium() {
                    /*seating_back_y=*/11.5);
 }
 
+FloorPlan FloorPlan::synthetic_grid(std::size_t sensor_count) {
+  if (sensor_count == 0) {
+    throw std::invalid_argument("FloorPlan::synthetic_grid: zero sensors");
+  }
+  // Near-square grid at 2 m pitch, slightly wider than deep (like the
+  // real hall), sitting behind a 3 m front band that holds the
+  // thermostats and the first diffuser.
+  constexpr double kPitch = 2.0;
+  const auto cols = static_cast<std::size_t>(std::ceil(
+      std::sqrt(static_cast<double>(sensor_count) * 4.0 / 3.0)));
+  const std::size_t rows = (sensor_count + cols - 1) / cols;
+  const double width = kPitch * static_cast<double>(cols + 1);
+  const double depth = 3.0 + kPitch * static_cast<double>(rows + 1);
+
+  std::vector<SensorSite> sensors;
+  sensors.reserve(sensor_count + 2);
+  timeseries::ChannelId next_id = 1;
+  for (std::size_t s = 0; s < sensor_count; ++s) {
+    while (next_id == 40 || next_id == 41) ++next_id;  // thermostat ids
+    const std::size_t r = s / cols;
+    const std::size_t c = s % cols;
+    sensors.push_back({next_id++,
+                       {kPitch * static_cast<double>(c + 1),
+                        3.0 + kPitch * static_cast<double>(r + 1)},
+                       false});
+  }
+  sensors.push_back({40, {0.5, 0.8}, true});
+  sensors.push_back({41, {width - 0.5, 0.8}, true});
+
+  // One diffuser over the front band, one over mid-depth, both spanning
+  // the room like the real hall's linear outlets; VAV count scales with
+  // the served area.
+  std::vector<Diffuser> outlets = {
+      {{1.0, 1.5}, {width - 1.0, 1.5}},
+      {{1.0, depth * 0.5}, {width - 1.0, depth * 0.5}}};
+  const std::size_t vav_count = std::max<std::size_t>(4, sensor_count / 32);
+  return FloorPlan(width, depth, std::move(sensors), std::move(outlets),
+                   vav_count, /*seating_front_y=*/3.0,
+                   /*seating_back_y=*/depth - 1.0);
+}
+
 std::vector<timeseries::ChannelId> FloorPlan::sensor_ids() const {
   std::vector<timeseries::ChannelId> ids;
   ids.reserve(sensors_.size());

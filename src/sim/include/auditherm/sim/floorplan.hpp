@@ -52,6 +52,15 @@ class FloorPlan {
   /// The paper's auditorium: 25 sensors + 2 thermostats, 2 outlets, 4 VAVs.
   [[nodiscard]] static FloorPlan brauer_auditorium();
 
+  /// A synthetic scaled-up hall for benchmarks beyond the paper's testbed:
+  /// `sensor_count` wireless sensors on a ~2 m near-square grid behind a
+  /// front HVAC band, plus the two wall thermostats (ids 40/41, matching
+  /// the library convention; wireless ids count up from 1, skipping
+  /// 40/41). Room size grows with the grid, so 128-1024 sensor plans stay
+  /// geometrically plausible. Throws std::invalid_argument when
+  /// sensor_count == 0.
+  [[nodiscard]] static FloorPlan synthetic_grid(std::size_t sensor_count);
+
   /// Construct a custom plan. Throws std::invalid_argument on empty
   /// sensors, duplicate ids, non-positive dimensions, or sites/outlets
   /// outside the room.

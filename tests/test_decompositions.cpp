@@ -209,6 +209,35 @@ TEST(EigenSymmetric, RejectsNonSquare) {
   EXPECT_THROW(linalg::eigen_symmetric(Matrix(2, 3)), std::invalid_argument);
 }
 
+TEST(EigenSymmetric, ConvergesOnLastAllowedSweep) {
+  // A 2x2 needs exactly one sweep (one rotation annihilates the only
+  // off-diagonal pair). Regression for the off-by-one that threw one sweep
+  // early: max_sweeps = 1 must succeed, not report non-convergence.
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const auto eig = linalg::eigen_symmetric(a, /*max_sweeps=*/1);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(EigenSymmetric, ThrowsWhenSweepBudgetExhausted) {
+  // Zero sweeps cannot diagonalize a coupled matrix.
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  EXPECT_THROW((void)linalg::eigen_symmetric(a, /*max_sweeps=*/0),
+               std::domain_error);
+}
+
+TEST(EigenSymmetric, SignConventionPinsLargestComponentPositive) {
+  const auto a = random_spd(9, 31);
+  const auto eig = linalg::eigen_symmetric(a);
+  for (std::size_t j = 0; j < 9; ++j) {
+    const Vector v = eig.eigenvectors.col_vector(j);
+    std::size_t arg = 0;
+    for (std::size_t i = 1; i < 9; ++i)
+      if (std::abs(v[i]) > std::abs(v[arg])) arg = i;
+    EXPECT_GE(v[arg], 0.0) << "column " << j;
+  }
+}
+
 /// Property sweep: random symmetric matrices of several sizes must satisfy
 /// A v = lambda v, orthonormal eigenvectors, ascending eigenvalues, and
 /// trace preservation.

@@ -121,3 +121,43 @@ TEST(FloorPlan, CustomPlanValidation) {
   EXPECT_THROW(sim::FloorPlan(10.0, 8.0, sensors, outlets, 2, 7.0, 2.0),
                std::invalid_argument);
 }
+
+TEST(FloorPlan, SyntheticGridScalesToBenchSizes) {
+  for (std::size_t count : {1u, 25u, 128u, 256u, 1024u}) {
+    const auto plan = sim::FloorPlan::synthetic_grid(count);
+    EXPECT_EQ(plan.wireless_ids().size(), count) << "count=" << count;
+    EXPECT_EQ(plan.thermostat_ids(), (std::vector<int>{40, 41}))
+        << "count=" << count;
+    EXPECT_EQ(plan.sensors().size(), count + 2) << "count=" << count;
+    EXPECT_EQ(plan.air_outlets().size(), 2u);
+    EXPECT_GE(plan.vav_count(), 4u);
+    // Constructor validation already guarantees every site is in-room and
+    // ids are unique; spot-check the grid pitch keeps neighbors 2 m apart.
+    const auto& sensors = plan.sensors();
+    if (count >= 2) {
+      EXPECT_NEAR(sim::distance(sensors[0].position, sensors[1].position),
+                  2.0, 1e-12);
+    }
+  }
+}
+
+TEST(FloorPlan, SyntheticGridSkipsThermostatIds) {
+  // 64 wireless ids must skip 40/41 (reserved for the wall thermostats).
+  const auto plan = sim::FloorPlan::synthetic_grid(64);
+  const auto ids = plan.wireless_ids();
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 40), 0);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 41), 0);
+  EXPECT_EQ(ids.front(), 1);
+  EXPECT_EQ(ids.back(), 66);  // two ids skipped along the way
+}
+
+TEST(FloorPlan, SyntheticGridRejectsZeroSensors) {
+  EXPECT_THROW((void)sim::FloorPlan::synthetic_grid(0),
+               std::invalid_argument);
+}
+
+TEST(FloorPlan, SyntheticGridVavCountScalesWithArea) {
+  EXPECT_EQ(sim::FloorPlan::synthetic_grid(64).vav_count(), 4u);
+  EXPECT_EQ(sim::FloorPlan::synthetic_grid(256).vav_count(), 8u);
+  EXPECT_EQ(sim::FloorPlan::synthetic_grid(1024).vav_count(), 32u);
+}

@@ -108,6 +108,27 @@ TEST(Matrix, BlockExtractAndSet) {
   EXPECT_THROW(target.set_block(3, 3, b), std::out_of_range);
 }
 
+TEST(Matrix, BlockRowwiseCopyEdgeCases) {
+  Matrix m(4, 5);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      m(i, j) = static_cast<double>(10 * i + j);
+  // Full-matrix block is an exact copy.
+  EXPECT_EQ(m.block(0, 0, 4, 5), m);
+  // Zero-sized blocks are legal and empty.
+  EXPECT_EQ(m.block(2, 3, 0, 0).rows(), 0u);
+  // Single row / single column slices.
+  const auto row = m.block(2, 0, 1, 5);
+  for (std::size_t j = 0; j < 5; ++j) EXPECT_EQ(row(0, j), m(2, j));
+  const auto col = m.block(0, 4, 4, 1);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(col(i, 0), m(i, 4));
+  // set_block round-trips an interior block bitwise.
+  const auto b = m.block(1, 1, 2, 3);
+  Matrix copy = m;
+  copy.set_block(1, 1, b);
+  EXPECT_EQ(copy, m);
+}
+
 TEST(Matrix, Norms) {
   Matrix m{{3.0, 0.0}, {0.0, -4.0}};
   EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);

@@ -38,6 +38,19 @@ clustering::SimilarityGraph block_graph(std::size_t blocks, std::size_t size,
   return graph;
 }
 
+/// True when the two labelings induce the same partition (label ids may
+/// permute between numerically different embeddings).
+bool same_partition(const std::vector<std::size_t>& a,
+                    const std::vector<std::size_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      if ((a[i] == a[j]) != (b[i] == b[j])) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 TEST(Laplacian, RowSumsZeroAndPsd) {
@@ -189,4 +202,85 @@ TEST(Spectral, DeterministicForSameSeed) {
   const auto a = clustering::spectral_cluster(graph);
   const auto b = clustering::spectral_cluster(graph);
   EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Spectral, TridiagonalMethodRecoversSameClusters) {
+  const auto graph = block_graph(3, 6);
+  clustering::SpectralOptions jacobi;
+  jacobi.cluster_count = 3;
+  jacobi.eigen_method = linalg::EigenMethod::kJacobi;
+  clustering::SpectralOptions tridiagonal = jacobi;
+  tridiagonal.eigen_method = linalg::EigenMethod::kTridiagonal;
+  const auto a = clustering::spectral_cluster(graph, jacobi);
+  const auto b = clustering::spectral_cluster(graph, tridiagonal);
+  EXPECT_TRUE(same_partition(a.labels, b.labels));
+  EXPECT_EQ(a.cluster_count, b.cluster_count);
+  // The tridiagonal path computes only the needed leading pairs; those
+  // must agree with Jacobi's full spectrum.
+  const std::size_t shared =
+      std::min(a.eigenvalues.size(), b.eigenvalues.size());
+  ASSERT_EQ(b.eigenvalues.size(),
+            clustering::needed_eigenpairs(tridiagonal,
+                                          graph.channels.size()));
+  for (std::size_t i = 0; i < shared; ++i) {
+    EXPECT_NEAR(a.eigenvalues[i], b.eigenvalues[i], 1e-10) << "i=" << i;
+  }
+}
+
+TEST(Spectral, PartialAnalysisClustersLikeFullSpectrum) {
+  // A partial (n x m) analysis with m >= k_max + 1 eigenpairs must produce
+  // the same clustering as the full spectrum: only the leading embedding
+  // columns feed k-means and the eigengap scan.
+  const auto graph = block_graph(3, 6);
+  clustering::SpectralOptions options;  // auto-k via eigengap, k_max = 8
+  const std::size_t n = graph.channels.size();
+  const auto pairs = clustering::needed_eigenpairs(options, n);
+  EXPECT_EQ(pairs, std::min(n, options.k_max + 1));
+
+  const auto full = clustering::spectral_cluster(graph, options);
+  const auto partial = clustering::analyze_spectrum(
+      graph.weights, options.laplacian, linalg::EigenMethod::kTridiagonal,
+      pairs);
+  ASSERT_EQ(partial.eigenvalues.size(), pairs);
+  ASSERT_EQ(partial.eigenvectors.cols(), pairs);
+  ASSERT_EQ(partial.eigenvectors.rows(), n);
+  const auto staged = clustering::spectral_cluster(graph, partial, options);
+  EXPECT_TRUE(same_partition(staged.labels, full.labels));
+  EXPECT_EQ(staged.cluster_count, full.cluster_count);
+}
+
+TEST(Spectral, PartialAnalysisTooShallowForKThrows) {
+  // An analysis holding fewer eigenpairs than the requested k cannot build
+  // the embedding; the precomputed overload must reject it, not read OOB.
+  const auto graph = block_graph(2, 4);
+  const auto partial = clustering::analyze_spectrum(
+      graph.weights, clustering::LaplacianKind::kSymmetricNormalized,
+      linalg::EigenMethod::kTridiagonal, /*max_pairs=*/2);
+  clustering::SpectralOptions options;
+  options.cluster_count = 3;  // needs 3 embedding columns, analysis has 2
+  EXPECT_THROW((void)clustering::spectral_cluster(graph, partial, options),
+               std::invalid_argument);
+}
+
+TEST(Spectral, NeededEigenpairsClampsToMatrixSize) {
+  clustering::SpectralOptions options;  // k_max = 8 -> wants 9
+  EXPECT_EQ(clustering::needed_eigenpairs(options, 5), 5u);
+  options.cluster_count = 4;
+  EXPECT_EQ(clustering::needed_eigenpairs(options, 100), 9u);
+  options.cluster_count = 12;  // explicit k above k_max + 1
+  EXPECT_EQ(clustering::needed_eigenpairs(options, 100), 12u);
+}
+
+TEST(Spectral, AutoMethodMatchesJacobiOnSmallGraphs) {
+  // Below the auto threshold the pipeline stays on Jacobi, so kAuto must
+  // be bitwise identical to explicitly requesting it.
+  const auto graph = block_graph(3, 5);
+  clustering::SpectralOptions auto_opts;
+  auto_opts.eigen_method = linalg::EigenMethod::kAuto;
+  clustering::SpectralOptions jacobi_opts;
+  jacobi_opts.eigen_method = linalg::EigenMethod::kJacobi;
+  const auto a = clustering::spectral_cluster(graph, auto_opts);
+  const auto b = clustering::spectral_cluster(graph, jacobi_opts);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.eigenvalues, b.eigenvalues);
 }

@@ -4,6 +4,7 @@
 //       [--seed S] [--truth truth.csv]
 //   auditherm analyze --data trace.csv [--metric correlation|euclidean]
 //       [--clusters K] [--order 1|2] [--per-cluster N] [--sweep SEEDS]
+//       [--eigen jacobi|tridiagonal|auto]
 //
 // Every subcommand also accepts the shared flags (--threads, --cache,
 // --metrics-out, --trace); see core/cli.hpp. Observability output goes to
@@ -84,6 +85,9 @@ cli::OptionSet analyze_options() {
        "representative sensors per cluster (default 1)"},
       {"sweep", true, false, "SEEDS",
        "compare strategies over SEEDS seeds, reusing cached stages"},
+      {"eigen", true, false, "jacobi|tridiagonal|auto",
+       "Laplacian eigensolver (default auto: Jacobi below 64 sensors, "
+       "tridiagonal partial spectrum above)"},
   };
   for (auto& spec : cli::common_options()) specs.push_back(std::move(spec));
   return cli::OptionSet("analyze", std::move(specs));
@@ -203,6 +207,19 @@ int cmd_analyze(const cli::ParsedOptions& args,
   }
   config.spectral.cluster_count =
       static_cast<std::size_t>(args.get_long("clusters", 0));
+  if (const auto eigen = args.get("eigen")) {
+    if (*eigen == "jacobi") {
+      config.spectral.eigen_method = linalg::EigenMethod::kJacobi;
+    } else if (*eigen == "tridiagonal") {
+      config.spectral.eigen_method = linalg::EigenMethod::kTridiagonal;
+    } else if (*eigen == "auto") {
+      config.spectral.eigen_method = linalg::EigenMethod::kAuto;
+    } else {
+      std::fprintf(stderr, "analyze: unknown --eigen value '%s'\n",
+                   eigen->c_str());
+      return 2;
+    }
+  }
   config.order = args.get_long("order", 2) == 1 ? sysid::ModelOrder::kFirst
                                                 : sysid::ModelOrder::kSecond;
   config.sensors_per_cluster =
