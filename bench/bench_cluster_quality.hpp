@@ -14,7 +14,7 @@ namespace bench {
 /// Mean pairwise correlation among `ids` on `trace` (1.0 for singletons —
 /// a single-sensor cluster is trivially coherent).
 inline double mean_intra_correlation(
-    const auditherm::timeseries::MultiTrace& trace,
+    const auditherm::timeseries::TraceView& trace,
     const std::vector<auditherm::timeseries::ChannelId>& ids) {
   if (ids.size() < 2) return 1.0;
   const auto sub = trace.select_channels(ids);
@@ -37,7 +37,7 @@ inline double mean_intra_correlation(
 /// stage-cache split), so the k-loop only redoes the cheap embedding.
 inline void report_metric_quality(
     const auditherm::sim::AuditoriumDataset& dataset,
-    const auditherm::timeseries::MultiTrace& training,
+    const auditherm::timeseries::TraceView& training,
     const auditherm::clustering::SimilarityGraph& graph,
     const auditherm::clustering::SpectralAnalysis& spectrum,
     const std::vector<std::size_t>& cluster_counts,

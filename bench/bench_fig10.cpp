@@ -29,7 +29,7 @@ int main() {
   linalg::Vector sms_curve, srs_curve, rs_curve;
   for (std::size_t k = 2; k <= 8; ++k) {
     const auto art = bench::prepare_stages(dataset, split, cache, k);
-    const auto& training = *art.training;
+    const timeseries::TraceView& training = art.training;
     const auto& clusters = *art.clusters;
 
     const auto p99 = [&](const selection::Selection& sel) {

@@ -19,7 +19,7 @@ int main() {
   // below only redoes the cheap embedding per k.
   core::StageCache cache;
   const auto art = bench::prepare_stages(dataset, split, cache);
-  const auto& training = *art.training;
+  const timeseries::TraceView& training = art.training;
   const auto& graph = *art.graph;
   const auto eigengap_k = art.spectrum->eigengap_cluster_count();
 

@@ -12,6 +12,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -253,6 +255,212 @@ bool results_bitwise_equal(const core::PipelineResult& a,
          a.reduced_eval.pooled_rms == b.reduced_eval.pooled_rms;
 }
 
+// --- Copy-path vs view-path bytes report --------------------------------
+// Measures how many sample bytes the strategy sweep's data path moves on
+// scaled-up synthetic halls, legacy materializing path vs the zero-copy
+// TraceView path, via the timeseries.bytes_copied counter.
+
+struct HallSweep {
+  std::size_t sensors = 0;
+  std::size_t rows = 0;
+  std::uint64_t copy_bytes = 0;    ///< legacy per-case materializing path
+  std::uint64_t view_bytes = 0;    ///< uncached view-path sweep
+  std::uint64_t view_cached_bytes = 0;  ///< view sweep via StageCache
+  double reduction = 0.0;          ///< copy_bytes / max(view_bytes, 1)
+  bool results_equal = false;      ///< sweep == per-case run(), bitwise
+};
+
+struct HallData {
+  timeseries::MultiTrace trace;
+  hvac::Schedule schedule;
+  core::DataSplit split;
+  std::vector<timeseries::ChannelId> sensor_ids;
+  std::vector<timeseries::ChannelId> input_ids;
+  std::vector<timeseries::ChannelId> thermostat_ids;
+};
+
+/// Deterministic `sensor_count`-sensor hall on the synthetic grid plan:
+/// two thermal zones split at mid-depth, per-sensor phase/offset from the
+/// floor position, sparse deterministic NaN gaps, and an [h; o; l; w]
+/// input block driven by the schedule.
+HallData make_synthetic_hall(std::size_t sensor_count, std::size_t days) {
+  const auto plan = sim::FloorPlan::synthetic_grid(sensor_count);
+  std::vector<timeseries::ChannelId> sensor_ids, thermostat_ids;
+  std::vector<sim::Position> sites;
+  for (const auto& s : plan.sensors()) {
+    if (s.is_thermostat) {
+      thermostat_ids.push_back(s.id);
+      continue;
+    }
+    sensor_ids.push_back(s.id);
+    sites.push_back(s.position);
+  }
+  const std::vector<timeseries::ChannelId> input_ids{2001, 2002, 2003, 2004};
+  std::vector<timeseries::ChannelId> all = sensor_ids;
+  all.insert(all.end(), thermostat_ids.begin(), thermostat_ids.end());
+  all.insert(all.end(), input_ids.begin(), input_ids.end());
+
+  constexpr std::size_t kPerDay = 48;  // 30-minute samples
+  const std::size_t rows = days * kPerDay;
+  timeseries::MultiTrace trace(timeseries::TimeGrid(0, 30, rows), all);
+  const hvac::Schedule schedule;
+  for (std::size_t k = 0; k < rows; ++k) {
+    const double day_phase =
+        2.0 * M_PI * static_cast<double>(k % kPerDay) / kPerDay;
+    const bool on = schedule.occupied_at(trace.grid().at(k));
+    for (std::size_t c = 0; c < sensor_ids.size(); ++c) {
+      // Every 8th sensor drops three mid-day samples per day — gaps in
+      // the occupied window, but few enough rows that every day stays
+      // usable for split_dataset at any hall size.
+      if (c % 8 == 0 && k % kPerDay == 13 + 2 * (c % 3)) continue;
+      const double zone = sites[c].y < 0.5 * plan.depth() ? 1.0 : -1.0;
+      const double v = 21.0 + 2.0 * zone * std::sin(day_phase) +
+                       0.05 * sites[c].x +
+                       0.01 * std::sin(day_phase * 3.0 + 0.1 * c);
+      trace.set(k, c, v);
+    }
+    std::size_t base = sensor_ids.size();
+    for (std::size_t t = 0; t < thermostat_ids.size(); ++t) {
+      trace.set(k, base + t, 21.5 + 1.5 * std::sin(day_phase + 0.2 * t));
+    }
+    base += thermostat_ids.size();
+    trace.set(k, base + 0, 18.0 + 0.5 * std::sin(day_phase));       // h
+    trace.set(k, base + 1, on ? 60.0 : 0.0);                        // o
+    trace.set(k, base + 2, on ? 0.4 : 0.1);                         // l
+    trace.set(k, base + 3, 10.0 + 5.0 * std::sin(day_phase / 7.0)); // w
+  }
+  auto split = core::split_dataset(trace, all, schedule,
+                                   hvac::Mode::kOccupied);
+  return {std::move(trace),     schedule, std::move(split),
+          std::move(sensor_ids), input_ids, std::move(thermostat_ids)};
+}
+
+std::uint64_t sample_bytes_copied(const obs::Recorder& recorder) {
+  for (const auto& [name, value] : recorder.metrics().snapshot().counters) {
+    if (name == "timeseries.bytes_copied") return value;
+  }
+  return 0;
+}
+
+const std::vector<core::SweepCase>& hall_cases() {
+  // A seed sweep like the paper's tables: deterministic SMS/GP cases plus
+  // the random strategies at three seeds each.
+  static const std::vector<core::SweepCase> cases{
+      {core::SelectionStrategy::kStratifiedNearMean, 7},
+      {core::SelectionStrategy::kStratifiedRandom, 1},
+      {core::SelectionStrategy::kStratifiedRandom, 2},
+      {core::SelectionStrategy::kStratifiedRandom, 3},
+      {core::SelectionStrategy::kSimpleRandom, 1},
+      {core::SelectionStrategy::kSimpleRandom, 2},
+      {core::SelectionStrategy::kSimpleRandom, 3},
+      {core::SelectionStrategy::kThermostats, 7},
+  };
+  return cases;
+}
+
+/// Replay the sample copies the pre-TraceView data path performed for a
+/// per-case sweep: each case materialized the training rows
+/// (filter_rows) and the similarity stage's channel subset
+/// (select_channels). GP cases added two more sensor-width copies; this
+/// sweep draws none, so the replay *under*-counts the legacy traffic.
+/// Returns the byte count, and checks the materialized training keys
+/// identically to the zero-copy view of the same rows.
+std::uint64_t legacy_copy_replay(const HallData& hall, std::size_t cases,
+                                 bool& training_identical) {
+  const auto mask = core::and_masks(
+      hall.split.train_mask,
+      hall.schedule.mode_mask(hall.trace.grid(), hvac::Mode::kOccupied));
+  obs::Recorder recorder;
+  obs::RecorderScope scope(&recorder);
+  for (std::size_t i = 0; i < cases; ++i) {
+    const auto training = hall.trace.filter_rows(mask);
+    benchmark::DoNotOptimize(training.select_channels(hall.sensor_ids));
+    if (i == 0) {
+      training_identical =
+          core::trace_fingerprint(training) ==
+          core::trace_fingerprint(
+              timeseries::TraceView(hall.trace).filter_rows(mask));
+    }
+  }
+  return sample_bytes_copied(recorder);
+}
+
+std::vector<HallSweep> copy_vs_view_report() {
+  std::printf("\n----------------------------------------------------------\n");
+  std::printf("Copy-path vs view-path sample traffic (synthetic halls,\n");
+  std::printf("8-case sweep; bytes from the timeseries.bytes_copied\n");
+  std::printf("counter%s)\n",
+              obs::kCompiledIn ? "" : " — observability compiled OUT");
+  std::printf("----------------------------------------------------------\n");
+  std::printf("%8s %6s %14s %13s %12s %10s %8s\n", "sensors", "rows",
+              "copy_bytes", "view_percase", "view_sweep", "reduction",
+              "bitwise");
+
+  std::vector<HallSweep> report;
+  for (const std::size_t sensors : {std::size_t{128}, std::size_t{512}}) {
+    const auto hall = make_synthetic_hall(sensors, 10);
+    HallSweep entry;
+    entry.sensors = sensors;
+    entry.rows = hall.trace.size();
+
+    core::PipelineConfig base;
+    base.threads = 1;
+    core::RunOptions plain;
+    plain.thermostat_ids = hall.thermostat_ids;
+
+    // View-path sweep (run_strategy_sweep's sweep-local cache stores one
+    // materialized training copy — the only sample bytes left moving).
+    std::vector<core::PipelineResult> sweep;
+    {
+      obs::Recorder recorder;
+      obs::RecorderScope scope(&recorder);
+      sweep = core::run_strategy_sweep(base, hall_cases(), hall.trace,
+                                       hall.schedule, hall.split,
+                                       hall.sensor_ids, hall.input_ids, plain);
+      entry.view_cached_bytes = sample_bytes_copied(recorder);
+    }
+
+    bool training_identical = false;
+    entry.copy_bytes =
+        legacy_copy_replay(hall, hall_cases().size(), training_identical);
+
+    // Per-case standalone runs: pure zero-copy views end to end. They
+    // double as the equality check — the sweep must match them bit for
+    // bit.
+    bool equal = training_identical;
+    {
+      obs::Recorder recorder;
+      obs::RecorderScope scope(&recorder);
+      for (std::size_t i = 0; i < hall_cases().size(); ++i) {
+        core::PipelineConfig config = base;
+        config.strategy = hall_cases()[i].strategy;
+        config.selection_seed = hall_cases()[i].seed;
+        const core::ThermalModelingPipeline pipeline(config);
+        const auto single =
+            pipeline.run(hall.trace, hall.schedule, hall.split,
+                         hall.sensor_ids, hall.input_ids, plain);
+        equal = equal && results_bitwise_equal(sweep[i], single);
+      }
+      entry.view_bytes = sample_bytes_copied(recorder);
+    }
+    entry.results_equal = equal;
+    // Conservative reduction: legacy traffic over the *larger* of the two
+    // view-path measurements (the sweep's single cache-owned copy).
+    const std::uint64_t view_worst =
+        std::max(entry.view_bytes, entry.view_cached_bytes);
+    entry.reduction = static_cast<double>(entry.copy_bytes) /
+                      static_cast<double>(view_worst > 0 ? view_worst : 1);
+
+    std::printf("%8zu %6zu %14llu %13llu %12llu %9.1fx %8s\n", entry.sensors,
+                entry.rows, static_cast<unsigned long long>(entry.copy_bytes),
+                static_cast<unsigned long long>(entry.view_bytes),
+                static_cast<unsigned long long>(entry.view_cached_bytes),
+                entry.reduction, entry.results_equal ? "yes" : "NO");
+    report.push_back(entry);
+  }
+  return report;
+}
+
 void speedup_report() {
   const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
   const auto reference = run_pipeline_at(1);
@@ -326,6 +534,23 @@ void speedup_report() {
                  pipeline_ms[0] / pipeline_ms[i], uncached_ms[i], cached_ms[i],
                  uncached_ms[i] / cached_ms[i], bitwise[i] ? "true" : "false",
                  i + 1 < thread_counts.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"copy_vs_view\": [\n");
+  const auto halls = copy_vs_view_report();
+  for (std::size_t i = 0; i < halls.size(); ++i) {
+    const auto& h = halls[i];
+    std::fprintf(json,
+                 "    {\"sensors\": %zu, \"rows\": %zu, "
+                 "\"copy_path_bytes\": %llu, \"view_percase_bytes\": %llu, "
+                 "\"view_sweep_bytes\": %llu, \"reduction_x\": %.1f, "
+                 "\"results_identical\": %s}%s\n",
+                 h.sensors, h.rows,
+                 static_cast<unsigned long long>(h.copy_bytes),
+                 static_cast<unsigned long long>(h.view_bytes),
+                 static_cast<unsigned long long>(h.view_cached_bytes),
+                 h.reduction, h.results_equal ? "true" : "false",
+                 i + 1 < halls.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

@@ -57,7 +57,7 @@ int main() {
   // view / similarity graph / clustering come from the shared stage cache.
   core::StageCache cache;
   const auto art = bench::prepare_stages(dataset, split, cache);
-  const auto& training = *art.training;
+  const timeseries::TraceView& training = art.training;
   const auto& clusters = *art.clusters;
   std::printf("clusters found by eigengap: %zu\n", clusters.size());
 

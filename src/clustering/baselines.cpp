@@ -8,7 +8,7 @@
 namespace auditherm::clustering {
 
 ClusteringResult kmeans_trace_cluster(
-    const timeseries::MultiTrace& trace,
+    const timeseries::TraceView& trace,
     const std::vector<timeseries::ChannelId>& channels, std::size_t k,
     const KMeansOptions& options) {
   if (channels.empty()) {

@@ -20,7 +20,7 @@ namespace auditherm::clustering {
 /// signal space rather than on the graph spectrum. Throws
 /// std::invalid_argument on empty channels or k outside [1, #channels].
 [[nodiscard]] ClusteringResult kmeans_trace_cluster(
-    const timeseries::MultiTrace& trace,
+    const timeseries::TraceView& trace,
     const std::vector<timeseries::ChannelId>& channels, std::size_t k,
     const KMeansOptions& options = {});
 

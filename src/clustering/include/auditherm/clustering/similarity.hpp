@@ -55,7 +55,7 @@ struct SimilarityGraph {
 /// channel is missing from the trace, std::runtime_error when some pair
 /// shares no valid samples (no similarity is defined).
 [[nodiscard]] SimilarityGraph build_similarity_graph(
-    const timeseries::MultiTrace& trace,
+    const timeseries::TraceView& trace,
     const std::vector<timeseries::ChannelId>& channels,
     const SimilarityOptions& options = {});
 

@@ -9,7 +9,7 @@
 namespace auditherm::clustering {
 
 SimilarityGraph build_similarity_graph(
-    const timeseries::MultiTrace& trace,
+    const timeseries::TraceView& trace,
     const std::vector<timeseries::ChannelId>& channels,
     const SimilarityOptions& options) {
   if (channels.size() < 2) {

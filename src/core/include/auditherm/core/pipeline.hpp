@@ -69,8 +69,16 @@ inline constexpr std::string_view kWindows = "evaluation_windows";
 /// Obtained from ThermalModelingPipeline::prepare(); fields are shared
 /// pointers so cache hits alias the stored artifacts without copying.
 struct StageArtifacts {
-  /// Training days in the configured mode, rows reindexed.
-  std::shared_ptr<const timeseries::MultiTrace> training;
+  /// Training days in the configured mode, rows reindexed — a zero-copy
+  /// view. On the uncached path it views the caller's source trace (the
+  /// artifacts must not outlive it); on the cached path it views the
+  /// materialized copy owned by `training_store`. Either way every
+  /// consumer reads identical bits.
+  timeseries::TraceView training;
+  /// Owns the materialized training trace when a StageCache is in play
+  /// (cache entries must outlive the source trace); null on the zero-copy
+  /// uncached path.
+  std::shared_ptr<const timeseries::MultiTrace> training_store;
   std::shared_ptr<const clustering::SimilarityGraph> graph;
   /// Laplacian eigendecomposition of the graph (reused across cluster
   /// counts — only the cheap k-means embedding depends on k).
@@ -144,38 +152,6 @@ class ThermalModelingPipeline {
       const std::vector<timeseries::ChannelId>& input_ids,
       const RunOptions& options) const;
 
-  /// \deprecated Forwarder for the pre-RunOptions signature; use
-  /// run(trace, schedule, split, sensor_ids, input_ids, RunOptions{...}).
-  [[deprecated(
-      "pass a RunOptions instead (thermostat_ids field)")]] [[nodiscard]]
-  PipelineResult run(
-      const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
-      const DataSplit& split,
-      const std::vector<timeseries::ChannelId>& sensor_ids,
-      const std::vector<timeseries::ChannelId>& input_ids,
-      const std::vector<timeseries::ChannelId>& thermostat_ids = {}) const {
-    RunOptions options;
-    options.thermostat_ids = thermostat_ids;
-    return run(trace, schedule, split, sensor_ids, input_ids, options);
-  }
-
-  /// \deprecated Forwarder for the pre-RunOptions cached signature; use
-  /// RunOptions{.thermostat_ids = ..., .cache = &cache}.
-  [[deprecated(
-      "pass a RunOptions instead (cache field)")]] [[nodiscard]]
-  PipelineResult run(
-      const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
-      const DataSplit& split,
-      const std::vector<timeseries::ChannelId>& sensor_ids,
-      const std::vector<timeseries::ChannelId>& input_ids,
-      const std::vector<timeseries::ChannelId>& thermostat_ids,
-      StageCache& cache) const {
-    RunOptions options;
-    options.thermostat_ids = thermostat_ids;
-    options.cache = &cache;
-    return run(trace, schedule, split, sensor_ids, input_ids, options);
-  }
-
   /// Build (or fetch, when `cache` is non-null) the Step-1 artifacts:
   /// training view, similarity graph, spectrum, clustering, cluster sets,
   /// evaluation windows, and measured cluster means. Strategy and seed do
@@ -230,30 +206,12 @@ struct SweepCase {
     const std::vector<timeseries::ChannelId>& input_ids,
     const RunOptions& options);
 
-/// \deprecated Forwarder for the pre-RunOptions signature; use the
-/// RunOptions overload (thermostat_ids / cache fields).
-[[deprecated("pass a RunOptions instead")]] [[nodiscard]] inline
-std::vector<PipelineResult> run_strategy_sweep(
-    const PipelineConfig& base, const std::vector<SweepCase>& cases,
-    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
-    const DataSplit& split,
-    const std::vector<timeseries::ChannelId>& sensor_ids,
-    const std::vector<timeseries::ChannelId>& input_ids,
-    const std::vector<timeseries::ChannelId>& thermostat_ids = {},
-    StageCache* cache = nullptr) {
-  RunOptions options;
-  options.thermostat_ids = thermostat_ids;
-  options.cache = cache;
-  return run_strategy_sweep(base, cases, trace, schedule, split, sensor_ids,
-                            input_ids, options);
-}
-
 /// Evaluate a reduced model's cluster-mean predictions (Fig. 11 metric):
 /// simulate the model over each window, average the predicted selected
 /// sensors per cluster, and compare against the measured all-sensor
 /// cluster mean wherever it exists.
 [[nodiscard]] selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
-    const sysid::ThermalModel& model, const timeseries::MultiTrace& trace,
+    const sysid::ThermalModel& model, const timeseries::TraceView& trace,
     const selection::ClusterSets& clusters,
     const selection::Selection& selection,
     const std::vector<timeseries::Segment>& windows,
@@ -264,7 +222,7 @@ std::vector<PipelineResult> run_strategy_sweep(
 /// computes them once). `cluster_means[c]` must be row-aligned with
 /// `trace`; throws std::invalid_argument on count mismatch.
 [[nodiscard]] selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
-    const sysid::ThermalModel& model, const timeseries::MultiTrace& trace,
+    const sysid::ThermalModel& model, const timeseries::TraceView& trace,
     const selection::ClusterSets& clusters,
     const selection::Selection& selection,
     const std::vector<timeseries::Segment>& windows,

@@ -77,9 +77,12 @@ class StageKeyHasher {
 
 /// Structural fingerprint of a trace: grid, channel ids, and all sample
 /// bits. O(rows x channels) but pure streaming arithmetic — microseconds
-/// against the milliseconds-to-seconds stages it guards.
+/// against the milliseconds-to-seconds stages it guards. Takes a view and
+/// hashes the *viewed* content, so a zero-copy subset keys identically to
+/// the materialized trace it is equivalent to (a MultiTrace converts
+/// implicitly and keys exactly as before).
 [[nodiscard]] std::uint64_t trace_fingerprint(
-    const timeseries::MultiTrace& trace);
+    const timeseries::TraceView& trace);
 
 /// Hit/miss counters for one stage (or the cache-wide totals). Backed by
 /// the cache's own obs::MetricsRegistry (`stage_cache.hit.<stage>` /

@@ -109,14 +109,28 @@ StageArtifacts ThermalModelingPipeline::prepare(
   const std::uint64_t fp = trace_fingerprint(trace);
 
   // --- Training view: train days in mode, rows reindexed. ----------------
+  // Uncached, this is a pure index mapping over the caller's trace — no
+  // samples are copied and the artifacts borrow the trace's lifetime.
+  // Cached, the view must outlive the caller, so the cache stores a
+  // materialized copy (built by the same filter, so identical bits) and
+  // the view reads that.
   StageKeyHasher train_h;
   train_h.add(fp);
   train_h.add(split.train_mask);
   train_h.add(mode_mask);
   const std::uint64_t train_key = train_h.value();
-  art.training = run_stage(stage::kTrainingView, train_key, [&] {
-    return trace.filter_rows(art.train_mode_mask);
-  });
+  {
+    obs::TraceSpan stage_span(stage_span_name(stage::kTrainingView));
+    if (cache != nullptr) {
+      art.training_store = cache->get_or_build<timeseries::MultiTrace>(
+          stage::kTrainingView, train_key,
+          [&] { return trace.filter_rows(art.train_mode_mask); });
+      art.training = timeseries::TraceView(*art.training_store);
+    } else {
+      art.training =
+          timeseries::TraceView(trace).filter_rows(art.train_mode_mask);
+    }
+  }
 
   // --- Similarity graph over the dense network. --------------------------
   StageKeyHasher graph_h;
@@ -125,7 +139,7 @@ StageArtifacts ThermalModelingPipeline::prepare(
   add_similarity_options(graph_h, config_.similarity);
   const std::uint64_t graph_key = graph_h.value();
   art.graph = run_stage(stage::kSimilarityGraph, graph_key, [&] {
-    return clustering::build_similarity_graph(*art.training, sensor_ids,
+    return clustering::build_similarity_graph(art.training, sensor_ids,
                                               config_.similarity);
   });
 
@@ -201,7 +215,7 @@ PipelineResult ThermalModelingPipeline::run_from(
     const std::vector<ChannelId>& input_ids,
     const std::vector<ChannelId>& thermostat_ids) const {
   const ThreadCountScope thread_scope(config_.threads);
-  const auto& training = *artifacts.training;
+  const timeseries::TraceView& training = artifacts.training;
   const auto& clusters = *artifacts.clusters;
 
   PipelineResult result;
@@ -293,7 +307,7 @@ PipelineResult ThermalModelingPipeline::run(
 }
 
 selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
-    const sysid::ThermalModel& model, const timeseries::MultiTrace& trace,
+    const sysid::ThermalModel& model, const timeseries::TraceView& trace,
     const selection::ClusterSets& clusters,
     const selection::Selection& selection,
     const std::vector<timeseries::Segment>& windows,
@@ -309,7 +323,7 @@ selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
 }
 
 selection::ClusterMeanErrors evaluate_reduced_model_cluster_mean(
-    const sysid::ThermalModel& model, const timeseries::MultiTrace& trace,
+    const sysid::ThermalModel& model, const timeseries::TraceView& trace,
     const selection::ClusterSets& clusters,
     const selection::Selection& selection,
     const std::vector<timeseries::Segment>& windows,

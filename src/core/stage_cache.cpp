@@ -74,7 +74,7 @@ void StageKeyHasher::add(const std::vector<int>& v) noexcept {
   for (int x : v) add(static_cast<std::uint64_t>(static_cast<std::int64_t>(x)));
 }
 
-std::uint64_t trace_fingerprint(const timeseries::MultiTrace& trace) {
+std::uint64_t trace_fingerprint(const timeseries::TraceView& trace) {
   StageKeyHasher h;
   h.add(trace.grid().start());
   h.add(trace.grid().step());

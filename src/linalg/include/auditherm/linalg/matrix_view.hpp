@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file matrix_view.hpp
+/// Non-owning strided views over dense row-major data.
+///
+/// A MatrixView (and its one-dimensional sibling VectorView) references
+/// someone else's storage — typically a Matrix, or a rectangular window of
+/// one — without copying it. Views carry a row stride, so a column slice,
+/// a row slice, or a view into a wider parent matrix all read through the
+/// same two indices. They are the substrate for timeseries::TraceView:
+/// every trace subset the pipeline used to materialize now reads through
+/// one of these.
+///
+/// Lifetime: a view never owns. It is valid exactly as long as the viewed
+/// storage is alive and unmodified in shape; the viewer is responsible for
+/// that (see DESIGN.md §"View ownership and lifetime").
+
+#include <cstddef>
+
+#include "auditherm/linalg/matrix.hpp"
+
+namespace auditherm::linalg {
+
+/// Non-owning strided view of `size` doubles spaced `stride` apart.
+class VectorView {
+ public:
+  constexpr VectorView() = default;
+  constexpr VectorView(const double* data, std::size_t size,
+                       std::size_t stride = 1) noexcept
+      : data_(data), size_(size), stride_(stride) {}
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] constexpr std::size_t stride() const noexcept {
+    return stride_;
+  }
+
+  /// Unchecked element access.
+  [[nodiscard]] constexpr double operator[](std::size_t i) const noexcept {
+    return data_[i * stride_];
+  }
+
+  /// Materialize into an owning Vector.
+  [[nodiscard]] Vector to_vector() const {
+    Vector out(size_);
+    for (std::size_t i = 0; i < size_; ++i) out[i] = (*this)[i];
+    return out;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t stride_ = 1;
+};
+
+/// Non-owning rows x cols view over row-major storage whose physical row
+/// pitch is `row_stride` (>= cols; equal for a whole-matrix view).
+class MatrixView {
+ public:
+  constexpr MatrixView() = default;
+
+  /// View of an entire Matrix. Implicit on purpose: any Matrix reads as a
+  /// view wherever one is expected.
+  MatrixView(const Matrix& m) noexcept  // NOLINT(google-explicit-constructor)
+      : data_(m.data().data()),
+        rows_(m.rows()),
+        cols_(m.cols()),
+        row_stride_(m.cols()) {}
+
+  constexpr MatrixView(const double* data, std::size_t rows, std::size_t cols,
+                       std::size_t row_stride) noexcept
+      : data_(data), rows_(rows), cols_(cols), row_stride_(row_stride) {}
+
+  [[nodiscard]] constexpr std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] constexpr std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] constexpr std::size_t row_stride() const noexcept {
+    return row_stride_;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return rows_ == 0 || cols_ == 0;
+  }
+
+  /// Unchecked element access.
+  [[nodiscard]] constexpr double operator()(std::size_t i,
+                                            std::size_t j) const noexcept {
+    return data_[i * row_stride_ + j];
+  }
+
+  /// Row i as a contiguous VectorView.
+  [[nodiscard]] constexpr VectorView row_view(std::size_t i) const noexcept {
+    return {data_ + i * row_stride_, cols_, 1};
+  }
+
+  /// Column j as a strided VectorView.
+  [[nodiscard]] constexpr VectorView col_view(std::size_t j) const noexcept {
+    return {data_ + j, rows_, row_stride_};
+  }
+
+  /// View of the sub-block rows [r0, r0+nr) x cols [c0, c0+nc); the caller
+  /// guarantees the block fits.
+  [[nodiscard]] constexpr MatrixView block_view(
+      std::size_t r0, std::size_t c0, std::size_t nr,
+      std::size_t nc) const noexcept {
+    return {data_ + r0 * row_stride_ + c0, nr, nc, row_stride_};
+  }
+
+  /// Materialize into an owning Matrix.
+  [[nodiscard]] Matrix to_matrix() const {
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) out(i, j) = (*this)(i, j);
+    }
+    return out;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t row_stride_ = 0;
+};
+
+}  // namespace auditherm::linalg

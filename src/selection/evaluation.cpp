@@ -32,7 +32,7 @@ double ClusterMeanErrors::rms() const {
 }
 
 ClusterMeanErrors evaluate_cluster_mean_prediction(
-    const timeseries::MultiTrace& validation, const ClusterSets& clusters,
+    const timeseries::TraceView& validation, const ClusterSets& clusters,
     const Selection& selection) {
   if (selection.per_cluster.size() != clusters.size()) {
     throw std::invalid_argument(

@@ -31,7 +31,7 @@ double conditional_variance(const linalg::Matrix& k, std::size_t y,
 }  // namespace
 
 std::vector<timeseries::ChannelId> gp_mutual_information_selection(
-    const timeseries::MultiTrace& training,
+    const timeseries::TraceView& training,
     const std::vector<timeseries::ChannelId>& candidates, std::size_t count,
     const GpPlacementOptions& options) {
   if (count == 0 || count > candidates.size()) {

@@ -39,7 +39,7 @@ struct ClusterMeanErrors {
 /// Throws std::invalid_argument when the selection's cluster count does
 /// not match `clusters`.
 [[nodiscard]] ClusterMeanErrors evaluate_cluster_mean_prediction(
-    const timeseries::MultiTrace& validation, const ClusterSets& clusters,
+    const timeseries::TraceView& validation, const ClusterSets& clusters,
     const Selection& selection);
 
 }  // namespace auditherm::selection

@@ -30,7 +30,7 @@ struct GpPlacementOptions {
 /// std::domain_error when the (jittered) covariance is not positive
 /// definite.
 [[nodiscard]] std::vector<timeseries::ChannelId> gp_mutual_information_selection(
-    const timeseries::MultiTrace& training,
+    const timeseries::TraceView& training,
     const std::vector<timeseries::ChannelId>& candidates, std::size_t count,
     const GpPlacementOptions& options = {});
 

@@ -35,7 +35,7 @@ struct Selection {
 /// Throws std::invalid_argument on empty clusters or per_cluster == 0;
 /// clusters smaller than per_cluster contribute all their sensors.
 [[nodiscard]] Selection stratified_near_mean(
-    const timeseries::MultiTrace& training, const ClusterSets& clusters,
+    const timeseries::TraceView& training, const ClusterSets& clusters,
     std::size_t per_cluster = 1);
 
 /// SRS: uniform random draw (without replacement) inside each cluster.
@@ -48,7 +48,7 @@ struct Selection {
 /// best match against the cluster-mean training traces (the paper's
 /// baseline: the draw may still land every sensor in one physical zone,
 /// which is what makes RS lose).
-[[nodiscard]] Selection simple_random(const timeseries::MultiTrace& training,
+[[nodiscard]] Selection simple_random(const timeseries::TraceView& training,
                                       const ClusterSets& clusters,
                                       std::uint64_t seed,
                                       std::size_t per_cluster = 1);
@@ -66,7 +66,7 @@ struct Selection {
 /// that are left over after every cluster has `per_cluster` members are
 /// dropped.
 [[nodiscard]] Selection assign_to_clusters(
-    const timeseries::MultiTrace& training, const ClusterSets& clusters,
+    const timeseries::TraceView& training, const ClusterSets& clusters,
     const std::vector<timeseries::ChannelId>& chosen,
     std::size_t per_cluster = 1);
 

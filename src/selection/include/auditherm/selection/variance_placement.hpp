@@ -21,7 +21,7 @@ namespace auditherm::selection {
 /// it). Throws std::invalid_argument when count is outside
 /// [1, #candidates].
 [[nodiscard]] std::vector<timeseries::ChannelId> max_variance_selection(
-    const timeseries::MultiTrace& training,
+    const timeseries::TraceView& training,
     const std::vector<timeseries::ChannelId>& candidates, std::size_t count,
     double redundancy_cap = 0.97);
 

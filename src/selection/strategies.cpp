@@ -26,7 +26,7 @@ void validate(const ClusterSets& clusters, std::size_t per_cluster) {
 
 /// RMS distance between a channel and the mean trace of a cluster, over
 /// rows where both are defined.
-double distance_to_cluster_mean(const timeseries::MultiTrace& trace,
+double distance_to_cluster_mean(const timeseries::TraceView& trace,
                                 ChannelId id,
                                 const linalg::Vector& mean_series) {
   const std::size_t col = trace.require_channel(id);
@@ -50,7 +50,7 @@ std::vector<ChannelId> Selection::flattened() const {
   return out;
 }
 
-Selection stratified_near_mean(const timeseries::MultiTrace& training,
+Selection stratified_near_mean(const timeseries::TraceView& training,
                                const ClusterSets& clusters,
                                std::size_t per_cluster) {
   validate(clusters, per_cluster);
@@ -89,7 +89,7 @@ Selection stratified_random(const ClusterSets& clusters, std::uint64_t seed,
   return sel;
 }
 
-Selection simple_random(const timeseries::MultiTrace& training,
+Selection simple_random(const timeseries::TraceView& training,
                         const ClusterSets& clusters, std::uint64_t seed,
                         std::size_t per_cluster) {
   validate(clusters, per_cluster);
@@ -119,7 +119,7 @@ Selection thermostat_baseline(const std::vector<ChannelId>& thermostat_ids,
   return sel;
 }
 
-Selection assign_to_clusters(const timeseries::MultiTrace& training,
+Selection assign_to_clusters(const timeseries::TraceView& training,
                              const ClusterSets& clusters,
                              const std::vector<ChannelId>& chosen,
                              std::size_t per_cluster) {

@@ -9,7 +9,7 @@
 namespace auditherm::selection {
 
 std::vector<timeseries::ChannelId> max_variance_selection(
-    const timeseries::MultiTrace& training,
+    const timeseries::TraceView& training,
     const std::vector<timeseries::ChannelId>& candidates, std::size_t count,
     double redundancy_cap) {
   if (count == 0 || count > candidates.size()) {

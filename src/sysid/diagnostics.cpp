@@ -16,7 +16,7 @@ std::size_t history_rows(ModelOrder order) {
 }  // namespace
 
 FitDiagnostics diagnose_fit(const ThermalModel& model,
-                            const timeseries::MultiTrace& trace,
+                            const timeseries::TraceView& trace,
                             const std::vector<bool>& row_filter) {
   const std::size_t p = model.state_count();
   const std::size_t q = model.input_count();
@@ -99,7 +99,7 @@ FitDiagnostics diagnose_fit(const ThermalModel& model,
 OrderComparison compare_orders(
     const std::vector<timeseries::ChannelId>& state_ids,
     const std::vector<timeseries::ChannelId>& input_ids,
-    const timeseries::MultiTrace& trace, const std::vector<bool>& row_filter,
+    const timeseries::TraceView& trace, const std::vector<bool>& row_filter,
     const EstimationOptions& options) {
   // Score both orders on second-order-usable transitions so the
   // information criteria see the same data.

@@ -39,7 +39,7 @@ ModelEstimator::ModelEstimator(std::vector<timeseries::ChannelId> state_ids,
 }
 
 std::vector<Segment> ModelEstimator::usable_segments(
-    const timeseries::MultiTrace& trace,
+    const timeseries::TraceView& trace,
     const std::vector<bool>& row_filter) const {
   std::vector<timeseries::ChannelId> required = state_ids_;
   required.insert(required.end(), input_ids_.begin(), input_ids_.end());
@@ -56,7 +56,7 @@ std::vector<Segment> ModelEstimator::usable_segments(
 }
 
 RegressionSummary ModelEstimator::summarize(
-    const timeseries::MultiTrace& trace,
+    const timeseries::TraceView& trace,
     const std::vector<bool>& row_filter) const {
   const auto segments = usable_segments(trace, row_filter);
   RegressionSummary s;
@@ -68,7 +68,7 @@ RegressionSummary ModelEstimator::summarize(
   return s;
 }
 
-ThermalModel ModelEstimator::fit(const timeseries::MultiTrace& trace,
+ThermalModel ModelEstimator::fit(const timeseries::TraceView& trace,
                                  const std::vector<bool>& row_filter) const {
   obs::TraceSpan fit_span("sysid.fit");
   static const obs::MetricId kFitTransitions =

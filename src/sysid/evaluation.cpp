@@ -45,7 +45,7 @@ linalg::Vector PredictionEvaluation::channel_abs_percentile(double p) const {
 }
 
 std::vector<Segment> mode_windows(
-    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+    const timeseries::TraceView& trace, const hvac::Schedule& schedule,
     hvac::Mode mode, const std::vector<timeseries::ChannelId>& required,
     std::size_t min_length) {
   auto mask = schedule.mode_mask(trace.grid(), mode);
@@ -59,7 +59,7 @@ std::vector<Segment> mode_windows(
 }
 
 std::optional<WindowPrediction> predict_window(
-    const ThermalModel& model, const timeseries::MultiTrace& trace,
+    const ThermalModel& model, const timeseries::TraceView& trace,
     const Segment& window, const EvaluationOptions& options) {
   const std::size_t p = model.state_count();
   const std::size_t q = model.input_count();
@@ -127,7 +127,7 @@ std::optional<WindowPrediction> predict_window(
 }
 
 PredictionEvaluation evaluate_prediction(
-    const ThermalModel& model, const timeseries::MultiTrace& trace,
+    const ThermalModel& model, const timeseries::TraceView& trace,
     const std::vector<Segment>& windows, const EvaluationOptions& options) {
   const std::size_t p = model.state_count();
   std::vector<std::size_t> state_cols(p);

@@ -38,7 +38,7 @@ struct FitDiagnostics {
 /// in-segment rows where every model channel is valid. Throws
 /// std::runtime_error when no transitions exist.
 [[nodiscard]] FitDiagnostics diagnose_fit(
-    const ThermalModel& model, const timeseries::MultiTrace& trace,
+    const ThermalModel& model, const timeseries::TraceView& trace,
     const std::vector<bool>& row_filter = {});
 
 /// Convenience: fit first- and second-order models on the same data and
@@ -55,7 +55,7 @@ struct OrderComparison {
 [[nodiscard]] OrderComparison compare_orders(
     const std::vector<timeseries::ChannelId>& state_ids,
     const std::vector<timeseries::ChannelId>& input_ids,
-    const timeseries::MultiTrace& trace,
+    const timeseries::TraceView& trace,
     const std::vector<bool>& row_filter = {},
     const EstimationOptions& options = {});
 

@@ -58,19 +58,19 @@ class ModelEstimator {
   /// occupied vs unoccupied); it must match trace.size().
   /// Throws std::runtime_error when fewer than min_transitions usable
   /// transitions exist.
-  [[nodiscard]] ThermalModel fit(const timeseries::MultiTrace& trace,
+  [[nodiscard]] ThermalModel fit(const timeseries::TraceView& trace,
                                  const std::vector<bool>& row_filter = {}) const;
 
   /// The regression dimensions fit() would use, without solving.
   [[nodiscard]] RegressionSummary summarize(
-      const timeseries::MultiTrace& trace,
+      const timeseries::TraceView& trace,
       const std::vector<bool>& row_filter = {}) const;
 
  private:
   /// Segments of rows where all required channels are valid and the filter
   /// passes, long enough to yield at least one transition.
   [[nodiscard]] std::vector<timeseries::Segment> usable_segments(
-      const timeseries::MultiTrace& trace,
+      const timeseries::TraceView& trace,
       const std::vector<bool>& row_filter) const;
 
   std::vector<timeseries::ChannelId> state_ids_;

@@ -67,7 +67,7 @@ struct EvaluationOptions {
 /// requested HVAC mode AND have every listed channel valid. The paper's
 /// daily occupied window (6:00-21:00) produces one run per clean day.
 [[nodiscard]] std::vector<timeseries::Segment> mode_windows(
-    const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
+    const timeseries::TraceView& trace, const hvac::Schedule& schedule,
     hvac::Mode mode, const std::vector<timeseries::ChannelId>& required,
     std::size_t min_length = 2);
 
@@ -78,13 +78,13 @@ struct EvaluationOptions {
 /// simulates with measured inputs. Returns std::nullopt when no valid
 /// start exists or fewer than options.min_steps steps fit.
 [[nodiscard]] std::optional<WindowPrediction> predict_window(
-    const ThermalModel& model, const timeseries::MultiTrace& trace,
+    const ThermalModel& model, const timeseries::TraceView& trace,
     const timeseries::Segment& window, const EvaluationOptions& options);
 
 /// Evaluate the model over many windows, comparing predictions against
 /// measurements wherever the measurement exists.
 [[nodiscard]] PredictionEvaluation evaluate_prediction(
-    const ThermalModel& model, const timeseries::MultiTrace& trace,
+    const ThermalModel& model, const timeseries::TraceView& trace,
     const std::vector<timeseries::Segment>& windows,
     const EvaluationOptions& options);
 

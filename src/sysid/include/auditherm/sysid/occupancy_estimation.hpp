@@ -40,7 +40,7 @@ class Co2OccupancyEstimator {
   /// occupancy label are valid at consecutive rows. Throws
   /// std::runtime_error with fewer than 32 usable transitions,
   /// std::invalid_argument when channels are missing.
-  void calibrate(const timeseries::MultiTrace& training);
+  void calibrate(const timeseries::TraceView& training);
 
   [[nodiscard]] bool calibrated() const noexcept { return calibrated_; }
 
@@ -57,7 +57,7 @@ class Co2OccupancyEstimator {
   /// (the derivative term is noisy at 30-minute sampling).
   /// Throws std::logic_error when not calibrated.
   [[nodiscard]] linalg::Vector estimate(
-      const timeseries::MultiTrace& trace) const;
+      const timeseries::TraceView& trace) const;
 
  private:
   Co2Channels channels_;
@@ -70,7 +70,7 @@ class Co2OccupancyEstimator {
 /// Mean absolute error between an occupancy estimate and the labeled
 /// channel over rows where both exist; NaN rows skipped. Throws
 /// std::runtime_error when no rows overlap.
-[[nodiscard]] double occupancy_mae(const timeseries::MultiTrace& trace,
+[[nodiscard]] double occupancy_mae(const timeseries::TraceView& trace,
                                    timeseries::ChannelId occupancy_channel,
                                    const linalg::Vector& estimate);
 

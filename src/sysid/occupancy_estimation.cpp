@@ -21,7 +21,7 @@ struct Co2Row {
   bool valid = false;
 };
 
-std::vector<Co2Row> build_rows(const timeseries::MultiTrace& trace,
+std::vector<Co2Row> build_rows(const timeseries::TraceView& trace,
                                const Co2Channels& channels) {
   const auto co2_col = trace.require_channel(channels.co2);
   std::vector<std::size_t> flow_cols;
@@ -56,7 +56,7 @@ std::vector<Co2Row> build_rows(const timeseries::MultiTrace& trace,
 Co2OccupancyEstimator::Co2OccupancyEstimator(Co2Channels channels)
     : channels_(std::move(channels)) {}
 
-void Co2OccupancyEstimator::calibrate(const timeseries::MultiTrace& training) {
+void Co2OccupancyEstimator::calibrate(const timeseries::TraceView& training) {
   const auto rows = build_rows(training, channels_);
   const auto occ_col = training.require_channel(channels_.occupancy);
 
@@ -91,7 +91,7 @@ void Co2OccupancyEstimator::calibrate(const timeseries::MultiTrace& training) {
 }
 
 linalg::Vector Co2OccupancyEstimator::estimate(
-    const timeseries::MultiTrace& trace) const {
+    const timeseries::TraceView& trace) const {
   if (!calibrated_) {
     throw std::logic_error("Co2OccupancyEstimator: calibrate() first");
   }
@@ -119,7 +119,7 @@ linalg::Vector Co2OccupancyEstimator::estimate(
   return smoothed;
 }
 
-double occupancy_mae(const timeseries::MultiTrace& trace,
+double occupancy_mae(const timeseries::TraceView& trace,
                      timeseries::ChannelId occupancy_channel,
                      const linalg::Vector& estimate) {
   if (estimate.size() != trace.size()) {

@@ -73,6 +73,12 @@ class MultiTrace {
 
   /// New trace restricted to the given channels (order preserved as given).
   /// Throws std::invalid_argument when a channel is absent.
+  ///
+  /// This and the row-subset siblings below MATERIALIZE: they deep-copy
+  /// the selected samples (counted in the `timeseries.bytes_copied`
+  /// counter). The read path should prefer the zero-copy TraceView
+  /// equivalents (trace_view.hpp); these remain as the escape hatch for
+  /// results that must outlive the source trace.
   [[nodiscard]] MultiTrace select_channels(
       const std::vector<ChannelId>& ids) const;
 
@@ -95,15 +101,9 @@ class MultiTrace {
   linalg::Matrix values_;
 };
 
-/// Row mask that is true where *all* listed channels are valid.
-/// With empty `ids`, all channels are required.
-[[nodiscard]] std::vector<bool> rows_with_all_valid(
-    const MultiTrace& trace, const std::vector<ChannelId>& ids = {});
-
-/// Per-row mean across the given channels, skipping missing samples;
-/// NaN when no channel is present in that row. With empty `ids`, averages
-/// all channels.
-[[nodiscard]] linalg::Vector row_mean(const MultiTrace& trace,
-                                      const std::vector<ChannelId>& ids = {});
-
 }  // namespace auditherm::timeseries
+
+// The zero-copy view over a MultiTrace, its implicit conversion, and the
+// rows_with_all_valid / row_mean free functions (which now take views)
+// ride along with this header so every existing includer keeps compiling.
+#include "auditherm/timeseries/trace_view.hpp"  // IWYU pragma: export

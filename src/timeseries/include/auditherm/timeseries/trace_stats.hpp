@@ -18,31 +18,31 @@ namespace auditherm::timeseries {
 /// fewer than 2 shared samples, or with a constant series, are 0; the
 /// diagonal is 1. Result is channel_count x channel_count, ordered as
 /// trace.channels().
-[[nodiscard]] linalg::Matrix correlation_matrix(const MultiTrace& trace);
+[[nodiscard]] linalg::Matrix correlation_matrix(const TraceView& trace);
 
 /// Sample covariance matrix between all channel pairs over pairwise-
 /// complete rows; entries with fewer than 2 shared samples are 0.
 /// The Gaussian-process sensor-placement baseline consumes this.
-[[nodiscard]] linalg::Matrix covariance_matrix(const MultiTrace& trace);
+[[nodiscard]] linalg::Matrix covariance_matrix(const TraceView& trace);
 
 /// Pairwise Euclidean distance between channel series over rows where both
 /// are valid, normalized by sqrt(#shared rows) so sparsely and densely
 /// covered pairs are comparable ("RMS distance"). Pairs with no shared
 /// rows get +inf.
-[[nodiscard]] linalg::Matrix rms_distance_matrix(const MultiTrace& trace);
+[[nodiscard]] linalg::Matrix rms_distance_matrix(const TraceView& trace);
 
 /// Per-channel mean over valid samples; NaN for channels with no samples.
-[[nodiscard]] linalg::Vector channel_means(const MultiTrace& trace);
+[[nodiscard]] linalg::Vector channel_means(const TraceView& trace);
 
 /// Max over shared-valid rows of |x_i(k) - x_j(k)| for a channel pair;
 /// the paper's intra-cluster "maximum temperature difference" metric.
 /// Returns NaN when the pair shares no rows.
-[[nodiscard]] double max_abs_difference(const MultiTrace& trace,
+[[nodiscard]] double max_abs_difference(const TraceView& trace,
                                         ChannelId a, ChannelId b);
 
 /// All pairwise max-abs-differences among `ids` (unordered pairs, NaN pairs
 /// skipped); the sample whose CDF the paper plots per cluster.
 [[nodiscard]] linalg::Vector pairwise_max_differences(
-    const MultiTrace& trace, const std::vector<ChannelId>& ids);
+    const TraceView& trace, const std::vector<ChannelId>& ids);
 
 }  // namespace auditherm::timeseries

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file trace_view.hpp
+/// Zero-copy view over a MultiTrace: a channel subset plus a row range or
+/// row mask, preserving TimeGrid semantics and the NaN-gap invariants.
+///
+/// The pipeline's evaluation repeatedly re-fits models and re-computes
+/// similarity over *subsets* of one trace — per strategy, per cluster, per
+/// mode — and every MultiTrace::select_channels / slice_rows / filter_rows
+/// call deep-copies the samples. A TraceView expresses the same subsets as
+/// an index mapping over the source matrix, so the whole read path
+/// (trace_stats, clustering, sysid, selection, the pipeline) consumes the
+/// data in place. Views compose: select_channels / slice_rows /
+/// filter_rows on a view return another view whose grid matches what the
+/// equivalent materialized chain would produce, bit for bit.
+///
+/// Ownership: a view never owns its samples. It is valid only while the
+/// MultiTrace it was built from is alive and unmodified in shape; anything
+/// that must outlive the source (a cache entry, a stored artifact) calls
+/// materialize(). See DESIGN.md §"View ownership and lifetime".
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "auditherm/linalg/matrix_view.hpp"
+#include "auditherm/timeseries/time_grid.hpp"
+
+namespace auditherm::timeseries {
+
+class MultiTrace;
+
+/// Identifier of a channel (same alias as multi_trace.hpp declares; the
+/// redeclaration keeps this header usable on its own).
+using ChannelId = int;
+
+/// Non-owning channel-subset + row-subset view of a MultiTrace.
+///
+/// Invariant: grid().size() == size(); channel ids are unique; value(k, c)
+/// reads exactly the source sample the equivalent materialized trace would
+/// hold at (k, c), so every consumer is bitwise identical on either.
+class TraceView {
+ public:
+  /// Empty view (0 rows, 0 channels).
+  TraceView() = default;
+
+  /// Whole-trace view. Implicit on purpose: every function taking a
+  /// `const TraceView&` keeps accepting a MultiTrace unchanged.
+  TraceView(const MultiTrace& trace);  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] const TimeGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] std::size_t size() const noexcept { return grid_.size(); }
+  [[nodiscard]] std::size_t channel_count() const noexcept {
+    return channels_.size();
+  }
+  [[nodiscard]] const std::vector<ChannelId>& channels() const noexcept {
+    return channels_;
+  }
+
+  /// Column index of a channel id; std::nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> channel_index(
+      ChannelId id) const noexcept;
+
+  /// Column index of a channel id; throws std::invalid_argument when
+  /// absent.
+  [[nodiscard]] std::size_t require_channel(ChannelId id) const;
+
+  /// Sample of view channel `c` at view row `k` (NaN when missing,
+  /// unchecked).
+  [[nodiscard]] double value(std::size_t k, std::size_t c) const noexcept {
+    return base_(source_row(k), cols_[c]);
+  }
+
+  /// True when the sample is present (not NaN).
+  [[nodiscard]] bool valid(std::size_t k, std::size_t c) const noexcept;
+
+  /// Source-trace row that view row `k` reads.
+  [[nodiscard]] std::size_t source_row(std::size_t k) const noexcept {
+    return rows_.empty() ? row_first_ + k : rows_[k];
+  }
+
+  /// View restricted to the given channels (order preserved as given);
+  /// still zero-copy. Throws std::invalid_argument when a channel is
+  /// absent or duplicated.
+  [[nodiscard]] TraceView select_channels(
+      const std::vector<ChannelId>& ids) const;
+
+  /// View restricted to view rows [first, last); the grid start advances
+  /// exactly as MultiTrace::slice_rows would move it. Throws
+  /// std::out_of_range when the range exceeds the view.
+  [[nodiscard]] TraceView slice_rows(std::size_t first,
+                                     std::size_t last) const;
+
+  /// View keeping only view rows where `keep[k]` is true; the grid is
+  /// reindexed (rows become contiguous) exactly as
+  /// MultiTrace::filter_rows would. Throws std::invalid_argument when
+  /// keep.size() != size().
+  [[nodiscard]] TraceView filter_rows(const std::vector<bool>& keep) const;
+
+  /// Fraction of present (non-NaN) samples over all view channels and
+  /// rows; 0.0 for degenerate views (0 rows and/or 0 channels).
+  [[nodiscard]] double coverage() const noexcept;
+
+  /// Deep-copy the viewed content into an owning MultiTrace — the escape
+  /// hatch for anything that must outlive the source trace (cache
+  /// entries, stored artifacts). Counts the copied samples in the
+  /// `timeseries.bytes_copied` counter like every materializing
+  /// MultiTrace API does.
+  [[nodiscard]] MultiTrace materialize() const;
+
+ private:
+  linalg::MatrixView base_;          ///< the source trace's value matrix
+  TimeGrid grid_;                    ///< the view's (reindexed) grid
+  std::vector<ChannelId> channels_;  ///< view channel ids, in view order
+  std::vector<std::size_t> cols_;    ///< view column -> source column
+  std::size_t row_first_ = 0;        ///< contiguous-row offset
+  std::vector<std::size_t> rows_;    ///< view row -> source row; empty =
+                                     ///< contiguous [row_first_, +size())
+};
+
+/// Row mask that is true where *all* listed channels are valid.
+/// With empty `ids`, all channels are required.
+[[nodiscard]] std::vector<bool> rows_with_all_valid(
+    const TraceView& trace, const std::vector<ChannelId>& ids = {});
+
+/// Per-row mean across the given channels, skipping missing samples;
+/// NaN when no channel is present in that row. With empty `ids`, averages
+/// all channels.
+[[nodiscard]] linalg::Vector row_mean(const TraceView& trace,
+                                      const std::vector<ChannelId>& ids = {});
+
+}  // namespace auditherm::timeseries

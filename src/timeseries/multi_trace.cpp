@@ -5,11 +5,23 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "auditherm/obs/trace_span.hpp"
+
 namespace auditherm::timeseries {
 
 namespace {
+
 constexpr double kGap = std::numeric_limits<double>::quiet_NaN();
+
+/// Every materializing API routes its copied sample count through here so
+/// the copy-vs-view benchmarks can read one counter.
+void note_bytes_copied(std::size_t samples) {
+  static const obs::MetricId kBytesCopied =
+      obs::counter_id("timeseries.bytes_copied");
+  obs::add_counter(kBytesCopied, samples * sizeof(double));
 }
+
+}  // namespace
 
 MultiTrace::MultiTrace(TimeGrid grid, std::vector<ChannelId> channels)
     : grid_(grid),
@@ -47,11 +59,13 @@ void MultiTrace::clear(std::size_t k, std::size_t c) noexcept {
 }
 
 linalg::Vector MultiTrace::channel_series(ChannelId id) const {
+  note_bytes_copied(size());
   return values_.col_vector(require_channel(id));
 }
 
 MultiTrace MultiTrace::select_channels(
     const std::vector<ChannelId>& ids) const {
+  note_bytes_copied(size() * ids.size());
   MultiTrace out(grid_, ids);
   for (std::size_t c = 0; c < ids.size(); ++c) {
     const std::size_t src = require_channel(ids[c]);
@@ -66,6 +80,7 @@ MultiTrace MultiTrace::slice_rows(std::size_t first, std::size_t last) const {
   if (first > last || last > size()) {
     throw std::out_of_range("MultiTrace::slice_rows");
   }
+  note_bytes_copied((last - first) * channel_count());
   TimeGrid g(grid_.start() + static_cast<Minutes>(first) * grid_.step(),
              grid_.step(), last - first);
   MultiTrace out(g, channels_);
@@ -83,6 +98,7 @@ MultiTrace MultiTrace::filter_rows(const std::vector<bool>& keep) const {
   }
   std::size_t n = 0;
   for (bool b : keep) n += b ? 1 : 0;
+  note_bytes_copied(n * channel_count());
   TimeGrid g(grid_.start(), grid_.step(), n);
   MultiTrace out(g, channels_);
   std::size_t row = 0;
@@ -102,53 +118,6 @@ double MultiTrace::coverage() const noexcept {
   std::size_t present = 0;
   for (double v : values_.data()) present += std::isnan(v) ? 0 : 1;
   return static_cast<double>(present) / static_cast<double>(total);
-}
-
-std::vector<bool> rows_with_all_valid(const MultiTrace& trace,
-                                      const std::vector<ChannelId>& ids) {
-  std::vector<std::size_t> cols;
-  if (ids.empty()) {
-    cols.resize(trace.channel_count());
-    for (std::size_t c = 0; c < cols.size(); ++c) cols[c] = c;
-  } else {
-    cols.reserve(ids.size());
-    for (ChannelId id : ids) cols.push_back(trace.require_channel(id));
-  }
-  std::vector<bool> mask(trace.size(), true);
-  for (std::size_t k = 0; k < trace.size(); ++k) {
-    for (std::size_t c : cols) {
-      if (!trace.valid(k, c)) {
-        mask[k] = false;
-        break;
-      }
-    }
-  }
-  return mask;
-}
-
-linalg::Vector row_mean(const MultiTrace& trace,
-                        const std::vector<ChannelId>& ids) {
-  std::vector<std::size_t> cols;
-  if (ids.empty()) {
-    cols.resize(trace.channel_count());
-    for (std::size_t c = 0; c < cols.size(); ++c) cols[c] = c;
-  } else {
-    cols.reserve(ids.size());
-    for (ChannelId id : ids) cols.push_back(trace.require_channel(id));
-  }
-  linalg::Vector out(trace.size(), std::numeric_limits<double>::quiet_NaN());
-  for (std::size_t k = 0; k < trace.size(); ++k) {
-    double s = 0.0;
-    std::size_t n = 0;
-    for (std::size_t c : cols) {
-      if (trace.valid(k, c)) {
-        s += trace.value(k, c);
-        ++n;
-      }
-    }
-    if (n > 0) out[k] = s / static_cast<double>(n);
-  }
-  return out;
 }
 
 }  // namespace auditherm::timeseries

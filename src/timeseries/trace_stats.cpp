@@ -51,7 +51,7 @@ struct PairAccumulator {
   }
 };
 
-PairAccumulator accumulate_pair(const MultiTrace& trace, std::size_t ca,
+PairAccumulator accumulate_pair(const TraceView& trace, std::size_t ca,
                                 std::size_t cb) {
   PairAccumulator acc;
   for (std::size_t k = 0; k < trace.size(); ++k) {
@@ -67,13 +67,13 @@ PairAccumulator accumulate_pair(const MultiTrace& trace, std::size_t ca,
 /// the trace has a few hundred samples. Each (i, j) entry is computed
 /// independently by exactly one thread, so the matrices are bitwise
 /// deterministic at any thread count.
-std::size_t pair_row_grain(const MultiTrace& trace) {
+std::size_t pair_row_grain(const TraceView& trace) {
   return core::grain_for_cost(trace.size() * 4);
 }
 
 }  // namespace
 
-linalg::Matrix correlation_matrix(const MultiTrace& trace) {
+linalg::Matrix correlation_matrix(const TraceView& trace) {
   const std::size_t p = trace.channel_count();
   linalg::Matrix r(p, p);
   core::parallel_for(0, p, pair_row_grain(trace), [&](std::size_t i) {
@@ -87,7 +87,7 @@ linalg::Matrix correlation_matrix(const MultiTrace& trace) {
   return r;
 }
 
-linalg::Matrix covariance_matrix(const MultiTrace& trace) {
+linalg::Matrix covariance_matrix(const TraceView& trace) {
   const std::size_t p = trace.channel_count();
   linalg::Matrix c(p, p);
   core::parallel_for(0, p, pair_row_grain(trace), [&](std::size_t i) {
@@ -100,7 +100,7 @@ linalg::Matrix covariance_matrix(const MultiTrace& trace) {
   return c;
 }
 
-linalg::Matrix rms_distance_matrix(const MultiTrace& trace) {
+linalg::Matrix rms_distance_matrix(const TraceView& trace) {
   const std::size_t p = trace.channel_count();
   linalg::Matrix d(p, p);
   core::parallel_for(0, p, pair_row_grain(trace), [&](std::size_t i) {
@@ -113,7 +113,7 @@ linalg::Matrix rms_distance_matrix(const MultiTrace& trace) {
   return d;
 }
 
-linalg::Vector channel_means(const MultiTrace& trace) {
+linalg::Vector channel_means(const TraceView& trace) {
   const std::size_t p = trace.channel_count();
   linalg::Vector means(p, std::numeric_limits<double>::quiet_NaN());
   core::parallel_for(0, p, pair_row_grain(trace), [&](std::size_t c) {
@@ -130,7 +130,7 @@ linalg::Vector channel_means(const MultiTrace& trace) {
   return means;
 }
 
-double max_abs_difference(const MultiTrace& trace, ChannelId a, ChannelId b) {
+double max_abs_difference(const TraceView& trace, ChannelId a, ChannelId b) {
   const std::size_t ca = trace.require_channel(a);
   const std::size_t cb = trace.require_channel(b);
   const auto acc = accumulate_pair(trace, ca, cb);
@@ -138,7 +138,7 @@ double max_abs_difference(const MultiTrace& trace, ChannelId a, ChannelId b) {
   return acc.max_abs_diff;
 }
 
-linalg::Vector pairwise_max_differences(const MultiTrace& trace,
+linalg::Vector pairwise_max_differences(const TraceView& trace,
                                         const std::vector<ChannelId>& ids) {
   linalg::Vector out;
   for (std::size_t i = 0; i < ids.size(); ++i) {

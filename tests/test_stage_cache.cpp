@@ -210,7 +210,8 @@ TEST(StageCache, PreparePopulatesEveryStage) {
   const auto art =
       pipeline.prepare(dataset().trace, dataset().schedule, split(),
                        dataset().wireless_ids(), dataset().input_ids(), &cache);
-  ASSERT_TRUE(art.training);
+  ASSERT_TRUE(art.training_store);
+  ASSERT_GT(art.training.size(), 0u);
   ASSERT_TRUE(art.graph);
   ASSERT_TRUE(art.spectrum);
   ASSERT_TRUE(art.clustering);
