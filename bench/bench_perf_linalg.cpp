@@ -10,13 +10,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <random>
+#include <vector>
 
 #include "auditherm/clustering/spectral.hpp"
 #include "auditherm/linalg/decompositions.hpp"
 #include "auditherm/linalg/least_squares.hpp"
+#include "auditherm/linalg/sparse.hpp"
 #include "auditherm/sim/floorplan.hpp"
 #include "bench_common.hpp"
 
@@ -199,6 +202,116 @@ double best_of_ms(int reps, Fn&& fn) {
   return best;
 }
 
+/// Gaussian grid weights of a synthetic hall, k-NN sparsified (union of
+/// each sensor's `k` strongest neighbors, symmetrized) — the graph shape
+/// the clustering layer produces with GraphSparsification::kKnn on a
+/// campus-scale deployment.
+Matrix sparsified_hall_weights(std::size_t sensor_count, std::size_t k) {
+  const auto plan = auditherm::sim::FloorPlan::synthetic_grid(sensor_count);
+  std::vector<auditherm::sim::Position> sites;
+  for (const auto& s : plan.sensors()) {
+    if (!s.is_thermostat) sites.push_back(s.position);
+  }
+  const std::size_t n = sites.size();
+  constexpr double kSigma = 4.0;
+  Matrix weights(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = auditherm::sim::distance(sites[i], sites[j]);
+      weights(i, j) = std::exp(-(d * d) / (2.0 * kSigma * kSigma));
+    }
+  }
+  // Union-symmetrized k-NN keep mask over the strongest weights.
+  std::vector<char> keep(n * n, 0);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) order[j] = j;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (weights(i, a) != weights(i, b)) return weights(i, a) > weights(i, b);
+      return a < b;
+    });
+    std::size_t kept = 0;
+    for (const std::size_t j : order) {
+      if (j == i || weights(i, j) <= 0.0) continue;
+      keep[i * n + j] = 1;
+      keep[j * n + i] = 1;
+      if (++kept == k) break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!keep[i * n + j]) weights(i, j) = 0.0;
+    }
+  }
+  return weights;
+}
+
+/// Single-thread dense-partial vs sparse-Lanczos comparison on k-NN
+/// sparsified campus-scale Laplacians (n = 1024, 2048). Both solvers see
+/// the SAME matrix — dense as the compressed CSR's dense twin — so the
+/// eigenvalue agreement check is exact apples-to-apples. Appends the
+/// `sparse` section that CI's perf-smoke job gates on
+/// (sparse_speedup_2048 > 1 and sparse_eigenvalues_agree).
+bool run_sparse_report(bench::JsonObject& out) {
+  bench::print_header(
+      "sparse Lanczos vs dense partial on k-NN Laplacians (1 thread)");
+  constexpr std::size_t kNeighbors = 12;
+
+  std::string points = "[";
+  double speedup_2048 = 0.0;
+  bool all_agree = true;
+  for (const std::size_t sensors : {std::size_t{1024}, std::size_t{2048}}) {
+    const auto weights = sparsified_hall_weights(sensors, kNeighbors);
+    const auto l = auditherm::clustering::normalized_laplacian(weights);
+    const auto csr = auditherm::clustering::laplacian_csr(
+        weights, auditherm::clustering::LaplacianKind::kSymmetricNormalized);
+
+    linalg::SymmetricEigen dense;
+    const double dense_ms = best_of_ms(
+        1, [&] { dense = linalg::eigen_symmetric_smallest(l, kPartialPairs); });
+    linalg::SymmetricEigen sparse;
+    const double sparse_ms = best_of_ms(1, [&] {
+      sparse = linalg::eigen_symmetric_smallest_sparse(csr, kPartialPairs);
+    });
+
+    bool agree = true;
+    for (std::size_t j = 0; j < kPartialPairs; ++j) {
+      if (std::abs(sparse.eigenvalues[j] - dense.eigenvalues[j]) > 1e-8) {
+        agree = false;
+      }
+    }
+    all_agree = all_agree && agree;
+
+    const double speedup = sparse_ms > 0.0 ? dense_ms / sparse_ms : 0.0;
+    if (sensors == 2048) speedup_2048 = speedup;
+    std::printf(
+        "n=%4zu  nnz=%6zu  dense partial %9.2f ms  sparse lanczos %8.2f ms  "
+        "speedup %6.1fx  eigenvalues %s\n",
+        l.rows(), csr.nnz(), dense_ms, sparse_ms, speedup,
+        agree ? "agree" : "DISAGREE");
+
+    bench::JsonObject point;
+    point.add("n", l.rows());
+    point.add("nnz", csr.nnz());
+    point.add("knn_k", kNeighbors);
+    point.add("dense_partial_ms", dense_ms);
+    point.add("sparse_lanczos_ms", sparse_ms);
+    point.add("speedup_sparse_vs_dense", speedup);
+    point.add("eigenvalues_agree", agree);
+    std::string body = point.str();
+    body.pop_back();  // trailing newline
+    if (points.size() > 1) points += ", ";
+    points += body;
+  }
+  points += "]";
+
+  out.add("sparse_speedup_2048", speedup_2048);
+  out.add("sparse_eigenvalues_agree", all_agree);
+  out.add_raw("sparse", points);
+  return all_agree && speedup_2048 > 1.0;
+}
+
 /// Single-thread Jacobi vs tridiagonal (full + partial) on the normalized
 /// Laplacians of 128/256/512-sensor synthetic halls, with an eigenvalue
 /// agreement check, written to BENCH_perf_linalg.json. CI's perf-smoke job
@@ -266,12 +379,13 @@ int run_scaling_report() {
   out.add("speedup_256", speedup_256);
   out.add("eigenvalues_agree", all_agree);
   out.add_raw("scaling", points);
+  const bool sparse_ok = run_sparse_report(out);
   if (!out.write_file("BENCH_perf_linalg.json")) {
     std::fprintf(stderr, "warning: could not write BENCH_perf_linalg.json\n");
     return 1;
   }
   std::printf("wrote BENCH_perf_linalg.json\n");
-  return all_agree ? 0 : 1;
+  return all_agree && sparse_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "auditherm/clustering/similarity.hpp"
 #include "auditherm/linalg/decompositions.hpp"
 #include "auditherm/linalg/matrix.hpp"
+#include "auditherm/linalg/sparse.hpp"
 
 namespace auditherm::clustering {
 
@@ -38,6 +39,15 @@ enum class LaplacianKind {
 /// Throws std::invalid_argument when weights is not square.
 [[nodiscard]] linalg::Matrix normalized_laplacian(
     const linalg::Matrix& weights);
+
+/// CSR Laplacian of `weights` built directly from the (sparsified) dense
+/// weight matrix, entry-for-entry bitwise identical to compressing the
+/// dense laplacian()/normalized_laplacian() output — the same sums in the
+/// same order, just skipping stored zeros. This is the operator the
+/// Lanczos path consumes. Throws std::invalid_argument when weights is
+/// not square.
+[[nodiscard]] linalg::CsrMatrix laplacian_csr(const linalg::Matrix& weights,
+                                              LaplacianKind kind);
 
 /// Eigenstructure of a Laplacian, with the paper's eigengap heuristic.
 ///
@@ -68,8 +78,11 @@ struct SpectralAnalysis {
 /// `method` selects the solver (resolved against the vertex count when
 /// kAuto). `max_pairs` bounds the spectrum: 0 means the full spectrum;
 /// a positive value below n computes only the `max_pairs` smallest
-/// eigenpairs via the tridiagonal partial path. Jacobi is the full-
-/// spectrum reference implementation and ignores `max_pairs`.
+/// eigenpairs via the tridiagonal partial path — or, for kLanczos, via
+/// the sparse CSR path that never forms the dense Laplacian. Jacobi is
+/// the full-spectrum reference implementation and ignores `max_pairs`;
+/// kLanczos without a usable `max_pairs` falls back to the dense
+/// tridiagonal solver.
 [[nodiscard]] SpectralAnalysis analyze_spectrum(
     const linalg::Matrix& weights,
     LaplacianKind kind = LaplacianKind::kSymmetricNormalized,
@@ -109,9 +122,12 @@ struct SpectralOptions {
   KMeansOptions kmeans;
   /// Which eigensolver computes the Laplacian spectrum. kAuto keeps the
   /// paper-scale graphs (n < linalg::kEigenAutoThreshold) on the Jacobi
-  /// reference — bitwise identical to historical results — and routes
-  /// larger graphs through the tridiagonal partial path, which computes
-  /// only needed_eigenpairs() pairs instead of the full spectrum.
+  /// reference — bitwise identical to historical results — routes larger
+  /// graphs through the tridiagonal partial path (only needed_eigenpairs()
+  /// pairs instead of the full spectrum), and from
+  /// linalg::kEigenSparseThreshold vertices up switches to the sparse
+  /// CSR + Lanczos path (pair with GraphSparsification::kKnn so the
+  /// Laplacian is actually sparse).
   linalg::EigenMethod eigen_method = linalg::EigenMethod::kAuto;
 };
 

@@ -8,6 +8,72 @@
 
 namespace auditherm::clustering {
 
+namespace {
+
+/// Keep only the symmetrized union of each vertex's k strongest edges.
+/// Neighbor ranking sorts by (weight descending, index ascending) — the
+/// index tie-break is what makes the sparsified pattern deterministic when
+/// several neighbors share a weight (common with perfectly correlated
+/// synthetic traces).
+void sparsify_knn(linalg::Matrix& weights, std::size_t k) {
+  const std::size_t p = weights.rows();
+  std::vector<std::vector<bool>> keep(p, std::vector<bool>(p, false));
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < p; ++i) {
+    order.clear();
+    for (std::size_t j = 0; j < p; ++j) {
+      if (j != i && weights(i, j) > 0.0) order.push_back(j);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (weights(i, a) != weights(i, b)) {
+        return weights(i, a) > weights(i, b);
+      }
+      return a < b;
+    });
+    for (std::size_t r = 0; r < std::min(k, order.size()); ++r) {
+      keep[i][order[r]] = true;
+      keep[order[r]][i] = true;
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      if (i != j && !keep[i][j]) weights(i, j) = 0.0;
+    }
+  }
+}
+
+/// Count undirected weight>0 edges and connected components (BFS).
+void connectivity_diagnostics(SimilarityGraph& graph) {
+  const std::size_t p = graph.weights.rows();
+  graph.edge_count = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i + 1; j < p; ++j) {
+      if (graph.weights(i, j) > 0.0) ++graph.edge_count;
+    }
+  }
+  graph.component_count = 0;
+  std::vector<bool> seen(p, false);
+  std::vector<std::size_t> queue;
+  for (std::size_t start = 0; start < p; ++start) {
+    if (seen[start]) continue;
+    ++graph.component_count;
+    queue.assign(1, start);
+    seen[start] = true;
+    while (!queue.empty()) {
+      const std::size_t v = queue.back();
+      queue.pop_back();
+      for (std::size_t j = 0; j < p; ++j) {
+        if (!seen[j] && graph.weights(v, j) > 0.0) {
+          seen[j] = true;
+          queue.push_back(j);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 SimilarityGraph build_similarity_graph(
     const timeseries::TraceView& trace,
     const std::vector<timeseries::ChannelId>& channels,
@@ -66,6 +132,12 @@ SimilarityGraph build_similarity_graph(
     }
   }
 
+  if (options.sparsification == GraphSparsification::kKnn) {
+    sparsify_knn(graph.weights, options.knn_k);
+    connectivity_diagnostics(graph);
+    return graph;
+  }
+
   // Sparsify: epsilon-graph by absolute threshold and/or weight quantile,
   // with a per-vertex kNN floor so nothing disconnects.
   double cutoff = options.threshold;
@@ -109,6 +181,7 @@ SimilarityGraph build_similarity_graph(
       }
     }
   }
+  connectivity_diagnostics(graph);
   return graph;
 }
 

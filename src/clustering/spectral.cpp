@@ -65,6 +65,58 @@ std::size_t SpectralAnalysis::eigengap_cluster_count(std::size_t k_min,
   return best_k;
 }
 
+linalg::CsrMatrix laplacian_csr(const linalg::Matrix& weights,
+                                LaplacianKind kind) {
+  if (weights.rows() != weights.cols()) {
+    throw std::invalid_argument("laplacian_csr: weights not square");
+  }
+  const std::size_t n = weights.rows();
+  std::vector<std::size_t> row_ptr(n + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+
+  linalg::Vector inv_sqrt_deg;
+  if (kind == LaplacianKind::kSymmetricNormalized) {
+    inv_sqrt_deg.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double degree = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) degree += weights(i, j);
+      }
+      inv_sqrt_deg[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    if (kind == LaplacianKind::kUnnormalized) {
+      // Same ascending-j accumulation as laplacian(): skipping the zero
+      // weights leaves the non-negative sum bitwise unchanged.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) degree += weights(i, j);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      double v;
+      if (i == j) {
+        v = kind == LaplacianKind::kUnnormalized ? degree : 1.0;
+      } else if (weights(i, j) != 0.0) {
+        v = kind == LaplacianKind::kUnnormalized
+                ? -weights(i, j)
+                : -weights(i, j) * inv_sqrt_deg[i] * inv_sqrt_deg[j];
+      } else {
+        continue;
+      }
+      if (v == 0.0) continue;  // isolated-vertex zero diagonal
+      col_idx.push_back(j);
+      values.push_back(v);
+    }
+    row_ptr[i + 1] = values.size();
+  }
+  return linalg::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                           std::move(values));
+}
+
 linalg::Matrix normalized_laplacian(const linalg::Matrix& weights) {
   if (weights.rows() != weights.cols()) {
     throw std::invalid_argument("normalized_laplacian: weights not square");
@@ -93,18 +145,30 @@ SpectralAnalysis analyze_spectrum(const linalg::Matrix& weights,
                                   LaplacianKind kind,
                                   linalg::EigenMethod method,
                                   std::size_t max_pairs) {
-  const auto l = kind == LaplacianKind::kUnnormalized
-                     ? laplacian(weights)
-                     : normalized_laplacian(weights);
-  const auto resolved = linalg::resolve_eigen_method(method, l.rows());
+  const auto resolved = linalg::resolve_eigen_method(method, weights.rows());
   linalg::SymmetricEigen eig;
-  if (resolved == linalg::EigenMethod::kTridiagonal) {
-    eig = max_pairs > 0 && max_pairs < l.rows()
-              ? linalg::eigen_symmetric_smallest(l, max_pairs)
-              : linalg::eigen_symmetric_tridiagonal(l);
+  if (resolved == linalg::EigenMethod::kLanczos && max_pairs > 0 &&
+      max_pairs < weights.rows()) {
+    // Sparse path: compress the Laplacian to CSR (never forming the dense
+    // operator) and pull only the requested smallest pairs out of the
+    // Lanczos iteration.
+    eig = linalg::eigen_symmetric_smallest_sparse(laplacian_csr(weights, kind),
+                                                  max_pairs);
   } else {
-    // Jacobi is the full-spectrum reference; max_pairs does not apply.
-    eig = linalg::eigen_symmetric(l);
+    const auto l = kind == LaplacianKind::kUnnormalized
+                       ? laplacian(weights)
+                       : normalized_laplacian(weights);
+    if (resolved == linalg::EigenMethod::kTridiagonal ||
+        resolved == linalg::EigenMethod::kLanczos) {
+      // A Lanczos request without a usable max_pairs falls back to the
+      // dense solver of the same output contract (full spectrum).
+      eig = max_pairs > 0 && max_pairs < l.rows()
+                ? linalg::eigen_symmetric_smallest(l, max_pairs)
+                : linalg::eigen_symmetric_tridiagonal(l);
+    } else {
+      // Jacobi is the full-spectrum reference; max_pairs does not apply.
+      eig = linalg::eigen_symmetric(l);
+    }
   }
   SpectralAnalysis a;
   a.eigenvalues = std::move(eig.eigenvalues);

@@ -13,6 +13,7 @@
 #include "auditherm/linalg/decompositions.hpp"
 #include "auditherm/linalg/least_squares.hpp"
 #include "auditherm/linalg/matrix.hpp"
+#include "auditherm/linalg/sparse.hpp"
 #include "auditherm/linalg/stats.hpp"
 #include "auditherm/linalg/vector_ops.hpp"
 

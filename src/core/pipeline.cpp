@@ -30,6 +30,8 @@ void add_similarity_options(StageKeyHasher& h,
   h.add(o.threshold);
   h.add(o.threshold_quantile);
   h.add(static_cast<std::uint64_t>(o.knn_floor));
+  h.add(static_cast<std::uint64_t>(o.sparsification));
+  h.add(static_cast<std::uint64_t>(o.knn_k));
 }
 
 /// Everything spectral_cluster consumes *beyond* the spectrum itself
@@ -153,7 +155,8 @@ StageArtifacts ThermalModelingPipeline::prepare(
   const auto eigen_method = linalg::resolve_eigen_method(
       config_.spectral.eigen_method, vertex_count);
   const std::size_t eigen_pairs =
-      eigen_method == linalg::EigenMethod::kTridiagonal
+      eigen_method == linalg::EigenMethod::kTridiagonal ||
+              eigen_method == linalg::EigenMethod::kLanczos
           ? clustering::needed_eigenpairs(config_.spectral, vertex_count)
           : 0;
   StageKeyHasher spectrum_h;

@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "auditherm/core/parallel.hpp"
 #include "auditherm/obs/trace_span.hpp"
@@ -245,13 +246,12 @@ double LuDecomposition::determinant() const noexcept {
 // Symmetric eigensolvers
 // ---------------------------------------------------------------------------
 
-namespace {
+namespace detail {
 
-// Pin each eigenvector column's sign so the largest-|component| entry
-// (lowest index on ties) ends up positive. This makes eigenvectors — and
-// hence cluster embeddings — comparable across solvers; k-means output is
-// bitwise-invariant under the flip because only squared distances and row
-// means of the embedding enter, and (-x)*(-x) == x*x exactly in IEEE.
+// The sign pin makes eigenvectors — and hence cluster embeddings —
+// comparable across solvers; k-means output is bitwise-invariant under
+// the flip because only squared distances and row means of the embedding
+// enter, and (-x)*(-x) == x*x exactly in IEEE.
 void pin_column_signs(Matrix& vecs) {
   for (std::size_t j = 0; j < vecs.cols(); ++j) {
     std::size_t lead = 0;
@@ -268,6 +268,20 @@ void pin_column_signs(Matrix& vecs) {
     }
   }
 }
+
+double hash_unit(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::pin_column_signs;
 
 // (A + A^T)/2: every solver tolerates the tiny asymmetries that upstream
 // products accumulate.
@@ -443,15 +457,7 @@ void ql_implicit_shift(Vector& d, Vector& e, Matrix& z) {
   }
 }
 
-// splitmix64-style hash to [0, 1): deterministic inverse-iteration start
-// vectors without touching any global RNG state.
-double hash_unit(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return static_cast<double>(x >> 11) * 0x1.0p-53;
-}
+using detail::hash_unit;
 
 // Sturm-sequence count of eigenvalues of the tridiagonal (d, e) strictly
 // below x.
@@ -682,9 +688,14 @@ SymmetricEigen eigen_symmetric_smallest(const Matrix& a, std::size_t m) {
   if (m == 0) {
     throw std::invalid_argument("eigen_symmetric_smallest: m must be > 0");
   }
-  obs::TraceSpan span("linalg.eigen_symmetric_smallest");
   const std::size_t n = a.rows();
-  m = std::min(m, n);
+  if (m > n) {
+    throw std::invalid_argument(
+        "eigen_symmetric_smallest: requested " + std::to_string(m) +
+        " eigenpairs from a " + std::to_string(n) + "x" + std::to_string(n) +
+        " matrix (m must be <= n)");
+  }
+  obs::TraceSpan span("linalg.eigen_symmetric_smallest");
   if (n <= 1) return trivial_eigen(a);
   static const obs::MetricId kPartialCalls =
       obs::counter_id("linalg.eigen_partial_calls");

@@ -9,6 +9,7 @@
 /// eigendecomposition (Section V).
 
 #include <cstddef>
+#include <cstdint>
 
 #include "auditherm/linalg/matrix.hpp"
 
@@ -110,16 +111,21 @@ struct SymmetricEigen {
 ///
 /// kJacobi is the original cyclic-Jacobi solver: robust, simple, and the
 /// cross-check reference, but it always computes the full spectrum with
-/// O(n^3) work per sweep. kTridiagonal is the fast path (Householder
+/// O(n^3) work per sweep. kTridiagonal is the dense fast path (Householder
 /// tridiagonalization + implicit-shift QL, with a bisection +
-/// inverse-iteration partial mode); kAuto picks Jacobi below
+/// inverse-iteration partial mode). kLanczos is the sparse partial path
+/// (see sparse.hpp): the Laplacian is compressed to CSR and only the
+/// requested smallest pairs come out of a Lanczos iteration — the right
+/// tool once the similarity graph is k-NN sparse and dense O(n^3)
+/// tridiagonalization dominates. kAuto picks Jacobi below
 /// kEigenAutoThreshold rows — where Jacobi's constant wins and bitwise
-/// compatibility with historical results matters — and the tridiagonal
-/// path at or above it.
+/// compatibility with historical results matters — the tridiagonal path
+/// up to kEigenSparseThreshold, and Lanczos at or above it.
 enum class EigenMethod {
   kJacobi,       ///< full-spectrum cyclic Jacobi (reference)
   kTridiagonal,  ///< Householder + QL, partial spectrum when asked
-  kAuto,         ///< Jacobi below kEigenAutoThreshold, tridiagonal above
+  kAuto,         ///< Jacobi / tridiagonal / Lanczos by matrix size
+  kLanczos,      ///< sparse CSR Lanczos, partial spectrum only
 };
 
 /// Matrix size at which EigenMethod::kAuto switches from Jacobi to the
@@ -128,13 +134,21 @@ enum class EigenMethod {
 /// sensors take the asymptotically cheaper solver.
 inline constexpr std::size_t kEigenAutoThreshold = 64;
 
-/// Resolve kAuto against a concrete matrix size; kJacobi/kTridiagonal pass
+/// Matrix size at which EigenMethod::kAuto switches from the dense
+/// tridiagonal path to sparse Lanczos. Below it the dense partial solver's
+/// O(n^3/3) tridiagonalization is still cheap; above it the Laplacian of a
+/// sparsified similarity graph is mostly zeros and the O(iters x nnz)
+/// Lanczos iteration wins.
+inline constexpr std::size_t kEigenSparseThreshold = 512;
+
+/// Resolve kAuto against a concrete matrix size; explicit methods pass
 /// through unchanged.
 [[nodiscard]] constexpr EigenMethod resolve_eigen_method(
     EigenMethod method, std::size_t n) noexcept {
   if (method != EigenMethod::kAuto) return method;
-  return n < kEigenAutoThreshold ? EigenMethod::kJacobi
-                                 : EigenMethod::kTridiagonal;
+  if (n < kEigenAutoThreshold) return EigenMethod::kJacobi;
+  return n < kEigenSparseThreshold ? EigenMethod::kTridiagonal
+                                   : EigenMethod::kLanczos;
 }
 
 /// Compute all eigenpairs of symmetric `a` by the cyclic Jacobi method.
@@ -165,9 +179,24 @@ inline constexpr std::size_t kEigenAutoThreshold = 64;
 /// a back-transform through the stored reflectors. O(n^2 (n/3 + m)) work
 /// instead of Jacobi's O(n^3) per sweep — this is the solver behind
 /// spectral clustering at scale, which only ever needs the k+1 smallest
-/// pairs. `m` is clamped to n; throws std::invalid_argument when `a` is
-/// not square or m == 0.
+/// pairs. Throws std::invalid_argument when `a` is not square, m == 0, or
+/// m > n (a partial-spectrum request must fit the matrix; silently
+/// clamping hid caller sizing bugs).
 [[nodiscard]] SymmetricEigen eigen_symmetric_smallest(const Matrix& a,
                                                       std::size_t m);
+
+namespace detail {
+
+/// splitmix64-style hash to [0, 1): the deterministic start vectors shared
+/// by inverse iteration and the sparse Lanczos solver — no global RNG
+/// state, so every run (and every thread count) sees the same bits.
+[[nodiscard]] double hash_unit(std::uint64_t x) noexcept;
+
+/// Pin each eigenvector column's sign so the largest-|component| entry
+/// (lowest index on ties) ends up positive — the normalization every
+/// solver in this header and in sparse.hpp applies before returning.
+void pin_column_signs(Matrix& eigenvectors);
+
+}  // namespace detail
 
 }  // namespace auditherm::linalg

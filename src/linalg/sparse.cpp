@@ -1,0 +1,342 @@
+#include "auditherm/linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "auditherm/core/parallel.hpp"
+#include "auditherm/obs/trace_span.hpp"
+
+namespace auditherm::linalg {
+
+// ---------------------------------------------------------------------------
+// CsrMatrix
+// ---------------------------------------------------------------------------
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  if (row_ptr_.size() != rows_ + 1) {
+    throw std::invalid_argument("CsrMatrix: row_ptr must have rows + 1 entries");
+  }
+  if (row_ptr_.front() != 0 || row_ptr_.back() != values_.size() ||
+      col_idx_.size() != values_.size()) {
+    throw std::invalid_argument(
+        "CsrMatrix: row_ptr must start at 0 and end at nnz, with col_idx and "
+        "values of equal length");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (row_ptr_[i] > row_ptr_[i + 1]) {
+      throw std::invalid_argument("CsrMatrix: row_ptr must be non-decreasing");
+    }
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      if (col_idx_[p] >= cols_) {
+        throw std::invalid_argument(
+            "CsrMatrix: column index " + std::to_string(col_idx_[p]) +
+            " out of range in row " + std::to_string(i));
+      }
+      if (p > row_ptr_[i] && col_idx_[p] < col_idx_[p - 1]) {
+        throw std::invalid_argument(
+            "CsrMatrix: column indices must be non-decreasing within row " +
+            std::to_string(i));
+      }
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::from_dense(const Matrix& a, double drop_tol) {
+  CsrMatrix out;
+  out.rows_ = a.rows();
+  out.cols_ = a.cols();
+  out.row_ptr_.assign(out.rows_ + 1, 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double v = a(i, j);
+      if (v == 0.0 || std::abs(v) <= drop_tol) continue;
+      out.col_idx_.push_back(j);
+      out.values_.push_back(v);
+    }
+    out.row_ptr_[i + 1] = out.values_.size();
+  }
+  return out;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out(i, col_idx_[p]) += values_[p];
+    }
+  }
+  return out;
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("CsrMatrix::multiply: vector length " +
+                                std::to_string(x.size()) +
+                                " does not match cols " +
+                                std::to_string(cols_));
+  }
+  static const obs::MetricId kSpmvCalls = obs::counter_id("linalg.spmv_calls");
+  obs::add_counter(kSpmvCalls);
+  Vector y(rows_, 0.0);
+  if (rows_ == 0) return y;
+  // Grain sized by the average row cost; it depends only on the matrix, so
+  // the chunking — and hence the bitwise result — is thread-count
+  // independent. Each row is a serial ascending-p accumulation.
+  const std::size_t grain = core::grain_for_cost(2 * (nnz() / rows_ + 1));
+  core::parallel_for(0, rows_, grain, [&](std::size_t i) {
+    double sum = 0.0;
+    for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      sum += values_[p] * x[col_idx_[p]];
+    }
+    y[i] = sum;
+  });
+  return y;
+}
+
+Vector operator*(const CsrMatrix& a, const Vector& x) { return a.multiply(x); }
+
+// ---------------------------------------------------------------------------
+// Lanczos partial eigensolver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double dot(const Vector& a, const Vector& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+/// Two classical Gram-Schmidt passes of `w` against every vector in
+/// `locked` then `basis`, in index order — serial and deterministic. Two
+/// passes ("twice is enough") keep the basis orthogonal to machine
+/// precision, which is the full-reorthogonalization contract.
+void reorthogonalize(Vector& w, const std::vector<Vector>& locked,
+                     const std::vector<Vector>& basis) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto* set : {&locked, &basis}) {
+      for (const Vector& q : *set) {
+        const double d = dot(q, w);
+        if (d == 0.0) continue;
+        for (std::size_t i = 0; i < w.size(); ++i) w[i] -= d * q[i];
+      }
+    }
+  }
+}
+
+/// Deterministic unit start vector orthogonal to `locked` + `basis`:
+/// splitmix64 raw entries, reorthogonalized, normalized. Successive
+/// attempts re-hash with a new salt when the projection collapses (the
+/// raw vector lay in the span already found). Throws std::domain_error
+/// when every attempt collapses — impossible while the span has a
+/// complement, barring adversarial inputs.
+Vector fresh_start_vector(std::size_t n, std::uint64_t salt,
+                          const std::vector<Vector>& locked,
+                          const std::vector<Vector>& basis) {
+  for (std::uint64_t attempt = 0; attempt < 16; ++attempt) {
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = detail::hash_unit((salt * 16 + attempt) * 1000003ULL +
+                               static_cast<std::uint64_t>(i)) -
+             0.5;
+    }
+    reorthogonalize(v, locked, basis);
+    const double nv = norm(v);
+    if (nv > 1e-6) {
+      for (double& vi : v) vi /= nv;
+      return v;
+    }
+  }
+  throw std::domain_error(
+      "eigen_symmetric_smallest_sparse: could not find a start vector "
+      "outside the converged subspace");
+}
+
+/// Dense copy of the Lanczos tridiagonal T_j (alpha on the diagonal,
+/// beta coupling neighbors; a zero beta from a breakdown restart leaves
+/// T block-diagonal, which the dense solver handles transparently).
+Matrix dense_tridiagonal(const Vector& alpha, const Vector& beta) {
+  const std::size_t j = alpha.size();
+  Matrix t(j, j);
+  for (std::size_t i = 0; i < j; ++i) {
+    t(i, i) = alpha[i];
+    if (i + 1 < j) {
+      t(i, i + 1) = beta[i];
+      t(i + 1, i) = beta[i];
+    }
+  }
+  return t;
+}
+
+struct LanczosMetrics {
+  obs::MetricId calls = obs::counter_id("linalg.eigen_lanczos_calls");
+  obs::MetricId passes = obs::counter_id("linalg.eigen_lanczos_passes");
+  obs::MetricId iterations =
+      obs::counter_id("linalg.eigen_lanczos_iterations");
+  obs::MetricId eigen_calls = obs::counter_id("linalg.eigen_calls");
+};
+
+const LanczosMetrics& lanczos_metrics() {
+  static const LanczosMetrics m;
+  return m;
+}
+
+/// One deflated Lanczos pass: grow a Krylov basis orthogonal to `locked`
+/// until the smallest Ritz pair's residual drops below `tol` (or the
+/// complement is exhausted), and return that pair. Finding only the single
+/// smallest pair per pass is what makes repeated eigenvalues come out with
+/// full multiplicity: a Krylov space from one start vector can hold at
+/// most one direction per distinct eigenvalue, so each extra copy (e.g.
+/// every zero mode of a disconnected Laplacian) must come from its own
+/// deflated pass.
+std::pair<double, Vector> lanczos_smallest_deflated(
+    const CsrMatrix& a, const std::vector<Vector>& locked, std::uint64_t salt,
+    double anorm, double tol) {
+  const std::size_t n = a.rows();
+  const std::size_t max_dim = n - locked.size();
+  const double breakdown_tol =
+      64.0 * std::numeric_limits<double>::epsilon() * anorm;
+  // Re-solving T every step would be O(j^3) each; every few steps loses at
+  // most that many extra SpMVs, which is cheaper.
+  constexpr std::size_t kCheckInterval = 4;
+
+  std::vector<Vector> basis;
+  Vector alpha;
+  Vector beta;  // beta[i] couples basis i and i+1; 0 after a breakdown
+  Vector v = fresh_start_vector(n, salt, locked, basis);
+  Vector v_prev(n, 0.0);
+  double beta_prev = 0.0;
+
+  for (;;) {
+    Vector w = a.multiply(v);
+    const double al = dot(v, w);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] -= al * v[i] + beta_prev * v_prev[i];
+    }
+    basis.push_back(v);
+    alpha.push_back(al);
+    obs::add_counter(lanczos_metrics().iterations);
+    reorthogonalize(w, locked, basis);
+    const double b = norm(w);
+    const std::size_t j = basis.size();
+
+    const bool exhausted = j == max_dim;
+    const bool broke_down = b <= breakdown_tol;
+    if (exhausted || broke_down || j % kCheckInterval == 0) {
+      const auto t_eig = eigen_symmetric_tridiagonal(dense_tridiagonal(
+          alpha, Vector(beta.begin(), beta.end())));
+      const double theta = t_eig.eigenvalues[0];
+      // Residual bound ||A x - theta x|| = |beta_j * s_j| for the Ritz
+      // vector x = B s; a breakdown or exhausted complement makes the
+      // pair exact up to rounding.
+      const double resid = std::abs(b * t_eig.eigenvectors(j - 1, 0));
+      if (exhausted || broke_down || resid <= tol) {
+        Vector x(n, 0.0);
+        for (std::size_t k = 0; k < j; ++k) {
+          const double s = t_eig.eigenvectors(k, 0);
+          for (std::size_t i = 0; i < n; ++i) x[i] += s * basis[k][i];
+        }
+        // Deflation leakage guard: re-project off the locked space and
+        // renormalize before the pair is locked itself.
+        reorthogonalize(x, locked, {});
+        const double nx = norm(x);
+        if (nx > 0.0) {
+          for (double& xi : x) xi /= nx;
+        }
+        return {theta, std::move(x)};
+      }
+    }
+
+    beta.push_back(b);
+    v_prev = std::move(v);
+    v = std::move(w);
+    for (double& vi : v) vi /= b;
+    beta_prev = b;
+  }
+}
+
+}  // namespace
+
+SymmetricEigen eigen_symmetric_smallest_sparse(const CsrMatrix& a,
+                                               std::size_t m) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument(
+        "eigen_symmetric_smallest_sparse: matrix not square");
+  }
+  if (m == 0) {
+    throw std::invalid_argument(
+        "eigen_symmetric_smallest_sparse: m must be > 0");
+  }
+  const std::size_t n = a.rows();
+  if (m > n) {
+    throw std::invalid_argument(
+        "eigen_symmetric_smallest_sparse: requested " + std::to_string(m) +
+        " eigenpairs from a " + std::to_string(n) + "x" + std::to_string(n) +
+        " matrix (m must be <= n)");
+  }
+  obs::TraceSpan span("linalg.eigen_lanczos");
+  obs::add_counter(lanczos_metrics().calls);
+  obs::add_counter(lanczos_metrics().eigen_calls);
+
+  SymmetricEigen out;
+  if (n <= 1) {
+    double a00 = 0.0;
+    for (std::size_t p = a.row_ptr()[0]; n == 1 && p < a.row_ptr()[1]; ++p) {
+      a00 += a.values()[p];
+    }
+    out.eigenvalues = n == 1 ? Vector{a00} : Vector{};
+    out.eigenvectors = Matrix::identity(n);
+    return out;
+  }
+
+  // Gershgorin-style infinity norm bounds |lambda| and scales every
+  // tolerance; the residual target is far below the 1e-8 agreement the
+  // dense cross-checks ask for.
+  double anorm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+      row_sum += std::abs(a.values()[p]);
+    }
+    anorm = std::max(anorm, row_sum);
+  }
+  anorm = std::max(anorm, 1e-300);
+  const double tol = 1e-10 * anorm;
+
+  std::vector<Vector> locked;
+  Vector eigenvalues;
+  locked.reserve(m);
+  eigenvalues.reserve(m);
+  while (locked.size() < m) {
+    obs::add_counter(lanczos_metrics().passes);
+    auto [theta, x] = lanczos_smallest_deflated(
+        a, locked, static_cast<std::uint64_t>(locked.size()), anorm, tol);
+    eigenvalues.push_back(theta);
+    locked.push_back(std::move(x));
+  }
+
+  out.eigenvalues = std::move(eigenvalues);
+  out.eigenvectors = Matrix(n, m);
+  for (std::size_t j = 0; j < m; ++j) {
+    out.eigenvectors.set_col(j, locked[j]);
+  }
+  detail::pin_column_signs(out.eigenvectors);
+  return out;
+}
+
+}  // namespace auditherm::linalg

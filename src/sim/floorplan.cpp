@@ -116,38 +116,59 @@ FloorPlan FloorPlan::synthetic_grid(std::size_t sensor_count) {
   if (sensor_count == 0) {
     throw std::invalid_argument("FloorPlan::synthetic_grid: zero sensors");
   }
-  // Near-square grid at 2 m pitch, slightly wider than deep (like the
-  // real hall), sitting behind a 3 m front band that holds the
-  // thermostats and the first diffuser.
+  return synthetic_campus(1, sensor_count);
+}
+
+FloorPlan FloorPlan::synthetic_campus(std::size_t hall_count,
+                                      std::size_t sensors_per_hall) {
+  if (hall_count == 0 || sensors_per_hall == 0) {
+    throw std::invalid_argument(
+        "FloorPlan::synthetic_campus: zero halls or sensors");
+  }
+  // Each hall: near-square grid at 2 m pitch, slightly wider than deep
+  // (like the real hall), sitting behind a 3 m front band that holds the
+  // first diffuser. Halls line up along x with a corridor between them —
+  // wide enough that cross-hall trace similarity comes only from shared
+  // weather/HVAC, keeping the zones thermally disjoint.
   constexpr double kPitch = 2.0;
+  constexpr double kCorridor = 6.0;
   const auto cols = static_cast<std::size_t>(std::ceil(
-      std::sqrt(static_cast<double>(sensor_count) * 4.0 / 3.0)));
-  const std::size_t rows = (sensor_count + cols - 1) / cols;
-  const double width = kPitch * static_cast<double>(cols + 1);
+      std::sqrt(static_cast<double>(sensors_per_hall) * 4.0 / 3.0)));
+  const std::size_t rows = (sensors_per_hall + cols - 1) / cols;
+  const double hall_width = kPitch * static_cast<double>(cols + 1);
   const double depth = 3.0 + kPitch * static_cast<double>(rows + 1);
+  const double width = static_cast<double>(hall_count) * hall_width +
+                       static_cast<double>(hall_count - 1) * kCorridor;
 
   std::vector<SensorSite> sensors;
-  sensors.reserve(sensor_count + 2);
+  sensors.reserve(hall_count * sensors_per_hall + 2);
+  std::vector<Diffuser> outlets;
+  outlets.reserve(2 * hall_count);
   timeseries::ChannelId next_id = 1;
-  for (std::size_t s = 0; s < sensor_count; ++s) {
-    while (next_id == 40 || next_id == 41) ++next_id;  // thermostat ids
-    const std::size_t r = s / cols;
-    const std::size_t c = s % cols;
-    sensors.push_back({next_id++,
-                       {kPitch * static_cast<double>(c + 1),
-                        3.0 + kPitch * static_cast<double>(r + 1)},
-                       false});
+  for (std::size_t h = 0; h < hall_count; ++h) {
+    const double x0 = static_cast<double>(h) * (hall_width + kCorridor);
+    for (std::size_t s = 0; s < sensors_per_hall; ++s) {
+      while (next_id == 40 || next_id == 41) ++next_id;  // thermostat ids
+      const std::size_t r = s / cols;
+      const std::size_t c = s % cols;
+      sensors.push_back({next_id++,
+                         {x0 + kPitch * static_cast<double>(c + 1),
+                          3.0 + kPitch * static_cast<double>(r + 1)},
+                         false, h});
+    }
+    // One diffuser over the hall's front band, one over its mid-depth,
+    // spanning the hall like the real auditorium's linear outlets.
+    outlets.push_back({{x0 + 1.0, 1.5}, {x0 + hall_width - 1.0, 1.5}});
+    outlets.push_back(
+        {{x0 + 1.0, depth * 0.5}, {x0 + hall_width - 1.0, depth * 0.5}});
   }
-  sensors.push_back({40, {0.5, 0.8}, true});
-  sensors.push_back({41, {width - 0.5, 0.8}, true});
+  // The shared HVAC's wall thermostats at the campus front corners.
+  sensors.push_back({40, {0.5, 0.8}, true, 0});
+  sensors.push_back({41, {width - 0.5, 0.8}, true, hall_count - 1});
 
-  // One diffuser over the front band, one over mid-depth, both spanning
-  // the room like the real hall's linear outlets; VAV count scales with
-  // the served area.
-  std::vector<Diffuser> outlets = {
-      {{1.0, 1.5}, {width - 1.0, 1.5}},
-      {{1.0, depth * 0.5}, {width - 1.0, depth * 0.5}}};
-  const std::size_t vav_count = std::max<std::size_t>(4, sensor_count / 32);
+  // VAV count scales with the total served area.
+  const std::size_t vav_count =
+      std::max<std::size_t>(4, hall_count * sensors_per_hall / 32);
   return FloorPlan(width, depth, std::move(sensors), std::move(outlets),
                    vav_count, /*seating_front_y=*/3.0,
                    /*seating_back_y=*/depth - 1.0);
@@ -182,6 +203,16 @@ const SensorSite& FloorPlan::site(timeseries::ChannelId id) const {
   }
   throw std::invalid_argument("FloorPlan::site: unknown sensor id " +
                               std::to_string(id));
+}
+
+std::size_t FloorPlan::zone_count() const noexcept {
+  std::size_t max_zone = 0;
+  for (const auto& s : sensors_) max_zone = std::max(max_zone, s.zone);
+  return max_zone + 1;
+}
+
+std::size_t FloorPlan::zone_of(timeseries::ChannelId id) const {
+  return site(id).zone;
 }
 
 bool FloorPlan::in_seating(const Position& p) const noexcept {

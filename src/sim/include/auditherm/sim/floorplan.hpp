@@ -44,6 +44,9 @@ struct SensorSite {
   timeseries::ChannelId id = 0;
   Position position;
   bool is_thermostat = false;  ///< one of the HVAC's own wall thermostats
+  /// Thermal zone (hall index on a campus plan). Single-hall plans leave
+  /// every site in zone 0.
+  std::size_t zone = 0;
 };
 
 /// The auditorium floor plan.
@@ -60,6 +63,18 @@ class FloorPlan {
   /// geometrically plausible. Throws std::invalid_argument when
   /// sensor_count == 0.
   [[nodiscard]] static FloorPlan synthetic_grid(std::size_t sensor_count);
+
+  /// A campus of `hall_count` copies of the synthetic hall laid out
+  /// side-by-side along x with a corridor between neighbors. Each hall is
+  /// its own thermal zone (SensorSite::zone = hall index) with its own
+  /// grid of `sensors_per_hall` wireless sensors and its own pair of
+  /// diffusers; ids count up across halls skipping the thermostat ids
+  /// 40/41, which sit at the campus's front corners (zones 0 and
+  /// hall_count - 1). synthetic_grid(n) is exactly
+  /// synthetic_campus(1, n). Throws std::invalid_argument when either
+  /// count is 0.
+  [[nodiscard]] static FloorPlan synthetic_campus(std::size_t hall_count,
+                                                  std::size_t sensors_per_hall);
 
   /// Construct a custom plan. Throws std::invalid_argument on empty
   /// sensors, duplicate ids, non-positive dimensions, or sites/outlets
@@ -89,6 +104,12 @@ class FloorPlan {
 
   /// Site lookup by id; throws std::invalid_argument when absent.
   [[nodiscard]] const SensorSite& site(timeseries::ChannelId id) const;
+
+  /// Number of thermal zones: 1 + the largest zone label in use.
+  [[nodiscard]] std::size_t zone_count() const noexcept;
+
+  /// Zone label of a sensor; throws std::invalid_argument when absent.
+  [[nodiscard]] std::size_t zone_of(timeseries::ChannelId id) const;
 
   /// True when the position lies in the audience seating rows.
   [[nodiscard]] bool in_seating(const Position& p) const noexcept;

@@ -241,10 +241,12 @@ TEST(EigenSolvers, PartialValidation) {
                std::invalid_argument);
   EXPECT_THROW((void)linalg::eigen_symmetric_smallest(a, 0),
                std::invalid_argument);
-  // m > n clamps to the full spectrum.
-  const auto all = linalg::eigen_symmetric_smallest(a, 12);
-  EXPECT_EQ(all.eigenvalues.size(), 5u);
-  // Full-spectrum request agrees with the dedicated full solver.
+  // m > n is a caller sizing bug: rejected, not silently clamped.
+  EXPECT_THROW((void)linalg::eigen_symmetric_smallest(a, 12),
+               std::invalid_argument);
+  // Exactly-full request agrees with the dedicated full solver.
+  const auto all = linalg::eigen_symmetric_smallest(a, 5);
+  ASSERT_EQ(all.eigenvalues.size(), 5u);
   const auto full = linalg::eigen_symmetric_tridiagonal(a);
   for (std::size_t j = 0; j < 5; ++j) {
     EXPECT_NEAR(all.eigenvalues[j], full.eigenvalues[j], 1e-10);
@@ -273,6 +275,14 @@ TEST(EigenSolvers, ResolveEigenMethod) {
   EXPECT_EQ(linalg::resolve_eigen_method(EigenMethod::kAuto,
                                          linalg::kEigenAutoThreshold),
             EigenMethod::kTridiagonal);
+  EXPECT_EQ(linalg::resolve_eigen_method(EigenMethod::kAuto,
+                                         linalg::kEigenSparseThreshold - 1),
+            EigenMethod::kTridiagonal);
+  EXPECT_EQ(linalg::resolve_eigen_method(EigenMethod::kAuto,
+                                         linalg::kEigenSparseThreshold),
+            EigenMethod::kLanczos);
+  EXPECT_EQ(linalg::resolve_eigen_method(EigenMethod::kLanczos, 4),
+            EigenMethod::kLanczos);
 }
 
 // ---------------------------------------------------------------------------

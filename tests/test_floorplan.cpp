@@ -161,3 +161,85 @@ TEST(FloorPlan, SyntheticGridVavCountScalesWithArea) {
   EXPECT_EQ(sim::FloorPlan::synthetic_grid(256).vav_count(), 8u);
   EXPECT_EQ(sim::FloorPlan::synthetic_grid(1024).vav_count(), 32u);
 }
+
+TEST(FloorPlan, CampusSensorCountsAndZoneLabels) {
+  const auto campus = sim::FloorPlan::synthetic_campus(4, 32);
+  EXPECT_EQ(campus.wireless_ids().size(), 128u);
+  EXPECT_EQ(campus.thermostat_ids(), (std::vector<int>{40, 41}));
+  EXPECT_EQ(campus.sensors().size(), 130u);
+  EXPECT_EQ(campus.zone_count(), 4u);
+  EXPECT_EQ(campus.air_outlets().size(), 8u);  // two diffusers per hall
+  EXPECT_EQ(campus.vav_count(), 4u);           // 128 / 32
+
+  // Wireless ids fill each hall in order: 32 sensors per zone, hall
+  // boundaries where id ranges roll over (ids skip 40/41).
+  const auto ids = campus.wireless_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(campus.zone_of(ids[i]), i / 32) << "sensor index " << i;
+  }
+  // Thermostats: campus front corners, zones 0 and hall_count - 1.
+  EXPECT_EQ(campus.zone_of(40), 0u);
+  EXPECT_EQ(campus.zone_of(41), 3u);
+}
+
+TEST(FloorPlan, CampusHallsAreSpatiallyDisjoint) {
+  const auto campus = sim::FloorPlan::synthetic_campus(3, 16);
+  // Per-hall bounding boxes along x must not overlap: the corridor keeps
+  // the thermal zones apart.
+  double min_x[3], max_x[3];
+  for (std::size_t h = 0; h < 3; ++h) {
+    min_x[h] = campus.width();
+    max_x[h] = 0.0;
+  }
+  for (const auto& s : campus.sensors()) {
+    if (s.is_thermostat) continue;
+    min_x[s.zone] = std::min(min_x[s.zone], s.position.x);
+    max_x[s.zone] = std::max(max_x[s.zone], s.position.x);
+  }
+  EXPECT_GT(min_x[1] - max_x[0], 2.0);
+  EXPECT_GT(min_x[2] - max_x[1], 2.0);
+}
+
+TEST(FloorPlan, CampusPositionsReplicateTheHallGrid) {
+  // Every hall repeats the single-hall grid layout, offset along x by the
+  // hall pitch; the one-hall campus IS the synthetic grid.
+  const auto grid = sim::FloorPlan::synthetic_grid(12);
+  const auto campus = sim::FloorPlan::synthetic_campus(2, 12);
+  const auto grid_ids = grid.wireless_ids();
+  const auto campus_ids = campus.wireless_ids();
+  ASSERT_EQ(campus_ids.size(), 24u);
+  const double hall_pitch =
+      campus.site(campus_ids[12]).position.x -
+      campus.site(campus_ids[0]).position.x;
+  EXPECT_GT(hall_pitch, grid.width());  // hall width + corridor
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto& ref = grid.site(grid_ids[i]).position;
+    const auto& h0 = campus.site(campus_ids[i]).position;
+    const auto& h1 = campus.site(campus_ids[12 + i]).position;
+    EXPECT_DOUBLE_EQ(h0.x, ref.x) << "hall 0 sensor " << i;
+    EXPECT_DOUBLE_EQ(h0.y, ref.y) << "hall 0 sensor " << i;
+    EXPECT_DOUBLE_EQ(h1.x, ref.x + hall_pitch) << "hall 1 sensor " << i;
+    EXPECT_DOUBLE_EQ(h1.y, ref.y) << "hall 1 sensor " << i;
+  }
+}
+
+TEST(FloorPlan, SyntheticGridIsOneHallCampus) {
+  const auto grid = sim::FloorPlan::synthetic_grid(25);
+  const auto campus = sim::FloorPlan::synthetic_campus(1, 25);
+  EXPECT_EQ(grid.width(), campus.width());
+  EXPECT_EQ(grid.depth(), campus.depth());
+  ASSERT_EQ(grid.sensors().size(), campus.sensors().size());
+  for (std::size_t i = 0; i < grid.sensors().size(); ++i) {
+    EXPECT_EQ(grid.sensors()[i].id, campus.sensors()[i].id);
+    EXPECT_EQ(grid.sensors()[i].position.x, campus.sensors()[i].position.x);
+    EXPECT_EQ(grid.sensors()[i].position.y, campus.sensors()[i].position.y);
+    EXPECT_EQ(grid.sensors()[i].zone, 0u);
+  }
+}
+
+TEST(FloorPlan, CampusValidation) {
+  EXPECT_THROW((void)sim::FloorPlan::synthetic_campus(0, 16),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::FloorPlan::synthetic_campus(3, 0),
+               std::invalid_argument);
+}

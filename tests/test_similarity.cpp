@@ -99,6 +99,66 @@ TEST(Similarity, GapsUsePairwiseCompleteRows) {
   EXPECT_NEAR(graph.weights(0, 1), 1.0, 1e-9);
 }
 
+TEST(Similarity, KnnSparsificationKeepsStrongestEdges) {
+  const auto trace = make_trace();
+  clustering::SimilarityOptions options;
+  options.sparsification = clustering::GraphSparsification::kKnn;
+  options.knn_k = 1;
+  const auto graph =
+      clustering::build_similarity_graph(trace, {1, 2, 3, 4}, options);
+  // Each vertex keeps its single strongest edge; 1-2 are near-identical so
+  // they pick each other, and the union symmetrizes everything kept.
+  EXPECT_GT(graph.weights(0, 1), 0.9);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(graph.weights(i, j), graph.weights(j, i));
+    }
+  }
+  // With k = 1 on 4 vertices, at most 4 undirected edges survive.
+  EXPECT_LE(graph.edge_count, 4u);
+  EXPECT_GE(graph.edge_count, 2u);
+}
+
+TEST(Similarity, KnnFullDegreeKeepsEverything) {
+  const auto trace = make_trace();
+  clustering::SimilarityOptions dense_options;
+  dense_options.threshold_quantile = 0.0;  // no epsilon sparsification
+  const auto dense =
+      clustering::build_similarity_graph(trace, {1, 2, 3, 4}, dense_options);
+  clustering::SimilarityOptions knn_options;
+  knn_options.sparsification = clustering::GraphSparsification::kKnn;
+  knn_options.knn_k = 3;  // every neighbor of every vertex
+  const auto knn =
+      clustering::build_similarity_graph(trace, {1, 2, 3, 4}, knn_options);
+  // k >= n-1 keeps every positive edge, bitwise.
+  EXPECT_EQ(knn.weights, dense.weights);
+}
+
+TEST(Similarity, ConnectivityDiagnostics) {
+  const auto trace = make_trace();
+  // Default epsilon graph on the 4-channel trace: diagnostics are filled.
+  const auto graph = clustering::build_similarity_graph(trace, {1, 2, 3, 4});
+  std::size_t positive = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = i + 1; j < 4; ++j)
+      if (graph.weights(i, j) > 0.0) ++positive;
+  EXPECT_EQ(graph.edge_count, positive);
+  EXPECT_GE(graph.component_count, 1u);
+  EXPECT_LE(graph.component_count, 4u);
+
+  // A graph that k-NN provably splits: channels {1,2} co-move, {3} is on
+  // its own (4 anti-correlates with 1, clipping its weights to ~0).
+  clustering::SimilarityOptions knn_options;
+  knn_options.sparsification = clustering::GraphSparsification::kKnn;
+  knn_options.knn_k = 1;
+  const auto split =
+      clustering::build_similarity_graph(trace, {1, 2, 4}, knn_options);
+  // 1-2 strongly linked; 4's weights are all clipped to zero, so it ends
+  // up isolated — k-NN never invents edges for weightless vertices.
+  EXPECT_EQ(split.edge_count, 1u);
+  EXPECT_EQ(split.component_count, 2u);
+}
+
 TEST(Similarity, Validation) {
   const auto trace = make_trace();
   EXPECT_THROW((void)clustering::build_similarity_graph(trace, {1}),

@@ -4,7 +4,8 @@
 //       [--seed S] [--truth truth.csv]
 //   auditherm analyze --data trace.csv [--metric correlation|euclidean]
 //       [--clusters K] [--order 1|2] [--per-cluster N] [--sweep SEEDS]
-//       [--eigen jacobi|tridiagonal|auto]
+//       [--eigen jacobi|tridiagonal|lanczos|auto] [--graph epsilon|knn]
+//       [--knn K]
 //
 // Every subcommand also accepts the shared flags (--threads, --cache,
 // --metrics-out, --trace); see core/cli.hpp. Observability output goes to
@@ -85,9 +86,14 @@ cli::OptionSet analyze_options() {
        "representative sensors per cluster (default 1)"},
       {"sweep", true, false, "SEEDS",
        "compare strategies over SEEDS seeds, reusing cached stages"},
-      {"eigen", true, false, "jacobi|tridiagonal|auto",
+      {"eigen", true, false, "jacobi|tridiagonal|lanczos|auto",
        "Laplacian eigensolver (default auto: Jacobi below 64 sensors, "
-       "tridiagonal partial spectrum above)"},
+       "tridiagonal partial spectrum above, sparse Lanczos from 512)"},
+      {"graph", true, false, "epsilon|knn",
+       "similarity-graph sparsifier (default epsilon: the paper's "
+       "quantile threshold; knn keeps each sensor's K strongest edges)"},
+      {"knn", true, false, "K",
+       "neighbors per sensor for --graph knn (default 8)"},
   };
   for (auto& spec : cli::common_options()) specs.push_back(std::move(spec));
   return cli::OptionSet("analyze", std::move(specs));
@@ -212,6 +218,8 @@ int cmd_analyze(const cli::ParsedOptions& args,
       config.spectral.eigen_method = linalg::EigenMethod::kJacobi;
     } else if (*eigen == "tridiagonal") {
       config.spectral.eigen_method = linalg::EigenMethod::kTridiagonal;
+    } else if (*eigen == "lanczos") {
+      config.spectral.eigen_method = linalg::EigenMethod::kLanczos;
     } else if (*eigen == "auto") {
       config.spectral.eigen_method = linalg::EigenMethod::kAuto;
     } else {
@@ -219,6 +227,21 @@ int cmd_analyze(const cli::ParsedOptions& args,
                    eigen->c_str());
       return 2;
     }
+  }
+  if (const auto graph = args.get("graph")) {
+    if (*graph == "epsilon") {
+      config.similarity.sparsification =
+          clustering::GraphSparsification::kEpsilon;
+    } else if (*graph == "knn") {
+      config.similarity.sparsification = clustering::GraphSparsification::kKnn;
+    } else {
+      std::fprintf(stderr, "analyze: unknown --graph value '%s'\n",
+                   graph->c_str());
+      return 2;
+    }
+  }
+  if (const long knn = args.get_long("knn", 0); knn > 0) {
+    config.similarity.knn_k = static_cast<std::size_t>(knn);
   }
   config.order = args.get_long("order", 2) == 1 ? sysid::ModelOrder::kFirst
                                                 : sysid::ModelOrder::kSecond;
