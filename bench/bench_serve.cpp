@@ -1,0 +1,393 @@
+// Load generator for `auditherm serve`: hammers a daemon with a mixed
+// fleet of synthetic buildings (64 / 256 / 1024 sensors) from concurrent
+// client threads and reports cache hit rate, request latency percentiles
+// (p50/p99), and eviction behavior to BENCH_serve.json.
+//
+//   bench_serve [--requests N] [--clients N] [--workers N]
+//               [--budget-mb MB] [--days N] [--connect PORT] [--out FILE]
+//
+// By default the bench runs an in-process server on an ephemeral loopback
+// port (so CI needs no daemon choreography) and reads cache statistics
+// straight from the service. With --connect PORT it acts as a pure load
+// client against an already running `auditherm serve` on this machine —
+// the daemon reads the same generated CSVs — and recovers the cache
+// counters from GET /metrics instead.
+//
+// The building generator uses the CLI channel conventions (see
+// tools/auditherm_cli.cpp): sensor ids 1..99 skipping the 40/41
+// thermostats, then the extended range >= 200 for campus-scale counts;
+// VAV flows at 101..104; occupancy/lighting/ambient at 110/111/112.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auditherm/serve/json.hpp"
+#include "auditherm/serve/server.hpp"
+#include "auditherm/serve/service.hpp"
+#include "bench_common.hpp"
+
+using namespace auditherm;
+
+namespace {
+
+constexpr std::size_t kPerDay = 48;  // 30-minute steps
+
+/// Deterministic synthetic building with `sensor_count` temperature
+/// sensors under the CLI channel-id conventions. Zones differ in gain and
+/// phase so clustering has real structure to find; everything is a pure
+/// function of (channel, sample), so regenerated files are byte-identical
+/// and repeated requests key to the same cache entries.
+timeseries::MultiTrace make_building(std::size_t sensor_count,
+                                     std::size_t days) {
+  std::vector<timeseries::ChannelId> channels;
+  channels.reserve(sensor_count + 9);
+  for (std::size_t i = 0, id = 1; i < sensor_count; ++i, ++id) {
+    while (id == 40 || id == 41) ++id;  // thermostat ids
+    if (id >= 100 && id < 200) id = 200;  // reserved band -> extended range
+    channels.push_back(static_cast<timeseries::ChannelId>(id));
+  }
+  const std::vector<timeseries::ChannelId> rest = {
+      40, 41, 101, 102, 103, 104, sim::DatasetChannels::kOccupancy,
+      sim::DatasetChannels::kLighting, sim::DatasetChannels::kAmbient};
+  channels.insert(channels.end(), rest.begin(), rest.end());
+
+  timeseries::MultiTrace trace(timeseries::TimeGrid(0, 30, days * kPerDay),
+                               std::move(channels));
+  const std::size_t zones = 4;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const double hour = static_cast<double>(k % kPerDay) / 2.0;
+    const bool occupied = hour >= 8.0 && hour < 18.0;
+    const double daily = std::sin((hour - 6.0) * M_PI / 12.0);
+    const double occupancy = occupied ? 0.5 + 0.4 * daily : 0.0;
+    const double ambient = 10.0 + 8.0 * daily;
+    for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+      const auto id = trace.channels()[c];
+      double v = 0.0;
+      if (id == sim::DatasetChannels::kOccupancy) {
+        v = occupancy;
+      } else if (id == sim::DatasetChannels::kLighting) {
+        v = occupied ? 0.8 : 0.1;
+      } else if (id == sim::DatasetChannels::kAmbient) {
+        v = ambient;
+      } else if (id >= 101 && id <= 104) {
+        v = occupied ? 0.4 + 0.1 * static_cast<double>(id - 101) : 0.05;
+      } else {
+        // Thermostats and sensors: zone-shaped response plus a small
+        // deterministic per-channel ripple so no two sensors are equal.
+        const std::size_t zone = c % zones;
+        const double gain = 1.0 + 0.5 * static_cast<double>(zone);
+        const double phase = 0.3 * static_cast<double>(zone);
+        v = 21.0 + gain * occupancy * 2.0 + 0.2 * ambient / 10.0 +
+            0.05 * std::sin(static_cast<double>(k) * 0.37 +
+                            static_cast<double>(c) * 0.11 + phase);
+      }
+      trace.set(k, c, v);
+    }
+  }
+  return trace;
+}
+
+std::string data_dir() {
+  const char* tmp = std::getenv("TMPDIR");
+  return (tmp != nullptr && *tmp != '\0' ? std::string(tmp) : "/tmp") +
+         "/bench_serve_data";
+}
+
+/// Write the fleet's CSVs (idempotent) and return path per size.
+std::vector<std::pair<std::size_t, std::string>> write_fleet(
+    const std::vector<std::size_t>& sizes, std::size_t days) {
+  const std::string dir = data_dir();
+  (void)::system(("mkdir -p '" + dir + "'").c_str());
+  std::vector<std::pair<std::size_t, std::string>> fleet;
+  for (const std::size_t sensors : sizes) {
+    const std::string path =
+        dir + "/building_" + std::to_string(sensors) + ".csv";
+    timeseries::write_csv_file(path, make_building(sensors, days));
+    fleet.emplace_back(sensors, path);
+  }
+  return fleet;
+}
+
+/// Minimal HTTP client: one request per connection, reads to close.
+std::string http_exchange(std::uint16_t port, const std::string& method,
+                          const std::string& path, const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = method + " " + path + " HTTP/1.1\r\n" +
+                              "Host: 127.0.0.1\r\nContent-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body;
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+struct WorkItem {
+  std::string body;
+  std::size_t sensors = 0;
+};
+
+/// Mixed request schedule: repeats dominate (that is what a cache is
+/// for), weighted toward the small buildings the way a fleet dashboard
+/// polls, with option variants salted in so distinct prefix keys compete
+/// for budget.
+std::vector<WorkItem> make_schedule(
+    const std::vector<std::pair<std::size_t, std::string>>& fleet,
+    std::size_t total) {
+  const auto item = [](const std::pair<std::size_t, std::string>& b,
+                       const std::string& extra) {
+    return WorkItem{R"({"data": ")" + serve::json::escape(b.second) +
+                        R"(", "clusters": 4)" + extra + "}",
+                    b.first};
+  };
+  std::vector<WorkItem> items;
+  std::size_t i = 0;
+  while (items.size() < total) {
+    // 8-slot round: 4x smallest, 2x middle, 2x largest (one variant).
+    items.push_back(item(fleet[0], ""));
+    items.push_back(item(fleet[0], R"(, "order": 1)"));
+    items.push_back(item(fleet[0], ""));
+    items.push_back(item(fleet[0], R"(, "per_cluster": 2)"));
+    items.push_back(item(fleet[1 % fleet.size()], ""));
+    items.push_back(item(fleet[1 % fleet.size()], R"(, "order": 1)"));
+    items.push_back(item(fleet[2 % fleet.size()], ""));
+    items.push_back(
+        item(fleet[2 % fleet.size()],
+             i % 2 == 0 ? R"(, "metric": "euclidean")" : ""));
+    ++i;
+  }
+  items.resize(total);
+  return items;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Sum counters matching `prefix` from a parsed /metrics document.
+std::uint64_t sum_counters(const serve::json::Value& metrics,
+                           std::string_view prefix) {
+  const auto* counters = metrics.find("counters");
+  if (counters == nullptr || !counters->is_object()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : counters->object) {
+    if (name.starts_with(prefix)) {
+      total += static_cast<std::uint64_t>(value.number);
+    }
+  }
+  return total;
+}
+
+long long arg_long(int argc, char** argv, const char* name,
+                   long long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+const char* arg_str(int argc, char** argv, const char* name,
+                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto requests =
+      static_cast<std::size_t>(arg_long(argc, argv, "--requests", 48));
+  const auto clients =
+      static_cast<std::size_t>(arg_long(argc, argv, "--clients", 4));
+  const auto workers =
+      static_cast<std::size_t>(arg_long(argc, argv, "--workers", 4));
+  const auto budget_mb = arg_long(argc, argv, "--budget-mb", 16);
+  const auto days = static_cast<std::size_t>(arg_long(argc, argv, "--days", 10));
+  const auto connect_port = arg_long(argc, argv, "--connect", 0);
+  const std::string out_path = arg_str(argc, argv, "--out", "BENCH_serve.json");
+
+  bench::print_header("auditherm serve: concurrent load, budgeted cache");
+
+  std::printf("generating fleet (64 / 256 / 1024 sensors, %zu days)...\n",
+              days);
+  const auto fleet = write_fleet({64, 256, 1024}, days);
+  const auto schedule = make_schedule(fleet, requests);
+
+  // In-process daemon unless --connect points at an external one.
+  serve::ServiceConfig service_config;
+  service_config.cache_budget.bytes =
+      static_cast<std::size_t>(budget_mb) * 1024 * 1024;
+  serve::AnalysisService service(service_config);
+  obs::Recorder recorder;
+  const obs::RecorderScope scope(&recorder);
+  std::unique_ptr<serve::Server> server;
+  std::thread runner;
+  std::uint16_t port = 0;
+  if (connect_port > 0) {
+    port = static_cast<std::uint16_t>(connect_port);
+    std::printf("load-client mode against 127.0.0.1:%u\n", port);
+  } else {
+    serve::ServerConfig server_config;
+    server_config.port = 0;
+    server_config.workers = workers;
+    server = std::make_unique<serve::Server>(server_config, service,
+                                             &recorder);
+    server->start();
+    port = server->port();
+    runner = std::thread([&] { server->run(); });
+    std::printf("in-process daemon on 127.0.0.1:%u (%zu workers, "
+                "budget %lld MB)\n",
+                port, workers, budget_mb);
+  }
+
+  // Fire the schedule from concurrent clients pulling a shared queue.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> errors{0};
+  std::mutex latency_mutex;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(schedule.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= schedule.size()) return;
+        const auto start = std::chrono::steady_clock::now();
+        const auto response =
+            http_exchange(port, "POST", "/analyze", schedule[i].body);
+        const auto stop = std::chrono::steady_clock::now();
+        if (response.find("HTTP/1.1 200") != 0) {
+          errors.fetch_add(1);
+          continue;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        const std::lock_guard<std::mutex> lock(latency_mutex);
+        latencies_ms.push_back(ms);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  // Cache statistics: straight from the service in-process, recovered
+  // from GET /metrics when driving an external daemon.
+  std::uint64_t hits = 0, misses = 0, evictions = 0, evicted_bytes = 0;
+  std::size_t resident = 0, budget_bytes = 0;
+  if (connect_port > 0) {
+    const auto metrics_response = http_exchange(port, "GET", "/metrics", "");
+    const auto body_at = metrics_response.find("\r\n\r\n");
+    if (body_at != std::string::npos) {
+      try {
+        const auto metrics =
+            serve::json::parse(metrics_response.substr(body_at + 4));
+        hits = sum_counters(metrics, "stage_cache.hit.");
+        misses = sum_counters(metrics, "stage_cache.miss.");
+        evictions = sum_counters(metrics, "stage_cache.eviction.");
+        evicted_bytes = sum_counters(metrics, "stage_cache.evicted_bytes");
+      } catch (const serve::json::ParseError& e) {
+        std::fprintf(stderr, "warning: /metrics unparsable: %s\n", e.what());
+      }
+    }
+  } else {
+    const auto totals = service.cache().totals();
+    hits = totals.hits;
+    misses = totals.misses;
+    evictions = service.cache().eviction_count();
+    evicted_bytes = service.cache().evicted_bytes();
+    resident = service.cache().resident_bytes();
+    budget_bytes = service.cache().budget_bytes();
+    (void)http_exchange(port, "POST", "/shutdown", "");
+    runner.join();
+  }
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = percentile(latencies_ms, 50.0);
+  const double p99 = percentile(latencies_ms, 99.0);
+  const double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+
+  std::printf("\n%zu requests over %zu clients in %.2f s (%zu errors)\n",
+              schedule.size(), clients, wall_s, errors.load());
+  std::printf("latency p50 %.1f ms, p99 %.1f ms\n", p50, p99);
+  std::printf("stage cache: %llu hits / %llu misses (hit rate %.3f)\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses), hit_rate);
+  std::printf("evictions: %llu (%llu bytes); resident %zu / budget %zu\n",
+              static_cast<unsigned long long>(evictions),
+              static_cast<unsigned long long>(evicted_bytes), resident,
+              budget_bytes);
+
+  bench::JsonObject json;
+  json.add("schema", std::string("auditherm.bench_serve"));
+  json.add("schema_version", static_cast<long long>(1));
+  json.add("requests", schedule.size());
+  json.add("clients", clients);
+  json.add("errors", errors.load());
+  json.add("wall_seconds", wall_s);
+  json.add("latency_p50_ms", p50);
+  json.add("latency_p99_ms", p99);
+  json.add("cache_hits", static_cast<std::size_t>(hits));
+  json.add("cache_misses", static_cast<std::size_t>(misses));
+  json.add("cache_hit_rate", hit_rate);
+  json.add("evictions", static_cast<std::size_t>(evictions));
+  json.add("evicted_bytes", static_cast<std::size_t>(evicted_bytes));
+  json.add("resident_bytes", resident);
+  json.add("budget_bytes", budget_bytes);
+  json.add("within_budget",
+           budget_bytes == 0 || resident <= budget_bytes);
+  if (!json.write_file(out_path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return errors.load() == 0 ? 0 : 1;
+}

@@ -69,6 +69,14 @@ struct SimilarityGraph {
   std::size_t component_count = 0;  ///< connected components (weight > 0)
 };
 
+/// ADL hook for the stage cache's byte accounting (core/stage_cache.hpp).
+[[nodiscard]] inline std::size_t cache_footprint(
+    const SimilarityGraph& g) noexcept {
+  return sizeof(SimilarityGraph) +
+         g.channels.capacity() * sizeof(timeseries::ChannelId) +
+         g.weights.data().capacity() * sizeof(double);
+}
+
 /// Build the similarity graph for `channels` from their traces.
 ///
 /// Distances/correlations use pairwise-complete samples (gaps skipped).

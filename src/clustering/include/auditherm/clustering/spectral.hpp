@@ -73,6 +73,14 @@ struct SpectralAnalysis {
                                                    std::size_t k_max = 8) const;
 };
 
+/// ADL hook for the stage cache's byte accounting (core/stage_cache.hpp).
+[[nodiscard]] inline std::size_t cache_footprint(
+    const SpectralAnalysis& s) noexcept {
+  return sizeof(SpectralAnalysis) +
+         s.eigenvalues.capacity() * sizeof(double) +
+         s.eigenvectors.data().capacity() * sizeof(double);
+}
+
 /// Eigendecomposition of the (chosen) Laplacian of `weights`.
 ///
 /// `method` selects the solver (resolved against the vertex count when
@@ -105,6 +113,15 @@ struct ClusteringResult {
   /// Cluster index of a channel; throws std::invalid_argument when absent.
   [[nodiscard]] std::size_t cluster_of(timeseries::ChannelId id) const;
 };
+
+/// ADL hook for the stage cache's byte accounting (core/stage_cache.hpp).
+[[nodiscard]] inline std::size_t cache_footprint(
+    const ClusteringResult& c) noexcept {
+  return sizeof(ClusteringResult) +
+         c.channels.capacity() * sizeof(timeseries::ChannelId) +
+         c.labels.capacity() * sizeof(std::size_t) +
+         c.eigenvalues.capacity() * sizeof(double);
+}
 
 /// Spectral-clustering options.
 struct SpectralOptions {

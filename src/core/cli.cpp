@@ -62,7 +62,14 @@ ParsedOptions OptionSet::parse(int argc, const char* const* argv,
     if (std::strncmp(raw, "--", 2) != 0) {
       throw UsageError(std::string("expected --flag, got '") + raw + "'");
     }
-    const std::string name(raw + 2);
+    // Split --name=value before lookup so both spellings share the
+    // validation below.
+    std::string name(raw + 2);
+    std::optional<std::string> inline_value;
+    if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+    }
     const OptionSpec* spec = find(name);
     if (spec == nullptr) {
       throw UsageError("unknown flag --" + name + " for '" + command_ + "'");
@@ -73,10 +80,19 @@ ParsedOptions OptionSet::parse(int argc, const char* const* argv,
     }
     std::string value;
     if (spec->takes_value) {
-      if (i + 1 >= argc) {
-        throw UsageError("--" + name + " expects a value");
+      if (inline_value) {
+        value = std::move(*inline_value);
+      } else {
+        // A following token that is itself a flag means the value was
+        // forgotten — consuming it would silently misparse
+        // `--metrics-out --trace` into metrics_out = "--trace".
+        if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+          throw UsageError("--" + name + " expects a value");
+        }
+        value = argv[++i];
       }
-      value = argv[++i];
+    } else if (inline_value) {
+      throw UsageError("--" + name + " does not take a value");
     }
     out.values_.emplace(name, std::move(value));
   }

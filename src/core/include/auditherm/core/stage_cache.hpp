@@ -26,11 +26,28 @@
 ///     never copy, and a cached run is bitwise identical to an uncached
 ///     one because both execute the same builder code on the same inputs.
 ///
+/// Memory budget: a long-running cache (the `auditherm serve` daemon
+/// shares one across every request) is constructed with a CacheBudget;
+/// completed artifacts are byte-accounted through the sized_artifact
+/// trait and evicted least-recently-used once the resident set exceeds
+/// the budget. Eviction only ever removes *completed* entries — an entry
+/// with a builder in flight has no value (and no bytes) and is skipped,
+/// as is clear(): in-flight entries are generation-tagged instead, so a
+/// builder that outlives a clear() hands its artifact to its caller but
+/// never republishes it into the post-clear table, and waiters parked on
+/// it are woken to rebuild. Hits keep their shared_ptr aliases alive
+/// across eviction, so eviction is always safe; it only costs a rebuild
+/// on the next touch of that key.
+///
 /// Thread safety: get_or_build() may be called concurrently from the
-/// sweep's worker threads. One mutex guards the table; builders run with
-/// NO cache lock held (a builder may itself fan out over the thread
-/// pool, so holding a lock across build() would order it against the
-/// pool's batch mutex — a lock-order inversion TSan rejects). A key's
+/// sweep's worker threads or from serve's request threads. One mutex
+/// guards the table; builders run with NO cache lock held (a builder may
+/// itself fan out over the thread pool, so holding a lock across build()
+/// would order it against the pool's batch mutex — a lock-order inversion
+/// TSan rejects). Hit/miss/eviction bookkeeping is likewise mirrored into
+/// the current obs recorder only *after* mutex_ is released, so the cache
+/// lock never couples with the recorder's shard locks (serve installs a
+/// long-lived recorder that every request thread records into). A key's
 /// first toucher marks it building and later publishes; concurrent
 /// touchers park on a condition variable — except inside a parallel
 /// region, where parking would stall the pool, so they build a duplicate
@@ -40,6 +57,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -84,6 +102,51 @@ class StageKeyHasher {
 [[nodiscard]] std::uint64_t trace_fingerprint(
     const timeseries::TraceView& trace);
 
+/// Memory budget for a StageCache. `bytes == 0` (the default) means
+/// unlimited — the historical grow-only behavior, right for one-shot CLI
+/// runs and sweeps whose working set is bounded by construction.
+struct CacheBudget {
+  std::size_t bytes = 0;
+};
+
+/// --- sized_artifact: per-entry byte accounting ---------------------------
+///
+/// Estimated resident bytes of a cached artifact, used by the budgeted
+/// cache's LRU accounting. Customize for a type by providing an
+/// ADL-visible `std::size_t cache_footprint(const T&)` in T's namespace
+/// (the library does so for Matrix, MultiTrace, SimilarityGraph,
+/// SpectralAnalysis, and ClusteringResult). Without one, std::vector
+/// payloads are recursed generically and anything else is accounted as
+/// sizeof(T). Estimates need not be exact — they must only be
+/// deterministic and proportional, so eviction order and budget
+/// enforcement are reproducible.
+namespace size_detail {
+template <typename T>
+inline constexpr bool is_std_vector = false;
+template <typename T, typename A>
+inline constexpr bool is_std_vector<std::vector<T, A>> = true;
+}  // namespace size_detail
+
+template <typename T>
+struct sized_artifact {
+  [[nodiscard]] static std::size_t bytes(const T& v) {
+    if constexpr (requires { cache_footprint(v); }) {
+      return static_cast<std::size_t>(cache_footprint(v));
+    } else if constexpr (size_detail::is_std_vector<T>) {
+      using U = typename T::value_type;
+      std::size_t total = sizeof(T) + v.capacity() * sizeof(U);
+      if constexpr (!std::is_trivially_copyable_v<U>) {
+        // Non-trivial elements own further heap payloads; their in-buffer
+        // header bytes are already counted in the capacity term.
+        for (const auto& e : v) total += sized_artifact<U>::bytes(e) - sizeof(U);
+      }
+      return total;
+    } else {
+      return sizeof(T);
+    }
+  }
+};
+
 /// Hit/miss counters for one stage (or the cache-wide totals). Backed by
 /// the cache's own obs::MetricsRegistry (`stage_cache.hit.<stage>` /
 /// `stage_cache.miss.<stage>` counters); stats() and totals() are thin
@@ -95,7 +158,8 @@ struct StageStats {
   std::size_t misses = 0;  ///< == number of times the stage was computed
 };
 
-/// Thread-safe content-keyed memo table for pipeline stage artifacts.
+/// Thread-safe content-keyed memo table for pipeline stage artifacts,
+/// optionally bounded by a byte budget with LRU eviction.
 ///
 /// Values are type-erased internally; get_or_build<T> stores and returns
 /// shared_ptr<const T>. A key must always be used with the same T (keys
@@ -103,6 +167,7 @@ struct StageStats {
 class StageCache {
  public:
   StageCache() = default;
+  explicit StageCache(CacheBudget budget) : budget_(budget) {}
   StageCache(const StageCache&) = delete;
   StageCache& operator=(const StageCache&) = delete;
 
@@ -114,8 +179,10 @@ class StageCache {
   std::shared_ptr<const T> get_or_build(std::string_view stage,
                                         std::uint64_t key, BuildFn&& build) {
     auto erased = get_or_build_erased(
-        stage, tag_key(stage, key), [&]() -> std::shared_ptr<const void> {
-          return std::make_shared<const T>(build());
+        stage, tag_key(stage, key), [&]() -> ErasedArtifact {
+          auto value = std::make_shared<const T>(build());
+          const std::size_t bytes = sized_artifact<T>::bytes(*value);
+          return ErasedArtifact{std::move(value), bytes};
         });
     return std::static_pointer_cast<const T>(std::move(erased));
   }
@@ -126,17 +193,52 @@ class StageCache {
   [[nodiscard]] StageStats totals() const;
   /// Number of cached artifacts.
   [[nodiscard]] std::size_t size() const;
-  /// Drop every artifact and reset the visible hit/miss counters. The
-  /// backing registry stays monotonic (counters never decrease, matching
-  /// what a run recorder mirrors); stats()/totals() report deltas since
-  /// the last clear().
+  /// Byte-accounted size of every completed artifact currently resident.
+  [[nodiscard]] std::size_t resident_bytes() const;
+  /// The configured budget (0 = unlimited).
+  [[nodiscard]] std::size_t budget_bytes() const noexcept {
+    return budget_.bytes;
+  }
+  /// Entries evicted over the cache's lifetime (monotonic; clear() does
+  /// not count as eviction).
+  [[nodiscard]] std::uint64_t eviction_count() const;
+  /// Bytes reclaimed by eviction over the cache's lifetime (monotonic).
+  [[nodiscard]] std::uint64_t evicted_bytes() const;
+  /// Drop every completed artifact and reset the visible hit/miss
+  /// counters. Entries with a builder in flight are generation-tagged
+  /// rather than erased: the running builder's result is handed to its
+  /// caller but never republished, and its waiters rebuild against the
+  /// post-clear table. The backing registry stays monotonic (counters
+  /// never decrease, matching what a run recorder mirrors);
+  /// stats()/totals() report deltas since the last clear().
   void clear();
 
  private:
+  /// A type-erased artifact plus its sized_artifact byte estimate.
+  struct ErasedArtifact {
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+  };
+
   struct Entry {
     std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
     bool building = false;  ///< a builder is running for this key
+    /// generation_ at claim time; a clear() during the build bumps the
+    /// cache generation so the publish detects staleness.
+    std::uint64_t generation = 0;
+    std::string stage;  ///< stage name, for eviction counters
+    /// Position in lru_ (valid iff in_lru). Only completed, non-building
+    /// entries are LRU-linked — eviction can never remove an in-flight
+    /// build.
+    std::list<std::uint64_t>::iterator lru;
+    bool in_lru = false;
   };
+
+  /// Deferred counter mirror: (name, delta) pairs recorded while holding
+  /// mutex_ and flushed into registry_ / the current obs recorder after
+  /// it is released, so the cache lock never nests recorder locks.
+  using PendingEvents = std::vector<std::pair<std::string, std::uint64_t>>;
 
   /// Fold the stage name into the key so two stages with equal content
   /// keys address different slots.
@@ -145,16 +247,36 @@ class StageCache {
 
   std::shared_ptr<const void> get_or_build_erased(
       std::string_view stage, std::uint64_t tagged_key,
-      const std::function<std::shared_ptr<const void>()>& build);
+      const std::function<ErasedArtifact()>& build);
 
-  /// Record a hit/miss in the backing registry (and mirror it to the
-  /// current run recorder, if one is installed). Caller holds mutex_.
+  /// Record a hit/miss into registry_ and mirror it to the current run
+  /// recorder. Called with mutex_ NOT held.
   void count_event(std::string_view stage, bool hit);
+  /// Flush deferred eviction/gauge events. Called with mutex_ NOT held.
+  void flush_events(const PendingEvents& events);
+
+  // --- locked helpers (caller holds mutex_) ------------------------------
+  void touch_locked(Entry& entry);
+  void insert_lru_locked(Entry& entry, std::uint64_t key);
+  void publish_locked(Entry& entry, std::uint64_t key, std::string_view stage,
+                      ErasedArtifact&& built);
+  /// Evict LRU-tail entries until resident_bytes_ fits the budget,
+  /// appending one eviction counter event per entry to `events`.
+  void evict_over_budget_locked(PendingEvents& events);
 
   mutable std::mutex mutex_;
   std::condition_variable build_done_;
   std::unordered_map<std::uint64_t, Entry> entries_;
-  /// Hit/miss counters; see StageStats for the naming scheme.
+  /// Completed entries, most recently used first.
+  std::list<std::uint64_t> lru_;
+  CacheBudget budget_;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t evicted_bytes_ = 0;
+  /// Bumped by clear(); in-flight builds claimed under an older
+  /// generation publish to their caller only.
+  std::uint64_t generation_ = 0;
+  /// Hit/miss/eviction counters; see StageStats for the naming scheme.
   obs::MetricsRegistry registry_;
   /// Counter values captured at the last clear(); stats()/totals()
   /// subtract these so clear() resets the visible numbers without making

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "auditherm/core/parallel.hpp"
 #include "auditherm/obs/trace_span.hpp"
@@ -18,6 +19,9 @@ constexpr std::uint64_t kNanSentinel = 0x7ff8dead00000000ull;
 
 constexpr std::string_view kHitPrefix = "stage_cache.hit.";
 constexpr std::string_view kMissPrefix = "stage_cache.miss.";
+constexpr std::string_view kEvictionPrefix = "stage_cache.eviction.";
+constexpr std::string_view kEvictedBytes = "stage_cache.evicted_bytes";
+constexpr std::string_view kResidentGauge = "stage_cache.resident_bytes";
 
 std::string event_name(std::string_view prefix, std::string_view stage) {
   std::string name;
@@ -96,20 +100,64 @@ std::uint64_t StageCache::tag_key(std::string_view stage,
   return h.value();
 }
 
+void StageCache::touch_locked(Entry& entry) {
+  if (entry.in_lru) lru_.splice(lru_.begin(), lru_, entry.lru);
+}
+
+void StageCache::insert_lru_locked(Entry& entry, std::uint64_t key) {
+  entry.lru = lru_.insert(lru_.begin(), key);
+  entry.in_lru = true;
+}
+
+void StageCache::publish_locked(Entry& entry, std::uint64_t key,
+                                std::string_view stage,
+                                ErasedArtifact&& built) {
+  entry.value = std::move(built.value);
+  entry.bytes = built.bytes;
+  entry.stage.assign(stage);
+  resident_bytes_ += entry.bytes;
+  // In-flight entries stay out of the LRU list so eviction can never
+  // remove a key someone is still building under; the claimer links the
+  // entry when it finishes.
+  if (!entry.building) insert_lru_locked(entry, key);
+}
+
+void StageCache::evict_over_budget_locked(PendingEvents& events) {
+  if (budget_.bytes == 0) return;
+  while (resident_bytes_ > budget_.bytes && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    // lru_ holds only completed entries, so the lookup always succeeds.
+    resident_bytes_ -= it->second.bytes;
+    ++evictions_;
+    evicted_bytes_ += it->second.bytes;
+    events.emplace_back(event_name(kEvictionPrefix, it->second.stage), 1);
+    events.emplace_back(std::string(kEvictedBytes), it->second.bytes);
+    entries_.erase(it);
+  }
+}
+
 std::shared_ptr<const void> StageCache::get_or_build_erased(
     std::string_view stage, std::uint64_t tagged_key,
-    const std::function<std::shared_ptr<const void>()>& build) {
+    const std::function<ErasedArtifact()>& build) {
   bool claimed = false;
+  std::uint64_t claim_gen = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
       Entry& entry = entries_[tagged_key];
       if (entry.value) {
+        touch_locked(entry);
+        std::shared_ptr<const void> value = entry.value;
+        lock.unlock();
         count_event(stage, /*hit=*/true);
-        return entry.value;
+        return value;
       }
       if (!entry.building) {
         entry.building = true;
+        entry.generation = generation_;
+        claim_gen = generation_;
         claimed = true;
         break;
       }
@@ -117,7 +165,10 @@ std::shared_ptr<const void> StageCache::get_or_build_erased(
       // region would stall the pool the builder may itself be waiting
       // for, so there we race a duplicate build instead (first publish
       // wins); otherwise wait for the builder to publish.
-      if (detail::in_parallel_region()) break;
+      if (detail::in_parallel_region()) {
+        claim_gen = generation_;
+        break;
+      }
       build_done_.wait(lock);
     }
   }
@@ -125,33 +176,95 @@ std::shared_ptr<const void> StageCache::get_or_build_erased(
   // The builder runs with no cache lock held: it may fan out over the
   // thread pool, and holding a lock here would order the cache against
   // the pool's internals (lock-order inversion).
-  std::shared_ptr<const void> value;
+  ErasedArtifact built;
   try {
-    value = build();
+    built = build();
   } catch (...) {
     if (claimed) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      entries_[tagged_key].building = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(tagged_key);
+        // Our claim is identified by (building, claim generation): clear()
+        // keeps in-flight entries and eviction skips them, so nobody else
+        // can have reclaimed the key while we were building.
+        if (it != entries_.end() && it->second.building &&
+            it->second.generation == claim_gen) {
+          if (it->second.value) {
+            // A duplicate builder published while we failed; keep its
+            // artifact and make it evictable.
+            it->second.building = false;
+            if (!it->second.in_lru) insert_lru_locked(it->second, tagged_key);
+          } else {
+            entries_.erase(it);
+          }
+        }
+      }
       build_done_.notify_all();
     }
     throw;
   }
 
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Entry& entry = entries_[tagged_key];
-  if (!entry.value) {
-    entry.value = std::move(value);
-    count_event(stage, /*hit=*/false);
-  } else {
-    // Lost a duplicate-build race; keep the published artifact so every
-    // caller aliases the same object.
-    count_event(stage, /*hit=*/true);
+  std::shared_ptr<const void> result = built.value;
+  bool hit = false;
+  PendingEvents events;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = entries_.find(tagged_key);
+    if (claim_gen != generation_) {
+      // clear() ran while we were building: the table we claimed into no
+      // longer exists. Hand the artifact to our caller (it is a correct
+      // value for the key) but do NOT republish it; drop our stale claim
+      // so post-clear callers rebuild from scratch.
+      if (claimed && it != entries_.end() && it->second.building &&
+          it->second.generation == claim_gen) {
+        entries_.erase(it);
+      }
+      lock.unlock();
+      if (claimed) build_done_.notify_all();
+      count_event(stage, /*hit=*/false);
+      return result;
+    }
+    if (claimed) {
+      // The entry is ours and still present (clear() keeps in-flight
+      // entries, eviction skips them).
+      Entry& entry = it->second;
+      entry.building = false;
+      if (!entry.value) {
+        publish_locked(entry, tagged_key, stage, std::move(built));
+      } else {
+        // Lost a duplicate-build race; keep the published artifact so
+        // every caller aliases the same object.
+        result = entry.value;
+        hit = true;
+        if (!entry.in_lru) insert_lru_locked(entry, tagged_key);
+        touch_locked(entry);
+      }
+      evict_over_budget_locked(events);
+    } else {
+      // Duplicate build from inside a parallel region: publish only if
+      // the entry still exists and nobody beat us to it.
+      if (it == entries_.end()) {
+        // Evicted (or erased by a failed claimer) since we broke out;
+        // our caller still gets the freshly built artifact.
+        lock.unlock();
+        count_event(stage, /*hit=*/false);
+        return result;
+      }
+      Entry& entry = it->second;
+      if (entry.value) {
+        result = entry.value;
+        hit = true;
+        touch_locked(entry);
+      } else {
+        publish_locked(entry, tagged_key, stage, std::move(built));
+        evict_over_budget_locked(events);
+      }
+    }
   }
-  if (claimed) {
-    entry.building = false;
-    build_done_.notify_all();
-  }
-  return entry.value;
+  if (claimed) build_done_.notify_all();
+  count_event(stage, hit);
+  flush_events(events);
+  return result;
 }
 
 void StageCache::count_event(std::string_view stage, bool hit) {
@@ -160,7 +273,27 @@ void StageCache::count_event(std::string_view stage, bool hit) {
   registry_.add_counter(name);
   // Mirror into the current run recorder (if one is installed) so
   // --metrics-out JSON carries cache behavior without caller plumbing.
+  // Runs with mutex_ released: the recorder's shard locks must never
+  // nest inside the cache lock (serve shares one recorder across every
+  // request thread).
   obs::add_counter(name);
+}
+
+void StageCache::flush_events(const PendingEvents& events) {
+  if (events.empty()) return;
+  for (const auto& [name, delta] : events) {
+    registry_.add_counter(name, delta);
+    obs::add_counter(name, delta);
+  }
+  // Gauge the post-eviction resident set so /metrics exports show the
+  // budget holding. Reading resident_bytes() re-locks briefly; the value
+  // is advisory (monotonic correctness lives in the counters above).
+  const double resident = static_cast<double>(resident_bytes());
+  registry_.set_gauge(kResidentGauge, resident);
+  if (obs::kCompiledIn) {
+    static const obs::MetricId id = obs::gauge_id(kResidentGauge);
+    obs::set_gauge(id, resident);
+  }
 }
 
 StageStats StageCache::stats(std::string_view stage) const {
@@ -206,14 +339,51 @@ std::size_t StageCache::size() const {
   return n;
 }
 
-void StageCache::clear() {
+std::size_t StageCache::resident_bytes() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
-  // Reset the visible counters by re-baselining, keeping the registry's
-  // counters (and the mirrored run-recorder copies) monotonic.
-  for (const auto& [name, value] : registry_.snapshot().counters) {
-    baseline_[name] = value;
+  return resident_bytes_;
+}
+
+std::uint64_t StageCache::eviction_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::uint64_t StageCache::evicted_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_bytes_;
+}
+
+void StageCache::clear() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // In-flight builds are generation-tagged, not erased: the running
+    // builder finds its claim (now stale) and drops it on publish, so no
+    // pre-clear artifact is ever republished and no waiter parks on an
+    // entry that silently vanished. Their values (a duplicate builder may
+    // have published one) are dropped here like every completed entry's.
+    ++generation_;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.building) {
+        it->second.value.reset();
+        it->second.bytes = 0;
+        it->second.in_lru = false;
+        ++it;
+      } else {
+        it = entries_.erase(it);
+      }
+    }
+    lru_.clear();
+    resident_bytes_ = 0;
+    // Reset the visible counters by re-baselining, keeping the registry's
+    // counters (and the mirrored run-recorder copies) monotonic. This is
+    // the cache's own registry — never the run recorder's — so holding
+    // mutex_ across the snapshot cannot couple with recorder locks.
+    for (const auto& [name, value] : registry_.snapshot().counters) {
+      baseline_[name] = value;
+    }
   }
+  build_done_.notify_all();
 }
 
 }  // namespace auditherm::core

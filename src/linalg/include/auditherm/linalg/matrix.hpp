@@ -132,4 +132,10 @@ class Matrix {
 /// Stream a matrix in a compact human-readable grid (for diagnostics).
 std::ostream& operator<<(std::ostream& os, const Matrix& m);
 
+/// ADL hook for the stage cache's byte accounting (core/stage_cache.hpp):
+/// object header plus the heap storage behind data().
+[[nodiscard]] inline std::size_t cache_footprint(const Matrix& m) noexcept {
+  return sizeof(Matrix) + m.data().capacity() * sizeof(double);
+}
+
 }  // namespace auditherm::linalg

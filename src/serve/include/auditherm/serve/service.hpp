@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file service.hpp
+/// The transport-independent analysis service behind `auditherm serve`
+/// and the one-shot `auditherm analyze` subcommand.
+///
+/// Both front-ends decode their inputs into one AnalyzeRequest and render
+/// the result through the same report builder, which is what makes a
+/// daemon response byte-identical to the one-shot CLI's stdout for the
+/// same inputs — there is exactly one code path from request to text.
+///
+/// Request batching (DESIGN.md §"Serving"): concurrent requests that
+/// share a *stage-key prefix* — same trace bytes and same Step-1-relevant
+/// options (metric, graph, eigen, clusters, knn), regardless of order /
+/// per-cluster / sweep — coalesce onto one prepared Step-1 context the
+/// way run_strategy_sweep fans its cases out over one prepare() call. The
+/// first request in leads and prepares through the shared StageCache;
+/// joiners block until the context publishes, then run Steps 2-3 against
+/// it. The context is held by weak_ptr, so a batch lives exactly as long
+/// as some request is using it; the underlying artifacts stay in the
+/// budgeted StageCache and re-prepare as pure cache hits later.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "auditherm/core/pipeline.hpp"
+#include "auditherm/core/stage_cache.hpp"
+#include "auditherm/serve/json.hpp"
+#include "auditherm/timeseries/multi_trace.hpp"
+
+namespace auditherm::serve {
+
+/// One analysis request — a field per `auditherm analyze` flag, with the
+/// same defaults, so CLI args and JSON bodies decode into the same shape.
+struct AnalyzeRequest {
+  std::string data;     ///< trace CSV path (required)
+  std::string metric;   ///< "correlation" (default) | "euclidean"
+  long clusters = 0;    ///< 0 = eigengap choice
+  long order = 2;       ///< model order, 1 | 2
+  long per_cluster = 1; ///< representatives per cluster
+  long sweep = 0;       ///< seeds for the strategy sweep (0 = none)
+  std::string eigen;    ///< "" = auto | jacobi | tridiagonal | lanczos
+  std::string graph;    ///< "" = epsilon | knn
+  long knn = 0;         ///< neighbors for --graph knn (0 = default)
+};
+
+/// Decode a JSON object body ({"data": "...", "clusters": 3, ...}) into a
+/// request. Unknown keys and wrongly typed values throw
+/// std::invalid_argument — a typo'd option silently falling back to a
+/// default would return a *valid-looking but wrong* report.
+[[nodiscard]] AnalyzeRequest request_from_json(const json::Value& body);
+
+/// Partition a loaded trace's channels by the library conventions:
+/// ids 40/41 are the HVAC thermostats, other ids < 100 are wireless
+/// temperature sensors, 101..109 VAV flows, 110/111/112 the
+/// occupancy/lighting/ambient inputs. Ids >= 200 are *extended-range*
+/// temperature sensors — synthetic campus-scale buildings outgrow the
+/// two-digit id space of the paper's auditorium; 100..199 stays reserved.
+struct ChannelSets {
+  std::vector<timeseries::ChannelId> sensors;
+  std::vector<timeseries::ChannelId> thermostats;
+  std::vector<timeseries::ChannelId> inputs;  ///< [flows..., occ, light, amb]
+};
+
+/// Classify `trace`'s channels; throws std::runtime_error when fewer than
+/// 2 sensors or 2 inputs are present (the pipeline needs both).
+[[nodiscard]] ChannelSets classify_channels(
+    const timeseries::MultiTrace& trace);
+
+/// Human-readable strategy name used in sweep tables.
+[[nodiscard]] const char* strategy_name(core::SelectionStrategy strategy);
+
+/// Service configuration.
+struct ServiceConfig {
+  /// Byte budget for the shared stage cache (0 = unlimited). The daemon
+  /// front-end sets this from --cache-budget-mb.
+  core::CacheBudget cache_budget;
+  /// When false the stage cache is bypassed entirely (the CLI's
+  /// --cache off); results are bitwise identical either way.
+  bool cache_enabled = true;
+};
+
+/// Stateful analysis engine: owns the shared StageCache and turns
+/// AnalyzeRequests into report strings. Thread-safe — serve's worker
+/// threads call analyze() concurrently; the one-shot CLI constructs a
+/// short-lived instance and calls it once.
+class AnalysisService {
+ public:
+  explicit AnalysisService(ServiceConfig config = {});
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Run one analysis and return the report text (the one-shot CLI's
+  /// exact stdout). Throws cli-level std::invalid_argument for bad option
+  /// values and std::runtime_error for data problems.
+  [[nodiscard]] std::string analyze(const AnalyzeRequest& request);
+
+  /// The stage-key-prefix identity of a request: requests with equal keys
+  /// share every Step-1 artifact and batch onto one prepared context.
+  /// Loads (and caches) the trace to fingerprint its bytes.
+  [[nodiscard]] std::uint64_t prefix_key(const AnalyzeRequest& request);
+
+  [[nodiscard]] const core::StageCache& cache() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] core::StageCache& cache() noexcept { return cache_; }
+
+ private:
+  /// Everything Step-2/3 of a request needs from the shared Step-1 work.
+  struct PreparedContext {
+    std::shared_ptr<const timeseries::MultiTrace> trace;
+    std::uint64_t raw_hash = 0;  ///< FNV-1a of the CSV bytes
+    ChannelSets sets;
+    core::DataSplit split;
+    core::StageArtifacts artifacts;
+  };
+
+  /// In-flight/live batch bookkeeping per prefix key (guarded by
+  /// batch_mutex_). Mirrors the StageCache entry protocol: one leader
+  /// builds, joiners wait on batch_cv_; ctx is weak so a finished batch
+  /// releases its pin on the artifacts.
+  struct BatchSlot {
+    bool building = false;
+    std::weak_ptr<const PreparedContext> ctx;
+  };
+
+  /// Load a trace CSV, memoized in the stage cache under the raw byte
+  /// hash (stage "trace_load") so repeated requests against the same file
+  /// skip the parse. Returns the trace and its byte hash.
+  [[nodiscard]] std::pair<std::shared_ptr<const timeseries::MultiTrace>,
+                          std::uint64_t>
+  load_trace(const std::string& path);
+
+  /// Translate request options into a pipeline configuration (validates
+  /// eigen/graph values; throws std::invalid_argument on unknown ones).
+  [[nodiscard]] static core::PipelineConfig make_config(
+      const AnalyzeRequest& request);
+
+  [[nodiscard]] static std::uint64_t prefix_key_for(
+      std::uint64_t raw_hash, const AnalyzeRequest& request);
+
+  /// Fetch or build the shared Step-1 context for a request (the batch
+  /// entry point).
+  [[nodiscard]] std::shared_ptr<const PreparedContext> prepare_context(
+      const AnalyzeRequest& request,
+      std::shared_ptr<const timeseries::MultiTrace> trace,
+      std::uint64_t raw_hash);
+
+  ServiceConfig config_;
+  core::StageCache cache_;
+
+  std::mutex batch_mutex_;
+  std::condition_variable batch_cv_;
+  std::unordered_map<std::uint64_t, BatchSlot> batches_;
+};
+
+}  // namespace auditherm::serve

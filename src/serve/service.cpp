@@ -1,0 +1,385 @@
+#include "auditherm/serve/service.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "auditherm/core/cli.hpp"
+#include "auditherm/hvac/schedule.hpp"
+#include "auditherm/obs/trace_span.hpp"
+#include "auditherm/sim/dataset.hpp"
+#include "auditherm/timeseries/csv_io.hpp"
+
+namespace auditherm::serve {
+
+namespace {
+
+/// printf-style accumulation into a string. The report uses the exact
+/// format strings the one-shot CLI used to printf to stdout — same
+/// formats, same snprintf engine, hence the same bytes.
+class Report {
+ public:
+  [[gnu::format(printf, 2, 3)]] void append(const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    char stack[512];
+    std::va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(stack, sizeof(stack), fmt, args);
+    va_end(args);
+    if (n < 0) {
+      va_end(copy);
+      return;
+    }
+    if (static_cast<std::size_t>(n) < sizeof(stack)) {
+      text_.append(stack, static_cast<std::size_t>(n));
+    } else {
+      std::string big(static_cast<std::size_t>(n) + 1, '\0');
+      std::vsnprintf(big.data(), big.size(), fmt, copy);
+      text_.append(big.data(), static_cast<std::size_t>(n));
+    }
+    va_end(copy);
+  }
+
+  [[nodiscard]] std::string take() { return std::move(text_); }
+
+ private:
+  std::string text_;
+};
+
+long integer_field(const json::Value& v, const std::string& key) {
+  if (!v.is_number() || v.number != std::floor(v.number)) {
+    throw std::invalid_argument("analyze request: '" + key +
+                                "' must be an integer");
+  }
+  return static_cast<long>(v.number);
+}
+
+std::string string_field(const json::Value& v, const std::string& key) {
+  if (!v.is_string()) {
+    throw std::invalid_argument("analyze request: '" + key +
+                                "' must be a string");
+  }
+  return v.string;
+}
+
+}  // namespace
+
+AnalyzeRequest request_from_json(const json::Value& body) {
+  if (!body.is_object()) {
+    throw std::invalid_argument("analyze request: body must be a JSON object");
+  }
+  AnalyzeRequest request;
+  for (const auto& [key, value] : body.object) {
+    if (key == "data") {
+      request.data = string_field(value, key);
+    } else if (key == "metric") {
+      request.metric = string_field(value, key);
+    } else if (key == "clusters") {
+      request.clusters = integer_field(value, key);
+    } else if (key == "order") {
+      request.order = integer_field(value, key);
+    } else if (key == "per_cluster") {
+      request.per_cluster = integer_field(value, key);
+    } else if (key == "sweep") {
+      request.sweep = integer_field(value, key);
+    } else if (key == "eigen") {
+      request.eigen = string_field(value, key);
+    } else if (key == "graph") {
+      request.graph = string_field(value, key);
+    } else if (key == "knn") {
+      request.knn = integer_field(value, key);
+    } else {
+      throw std::invalid_argument("analyze request: unknown key '" + key +
+                                  "'");
+    }
+  }
+  if (request.data.empty()) {
+    throw std::invalid_argument("analyze request: 'data' is required");
+  }
+  return request;
+}
+
+const char* strategy_name(core::SelectionStrategy strategy) {
+  switch (strategy) {
+    case core::SelectionStrategy::kStratifiedNearMean: return "near-mean";
+    case core::SelectionStrategy::kStratifiedRandom: return "stratified-random";
+    case core::SelectionStrategy::kSimpleRandom: return "simple-random";
+    case core::SelectionStrategy::kThermostats: return "thermostats";
+    case core::SelectionStrategy::kGaussianProcess: return "gaussian-process";
+  }
+  return "?";
+}
+
+ChannelSets classify_channels(const timeseries::MultiTrace& trace) {
+  ChannelSets sets;
+  std::vector<timeseries::ChannelId> flows;
+  for (auto id : trace.channels()) {
+    if (id == 40 || id == 41) {
+      sets.thermostats.push_back(id);
+    } else if (id < 100 || id >= 200) {
+      sets.sensors.push_back(id);
+    } else if (id >= sim::DatasetChannels::kVavBase &&
+               id < sim::DatasetChannels::kOccupancy) {
+      flows.push_back(id);
+    }
+  }
+  sets.inputs = flows;
+  for (auto id : {sim::DatasetChannels::kOccupancy,
+                  sim::DatasetChannels::kLighting,
+                  sim::DatasetChannels::kAmbient}) {
+    if (trace.channel_index(id)) sets.inputs.push_back(id);
+  }
+  if (sets.sensors.size() < 2 || sets.inputs.size() < 2) {
+    throw std::runtime_error(
+        "analyze: trace lacks sensor (<100) or input (>=101) channels");
+  }
+  return sets;
+}
+
+AnalysisService::AnalysisService(ServiceConfig config)
+    : config_(config), cache_(config.cache_budget) {}
+
+std::pair<std::shared_ptr<const timeseries::MultiTrace>, std::uint64_t>
+AnalysisService::load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("analyze: could not read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  core::StageKeyHasher h;
+  h.add(std::string_view(bytes));
+  const std::uint64_t raw_hash = h.value();
+
+  const auto parse = [&] {
+    std::istringstream stream(bytes);
+    return timeseries::read_csv(stream);
+  };
+  if (!config_.cache_enabled) {
+    return {std::make_shared<const timeseries::MultiTrace>(parse()),
+            raw_hash};
+  }
+  return {cache_.get_or_build<timeseries::MultiTrace>("trace_load", raw_hash,
+                                                      parse),
+          raw_hash};
+}
+
+core::PipelineConfig AnalysisService::make_config(
+    const AnalyzeRequest& request) {
+  namespace cli = core::cli;
+  core::PipelineConfig config;
+  if (!request.metric.empty()) {
+    // Matches the historical CLI decode: anything but "euclidean" selects
+    // the (default) correlation metric.
+    config.similarity.metric = request.metric == "euclidean"
+                                   ? clustering::SimilarityMetric::kEuclidean
+                                   : clustering::SimilarityMetric::kCorrelation;
+  }
+  config.spectral.cluster_count = static_cast<std::size_t>(request.clusters);
+  if (!request.eigen.empty()) {
+    if (request.eigen == "jacobi") {
+      config.spectral.eigen_method = linalg::EigenMethod::kJacobi;
+    } else if (request.eigen == "tridiagonal") {
+      config.spectral.eigen_method = linalg::EigenMethod::kTridiagonal;
+    } else if (request.eigen == "lanczos") {
+      config.spectral.eigen_method = linalg::EigenMethod::kLanczos;
+    } else if (request.eigen == "auto") {
+      config.spectral.eigen_method = linalg::EigenMethod::kAuto;
+    } else {
+      throw cli::UsageError("analyze: unknown --eigen value '" +
+                            request.eigen + "'");
+    }
+  }
+  if (!request.graph.empty()) {
+    if (request.graph == "epsilon") {
+      config.similarity.sparsification =
+          clustering::GraphSparsification::kEpsilon;
+    } else if (request.graph == "knn") {
+      config.similarity.sparsification = clustering::GraphSparsification::kKnn;
+    } else {
+      throw cli::UsageError("analyze: unknown --graph value '" +
+                            request.graph + "'");
+    }
+  }
+  if (request.knn > 0) {
+    config.similarity.knn_k = static_cast<std::size_t>(request.knn);
+  }
+  config.order = request.order == 1 ? sysid::ModelOrder::kFirst
+                                    : sysid::ModelOrder::kSecond;
+  config.sensors_per_cluster = static_cast<std::size_t>(request.per_cluster);
+  return config;
+}
+
+std::uint64_t AnalysisService::prefix_key_for(std::uint64_t raw_hash,
+                                              const AnalyzeRequest& request) {
+  // Fold exactly the request fields prepare() consumes: trace bytes plus
+  // the Step-1 options. Order, per_cluster, and sweep select/fit only —
+  // requests differing in them still share one prepared context.
+  const core::PipelineConfig config = make_config(request);
+  core::StageKeyHasher h;
+  h.add(raw_hash);
+  h.add(static_cast<std::uint64_t>(config.similarity.metric));
+  h.add(static_cast<std::uint64_t>(config.similarity.sparsification));
+  h.add(static_cast<std::uint64_t>(config.similarity.knn_k));
+  h.add(static_cast<std::uint64_t>(config.spectral.cluster_count));
+  h.add(static_cast<std::uint64_t>(config.spectral.eigen_method));
+  return h.value();
+}
+
+std::uint64_t AnalysisService::prefix_key(const AnalyzeRequest& request) {
+  return prefix_key_for(load_trace(request.data).second, request);
+}
+
+std::shared_ptr<const AnalysisService::PreparedContext>
+AnalysisService::prepare_context(
+    const AnalyzeRequest& request,
+    std::shared_ptr<const timeseries::MultiTrace> trace,
+    std::uint64_t raw_hash) {
+  const std::uint64_t key = prefix_key_for(raw_hash, request);
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(batch_mutex_);
+    for (;;) {
+      BatchSlot& slot = batches_[key];
+      if (auto live = slot.ctx.lock()) {
+        lock.unlock();
+        obs::add_counter("serve.batch.join");
+        return live;
+      }
+      if (!slot.building) {
+        slot.building = true;
+        leader = true;
+        break;
+      }
+      batch_cv_.wait(lock);
+    }
+    // Opportunistic pruning: slots are a dozen bytes, but a daemon that
+    // sees many distinct traces should not grow the map forever.
+    if (batches_.size() > 64) {
+      for (auto it = batches_.begin(); it != batches_.end();) {
+        if (!it->second.building && it->second.ctx.expired() &&
+            it->first != key) {
+          it = batches_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  auto ctx = std::make_shared<PreparedContext>();
+  try {
+    ctx->trace = std::move(trace);
+    ctx->raw_hash = raw_hash;
+    ctx->sets = classify_channels(*ctx->trace);
+    auto required = ctx->sets.sensors;
+    required.insert(required.end(), ctx->sets.thermostats.begin(),
+                    ctx->sets.thermostats.end());
+    required.insert(required.end(), ctx->sets.inputs.begin(),
+                    ctx->sets.inputs.end());
+    const hvac::Schedule schedule;
+    ctx->split = core::split_dataset(*ctx->trace, required, schedule,
+                                     hvac::Mode::kOccupied);
+    const core::ThermalModelingPipeline pipeline(make_config(request));
+    ctx->artifacts = pipeline.prepare(
+        *ctx->trace, schedule, ctx->split, ctx->sets.sensors,
+        ctx->sets.inputs, config_.cache_enabled ? &cache_ : nullptr);
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(batch_mutex_);
+      batches_[key].building = false;
+    }
+    batch_cv_.notify_all();
+    throw;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(batch_mutex_);
+    BatchSlot& slot = batches_[key];
+    slot.building = false;
+    slot.ctx = ctx;
+  }
+  batch_cv_.notify_all();
+  if (leader) obs::add_counter("serve.batch.lead");
+  return ctx;
+}
+
+std::string AnalysisService::analyze(const AnalyzeRequest& request) {
+  obs::add_counter("serve.request");
+  Report report;
+  report.append("loading %s...\n", request.data.c_str());
+  auto [trace, raw_hash] = load_trace(request.data);
+  const auto ctx = prepare_context(request, std::move(trace), raw_hash);
+  const auto& sets = ctx->sets;
+  report.append("channels: %zu sensors, %zu thermostats, %zu inputs; %zu "
+                "samples at %lld-minute steps\n",
+                sets.sensors.size(), sets.thermostats.size(),
+                sets.inputs.size(), ctx->trace->size(),
+                static_cast<long long>(ctx->trace->grid().step()));
+  report.append("usable days: %zu (train %zu / validate %zu)\n",
+                ctx->split.usable_days.size(), ctx->split.train_days.size(),
+                ctx->split.validation_days.size());
+
+  const core::PipelineConfig config = make_config(request);
+  const core::ThermalModelingPipeline pipeline(config);
+  const hvac::Schedule schedule;
+  core::RunOptions run_options;
+  run_options.thermostat_ids = sets.thermostats;
+  run_options.artifacts = &ctx->artifacts;
+  if (config_.cache_enabled) run_options.cache = &cache_;
+  const auto result =
+      pipeline.run(*ctx->trace, schedule, ctx->split, sets.sensors,
+                   sets.inputs, run_options);
+
+  report.append("\nclusters (%zu):\n", result.clustering.cluster_count);
+  const auto clusters = result.clustering.clusters();
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    report.append("  cluster %zu:", c + 1);
+    for (auto id : clusters[c]) report.append(" %d", id);
+    report.append("   -> keep:");
+    for (auto id : result.selection.per_cluster[c]) report.append(" %d", id);
+    report.append("\n");
+  }
+  report.append("\nreduced %s-order model over %zu sensors:\n",
+                config.order == sysid::ModelOrder::kFirst ? "first" : "second",
+                result.reduced_model.state_count());
+  report.append("  spectral radius: %.4f\n",
+                result.reduced_model.spectral_radius_bound());
+  report.append("  validation pooled RMS (own sensors): %.3f degC\n",
+                result.reduced_eval.pooled_rms);
+  report.append("  cluster-mean 99th-pct error: %.3f degC\n",
+                result.cluster_mean_errors.percentile(99.0));
+
+  if (request.sweep > 0) {
+    std::vector<core::SweepCase> cases;
+    for (long s = 1; s <= request.sweep; ++s) {
+      const auto seed = static_cast<std::uint64_t>(s);
+      cases.push_back({core::SelectionStrategy::kStratifiedNearMean, seed});
+      cases.push_back({core::SelectionStrategy::kStratifiedRandom, seed});
+      cases.push_back({core::SelectionStrategy::kSimpleRandom, seed});
+    }
+    if (!sets.thermostats.empty()) {
+      cases.push_back({core::SelectionStrategy::kThermostats, 1});
+    }
+    const auto sweep = core::run_strategy_sweep(
+        config, cases, *ctx->trace, schedule, ctx->split, sets.sensors,
+        sets.inputs, run_options);
+    report.append("\nstrategy sweep (%zu cases, %ld seeds):\n", cases.size(),
+                  request.sweep);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      report.append("  %-22s seed %-3llu  pooled RMS %.3f  p99 %.3f\n",
+                    strategy_name(cases[i].strategy),
+                    static_cast<unsigned long long>(cases[i].seed),
+                    sweep[i].reduced_eval.pooled_rms,
+                    sweep[i].cluster_mean_errors.percentile(99.0));
+    }
+  }
+  return report.take();
+}
+
+}  // namespace auditherm::serve

@@ -101,6 +101,13 @@ class MultiTrace {
   linalg::Matrix values_;
 };
 
+/// ADL hook for the stage cache's byte accounting (core/stage_cache.hpp):
+/// header, channel-id storage, and the sample matrix payload.
+[[nodiscard]] inline std::size_t cache_footprint(const MultiTrace& t) noexcept {
+  return sizeof(MultiTrace) + t.channels().capacity() * sizeof(ChannelId) +
+         t.values().data().capacity() * sizeof(double);
+}
+
 }  // namespace auditherm::timeseries
 
 // The zero-copy view over a MultiTrace, its implicit conversion, and the

@@ -82,6 +82,48 @@ TEST(CliOptionSet, RejectsMissingRequiredAndMissingValue) {
   expect_usage_error(set, {"--data"}, "--data expects a value");
 }
 
+TEST(CliOptionSet, RejectsFlagLikeValues) {
+  const auto set = test_set();
+  // `--data --trace` is a forgotten value, not a filename named
+  // "--trace"; consuming it used to silently swallow the next flag.
+  expect_usage_error(set, {"--data", "--trace"}, "--data expects a value");
+  expect_usage_error(set, {"--data", "--clusters", "4"},
+                     "--data expects a value");
+  // Single-dash tokens are still ordinary values (negative numbers).
+  const auto parsed = parse(set, {"--data", "a.csv", "--clusters", "-2"});
+  EXPECT_EQ(parsed.require("clusters"), "-2");
+}
+
+TEST(CliOptionSet, ParsesEqualsSyntax) {
+  const auto set = test_set();
+  const auto parsed = parse(set, {"--data=trace.csv", "--clusters=4"});
+  EXPECT_EQ(parsed.require("data"), "trace.csv");
+  EXPECT_EQ(parsed.get_long("clusters", 2), 4);
+}
+
+TEST(CliOptionSet, EqualsSyntaxAllowsFlagLikeAndEmptyValues) {
+  const auto set = test_set();
+  // The explicit form is the escape hatch for values that *do* begin
+  // with "--" (or are empty).
+  const auto parsed = parse(set, {"--data=--weird.csv", "--clusters="});
+  EXPECT_EQ(parsed.require("data"), "--weird.csv");
+  EXPECT_EQ(parsed.require("clusters"), "");
+}
+
+TEST(CliOptionSet, EqualsSyntaxRejectedOnBooleanFlags) {
+  const auto set = test_set();
+  expect_usage_error(set, {"--data", "a.csv", "--trace=1"},
+                     "--trace does not take a value");
+}
+
+TEST(CliOptionSet, EqualsSyntaxStillRejectsDuplicatesAndUnknowns) {
+  const auto set = test_set();
+  expect_usage_error(set, {"--data=a.csv", "--data", "b.csv"},
+                     "duplicate flag --data");
+  expect_usage_error(set, {"--data=a.csv", "--bogus=1"},
+                     "unknown flag --bogus");
+}
+
 TEST(CliOptionSet, RejectsPositionalArguments) {
   const auto set = test_set();
   expect_usage_error(set, {"trace.csv"}, "trace.csv");

@@ -1,0 +1,356 @@
+// Tests for the serve layer: the strict JSON request parser, HTTP request
+// framing, request decoding, channel classification, the transport-
+// independent AnalysisService (repeat- and concurrency-identical
+// reports), and a socket-level end-to-end pass over every endpoint.
+
+#include "auditherm/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auditherm/serve/json.hpp"
+#include "auditherm/serve/service.hpp"
+#include "auditherm/sim/dataset.hpp"
+#include "auditherm/timeseries/csv_io.hpp"
+
+namespace core = auditherm::core;
+namespace serve = auditherm::serve;
+namespace json = auditherm::serve::json;
+namespace sim = auditherm::sim;
+namespace timeseries = auditherm::timeseries;
+
+namespace {
+
+// --- JSON parser ----------------------------------------------------------
+
+TEST(ServeJson, ParsesScalarsAndStructure) {
+  const auto v = json::parse(
+      R"({"s": "hi", "n": -2.5e1, "t": true, "f": false, "z": null,)"
+      R"( "a": [1, 2, 3], "o": {"k": 7}})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("s"), nullptr);
+  EXPECT_EQ(v.find("s")->string, "hi");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, -25.0);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_FALSE(v.find("f")->boolean);
+  EXPECT_TRUE(v.find("z")->is_null());
+  ASSERT_TRUE(v.find("a")->is_array());
+  EXPECT_EQ(v.find("a")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("o")->find("k")->number, 7.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ServeJson, DecodesEscapesIncludingUnicode) {
+  const auto v = json::parse(R"({"k": "a\"b\\c\n\tAé"})");
+  EXPECT_EQ(v.find("k")->string, "a\"b\\c\n\tA\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  const auto emoji = json::parse(R"("😀")");
+  EXPECT_EQ(emoji.string, "\xf0\x9f\x98\x80");
+}
+
+TEST(ServeJson, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)json::parse(""), json::ParseError);
+  EXPECT_THROW((void)json::parse("{"), json::ParseError);
+  EXPECT_THROW((void)json::parse(R"({"a": 1,})"), json::ParseError);
+  EXPECT_THROW((void)json::parse("[1 2]"), json::ParseError);
+  EXPECT_THROW((void)json::parse("tru"), json::ParseError);
+  EXPECT_THROW((void)json::parse(R"("unterminated)"), json::ParseError);
+  EXPECT_THROW((void)json::parse("{} trailing"), json::ParseError);
+  EXPECT_THROW((void)json::parse("01"), json::ParseError);
+}
+
+TEST(ServeJson, EscapeRoundTripsThroughParse) {
+  const std::string nasty = "line\nquote\" back\\slash \x01 tab\t";
+  const auto parsed = json::parse("\"" + json::escape(nasty) + "\"");
+  EXPECT_EQ(parsed.string, nasty);
+}
+
+// --- HTTP framing ---------------------------------------------------------
+
+TEST(ServeHttp, ParsesRequestLineAndBody) {
+  serve::HttpRequest req;
+  ASSERT_TRUE(serve::parse_http_request(
+      "POST /analyze HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody", req));
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.path, "/analyze");
+  EXPECT_EQ(req.body, "body");
+
+  ASSERT_TRUE(serve::parse_http_request("GET /healthz HTTP/1.0\r\n\r\n", req));
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/healthz");
+  EXPECT_TRUE(req.body.empty());
+}
+
+TEST(ServeHttp, RejectsMalformedRequests) {
+  serve::HttpRequest req;
+  EXPECT_FALSE(serve::parse_http_request("", req));
+  EXPECT_FALSE(serve::parse_http_request("GET /healthz HTTP/1.1\r\n", req));
+  EXPECT_FALSE(serve::parse_http_request("GARBAGE\r\n\r\n", req));
+  EXPECT_FALSE(serve::parse_http_request("GET /x SMTP/1.0\r\n\r\n", req));
+}
+
+// --- Request decoding -----------------------------------------------------
+
+TEST(ServeRequest, DecodesFullBodyAndDefaults) {
+  const auto full = serve::request_from_json(json::parse(
+      R"({"data": "t.csv", "metric": "euclidean", "clusters": 3,)"
+      R"( "order": 1, "per_cluster": 2, "sweep": 4, "eigen": "jacobi",)"
+      R"( "graph": "knn", "knn": 6})"));
+  EXPECT_EQ(full.data, "t.csv");
+  EXPECT_EQ(full.metric, "euclidean");
+  EXPECT_EQ(full.clusters, 3);
+  EXPECT_EQ(full.order, 1);
+  EXPECT_EQ(full.per_cluster, 2);
+  EXPECT_EQ(full.sweep, 4);
+  EXPECT_EQ(full.eigen, "jacobi");
+  EXPECT_EQ(full.graph, "knn");
+  EXPECT_EQ(full.knn, 6);
+
+  const auto minimal =
+      serve::request_from_json(json::parse(R"({"data": "t.csv"})"));
+  EXPECT_EQ(minimal.data, "t.csv");
+  EXPECT_EQ(minimal.clusters, 0);
+  EXPECT_EQ(minimal.order, 2);
+  EXPECT_EQ(minimal.per_cluster, 1);
+  EXPECT_EQ(minimal.sweep, 0);
+  EXPECT_TRUE(minimal.metric.empty());
+}
+
+TEST(ServeRequest, RejectsUnknownKeysAndWrongTypes) {
+  EXPECT_THROW((void)serve::request_from_json(json::parse("{}")),
+               std::invalid_argument);  // data required
+  EXPECT_THROW((void)serve::request_from_json(json::parse("[1]")),
+               std::invalid_argument);  // not an object
+  EXPECT_THROW((void)serve::request_from_json(
+                   json::parse(R"({"data": "t.csv", "clsuters": 3})")),
+               std::invalid_argument);  // typo'd key must not be ignored
+  EXPECT_THROW((void)serve::request_from_json(
+                   json::parse(R"({"data": "t.csv", "clusters": "3"})")),
+               std::invalid_argument);  // wrong type
+  EXPECT_THROW((void)serve::request_from_json(
+                   json::parse(R"({"data": "t.csv", "clusters": 2.5})")),
+               std::invalid_argument);  // non-integer count
+}
+
+// --- Channel classification ----------------------------------------------
+
+TEST(ServeChannels, ExtendedRangeIdsAreSensorsAndReservedBandIsNot) {
+  const timeseries::TimeGrid grid(0, 30, 8);
+  const timeseries::MultiTrace trace(
+      grid, {5, 40, 41, 99, 150, 199, 200, 750,
+             sim::DatasetChannels::kVavBase,
+             sim::DatasetChannels::kOccupancy,
+             sim::DatasetChannels::kLighting});
+  const auto sets = serve::classify_channels(trace);
+  EXPECT_EQ(sets.sensors,
+            (std::vector<timeseries::ChannelId>{5, 99, 200, 750}));
+  EXPECT_EQ(sets.thermostats, (std::vector<timeseries::ChannelId>{40, 41}));
+  EXPECT_EQ(sets.inputs,
+            (std::vector<timeseries::ChannelId>{
+                sim::DatasetChannels::kVavBase,
+                sim::DatasetChannels::kOccupancy,
+                sim::DatasetChannels::kLighting}));
+}
+
+TEST(ServeChannels, ThrowsWithoutEnoughSensorsOrInputs) {
+  const timeseries::TimeGrid grid(0, 30, 8);
+  EXPECT_THROW(
+      (void)serve::classify_channels(timeseries::MultiTrace(grid, {1, 2})),
+      std::runtime_error);  // no inputs
+  EXPECT_THROW((void)serve::classify_channels(timeseries::MultiTrace(
+                   grid, {1, sim::DatasetChannels::kOccupancy,
+                          sim::DatasetChannels::kLighting})),
+               std::runtime_error);  // one sensor
+}
+
+// --- AnalysisService ------------------------------------------------------
+
+/// Shared small trace CSV on disk (simulation costs a few hundred ms).
+const std::string& trace_csv_path() {
+  static const std::string path = [] {
+    sim::DatasetConfig config;
+    config.days = 14;
+    config.failure_days = 2;
+    const auto dataset = sim::generate_dataset(config);
+    const std::string p = testing::TempDir() + "test_serve_trace.csv";
+    timeseries::write_csv_file(p, dataset.trace);
+    return p;
+  }();
+  return path;
+}
+
+serve::AnalyzeRequest small_request() {
+  serve::AnalyzeRequest request;
+  request.data = trace_csv_path();
+  request.clusters = 2;
+  return request;
+}
+
+TEST(ServeService, RepeatRequestsAreByteIdenticalAndHitTheCache) {
+  serve::AnalysisService service;
+  const auto first = service.analyze(small_request());
+  EXPECT_NE(first.find("reduced second-order model"), std::string::npos);
+  const auto misses_after_first = service.cache().totals().misses;
+  const auto second = service.analyze(small_request());
+  EXPECT_EQ(first, second);
+  // Every stage (and the trace load) came from the cache the second time.
+  EXPECT_EQ(service.cache().totals().misses, misses_after_first);
+  EXPECT_GT(service.cache().totals().hits, 0u);
+}
+
+TEST(ServeService, CacheOnAndOffProduceIdenticalReports) {
+  serve::ServiceConfig no_cache;
+  no_cache.cache_enabled = false;
+  serve::AnalysisService cached;
+  serve::AnalysisService uncached(no_cache);
+  EXPECT_EQ(cached.analyze(small_request()),
+            uncached.analyze(small_request()));
+  EXPECT_EQ(uncached.cache().size(), 0u);
+}
+
+TEST(ServeService, ConcurrentRequestsBatchAndMatch) {
+  // Request threads (outside any parallel region) racing the same
+  // request must coalesce onto one prepared context and produce
+  // byte-identical reports.
+  constexpr int kThreads = 4;
+  serve::AnalysisService service;
+  std::vector<std::string> reports(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { reports[t] = service.analyze(small_request()); });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(reports[t], reports[0]) << "thread " << t;
+  }
+  EXPECT_EQ(reports[0], service.analyze(small_request()));
+}
+
+TEST(ServeService, SweepRequestSharesThePreparedStages) {
+  serve::AnalysisService service;
+  auto request = small_request();
+  (void)service.analyze(request);  // warm Step-1
+  const auto misses_before = service.cache().totals().misses;
+  request.sweep = 2;
+  const auto report = service.analyze(request);
+  EXPECT_NE(report.find("strategy sweep"), std::string::npos);
+  // The sweep re-used every prepared Step-1 stage: no new stage builds
+  // besides the per-seed Step-2/3 work, which is uncached by design.
+  EXPECT_EQ(service.cache().totals().misses, misses_before);
+}
+
+TEST(ServeService, InvalidOptionValuesThrow) {
+  serve::AnalysisService service;
+  auto bad_eigen = small_request();
+  bad_eigen.eigen = "cholesky";
+  EXPECT_THROW((void)service.analyze(bad_eigen), std::exception);
+  auto bad_path = small_request();
+  bad_path.data = "/nonexistent/nope.csv";
+  EXPECT_THROW((void)service.analyze(bad_path), std::runtime_error);
+}
+
+// --- Socket-level end-to-end ----------------------------------------------
+
+/// Minimal HTTP client: one request, reads to connection close.
+std::string http_exchange(std::uint16_t port, const std::string& method,
+                          const std::string& path, const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  std::string request = method + " " + path + " HTTP/1.1\r\n" +
+                        "Host: 127.0.0.1\r\nContent-Length: " +
+                        std::to_string(body.size()) + "\r\n\r\n" + body;
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string response_body(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+TEST(ServeServer, EndToEndOverLoopbackSockets) {
+  serve::AnalysisService service;
+  auditherm::obs::Recorder recorder;
+  const auditherm::obs::RecorderScope scope(&recorder);
+  serve::ServerConfig config;
+  config.port = 0;  // ephemeral
+  config.workers = 2;
+  serve::Server server(config, service, &recorder);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+  std::thread runner([&] { server.run(); });
+
+  const auto health = http_exchange(server.port(), "GET", "/healthz", "");
+  EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(response_body(health), "ok\n");
+
+  // A daemon analysis must match the in-process service call bytewise.
+  const std::string body =
+      R"({"data": ")" + json::escape(trace_csv_path()) +
+      R"(", "clusters": 2})";
+  const auto analyzed =
+      http_exchange(server.port(), "POST", "/analyze", body);
+  EXPECT_NE(analyzed.find("HTTP/1.1 200"), std::string::npos);
+  serve::AnalysisService reference;
+  EXPECT_EQ(response_body(analyzed), reference.analyze(small_request()));
+
+  const auto bad =
+      http_exchange(server.port(), "POST", "/analyze", "{not json");
+  EXPECT_NE(bad.find("HTTP/1.1 400"), std::string::npos);
+  const auto missing = http_exchange(server.port(), "GET", "/nope", "");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+  const auto wrong_method =
+      http_exchange(server.port(), "POST", "/healthz", "");
+  EXPECT_NE(wrong_method.find("HTTP/1.1 405"), std::string::npos);
+
+  const auto metrics = http_exchange(server.port(), "GET", "/metrics", "");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("application/json"), std::string::npos);
+  EXPECT_NE(response_body(metrics).find("auditherm.metrics"),
+            std::string::npos);
+
+  const auto shutdown =
+      http_exchange(server.port(), "POST", "/shutdown", "");
+  EXPECT_NE(shutdown.find("HTTP/1.1 200"), std::string::npos);
+  runner.join();  // run() drains and exits after /shutdown
+  EXPECT_TRUE(server.stopping());
+}
+
+}  // namespace

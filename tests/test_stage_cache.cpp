@@ -8,14 +8,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "auditherm/core/pipeline.hpp"
+#include "auditherm/obs/trace_span.hpp"
 #include "auditherm/sim/dataset.hpp"
+#include "auditherm/timeseries/multi_trace.hpp"
 
 namespace core = auditherm::core;
+namespace obs = auditherm::obs;
 namespace sim = auditherm::sim;
 namespace hvac = auditherm::hvac;
 namespace timeseries = auditherm::timeseries;
@@ -358,4 +365,241 @@ TEST(StageCache, SweepWithoutExternalCacheStillWorks) {
       ds.trace, ds.schedule, split(), ds.wireless_ids(), ds.input_ids(),
       core::RunOptions{.thermostat_ids = ds.thermostat_ids()});
   expect_bitwise_equal(sweep[1], standalone, "local-cache sweep case 1");
+}
+
+// --- Budget, LRU eviction, and lifecycle (PR 7) ---------------------------
+
+namespace {
+
+/// Byte size of a cached vector<double> under the sized_artifact trait.
+std::size_t vec_bytes(std::size_t n) {
+  const std::vector<double> probe(n);
+  return core::sized_artifact<std::vector<double>>::bytes(probe);
+}
+
+}  // namespace
+
+TEST(StageCacheBudget, SizedArtifactAccountsVectorsAndAdlTypes) {
+  EXPECT_EQ(vec_bytes(100),
+            sizeof(std::vector<double>) + 100 * sizeof(double));
+  // Nested vectors recurse.
+  std::vector<std::vector<double>> nested(2, std::vector<double>(10));
+  const auto nested_bytes =
+      core::sized_artifact<std::vector<std::vector<double>>>::bytes(nested);
+  EXPECT_GE(nested_bytes, 2 * 10 * sizeof(double));
+  // ADL hook: a MultiTrace accounts its sample matrix.
+  const timeseries::MultiTrace trace(timeseries::TimeGrid(0, 30, 16), {1, 2});
+  EXPECT_GE(core::sized_artifact<timeseries::MultiTrace>::bytes(trace),
+            16 * 2 * sizeof(double));
+}
+
+TEST(StageCacheBudget, EvictsLeastRecentlyUsedWhenOverBudget) {
+  // Room for two 100-double artifacts, not three.
+  core::StageCache cache(core::CacheBudget{2 * vec_bytes(100) + 64});
+  const auto build = [] { return std::vector<double>(100, 1.0); };
+  (void)cache.get_or_build<std::vector<double>>("vec", 1, build);
+  (void)cache.get_or_build<std::vector<double>>("vec", 2, build);
+  EXPECT_EQ(cache.eviction_count(), 0u);
+  // Touch key 1 so key 2 is the LRU tail, then overflow with key 3.
+  (void)cache.get_or_build<std::vector<double>>("vec", 1, build);
+  (void)cache.get_or_build<std::vector<double>>("vec", 3, build);
+  EXPECT_EQ(cache.eviction_count(), 1u);
+  EXPECT_LE(cache.resident_bytes(), cache.budget_bytes());
+  // Key 1 survived (hit), key 2 was evicted (miss rebuilds it).
+  (void)cache.get_or_build<std::vector<double>>("vec", 1, build);
+  (void)cache.get_or_build<std::vector<double>>("vec", 2, build);
+  const auto stats = cache.stats("vec");
+  // Misses: keys 1, 2, 3 first builds + key 2 rebuild.
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, 2u);
+  // Rebuilding key 2 overflowed again (evicting key 3): two evictions.
+  EXPECT_EQ(cache.eviction_count(), 2u);
+  EXPECT_EQ(cache.evicted_bytes(), 2 * vec_bytes(100));
+}
+
+TEST(StageCacheBudget, EvictionOrderIsDeterministicUnderFixedTouches) {
+  // The same touch sequence on two fresh caches evicts the same keys.
+  const auto run_sequence = [](core::StageCache& cache) {
+    const auto build = [] { return std::vector<double>(50, 2.0); };
+    const std::uint64_t touches[] = {1, 2, 3, 1, 4, 2, 5, 3, 1, 6};
+    for (const auto key : touches) {
+      (void)cache.get_or_build<std::vector<double>>("seq", key, build);
+    }
+    return std::tuple{cache.eviction_count(), cache.evicted_bytes(),
+                      cache.resident_bytes(), cache.stats("seq").hits,
+                      cache.stats("seq").misses};
+  };
+  core::StageCache a(core::CacheBudget{3 * vec_bytes(50) + 32});
+  core::StageCache b(core::CacheBudget{3 * vec_bytes(50) + 32});
+  EXPECT_EQ(run_sequence(a), run_sequence(b));
+  EXPECT_GT(a.eviction_count(), 0u);
+  EXPECT_LE(a.resident_bytes(), a.budget_bytes());
+}
+
+TEST(StageCacheBudget, UnlimitedByDefaultNeverEvicts) {
+  core::StageCache cache;
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    (void)cache.get_or_build<std::vector<double>>(
+        "vec", k, [] { return std::vector<double>(100); });
+  }
+  EXPECT_EQ(cache.eviction_count(), 0u);
+  EXPECT_EQ(cache.size(), 32u);
+  EXPECT_EQ(cache.budget_bytes(), 0u);
+}
+
+TEST(StageCacheBudget, EvictionSkipsInFlightBuilds) {
+  // A nested build (same thread, different key) publishes a large value
+  // while the outer entry is still building: eviction must only consider
+  // completed entries, and the outer publish must still land.
+  core::StageCache cache(core::CacheBudget{vec_bytes(10) + 32});
+  const auto outer = cache.get_or_build<std::vector<double>>(
+      "outer", 1, [&] {
+        const auto inner = cache.get_or_build<std::vector<double>>(
+            "inner", 1, [] { return std::vector<double>(200, 3.0); });
+        return std::vector<double>(inner->begin(), inner->begin() + 10);
+      });
+  ASSERT_EQ(outer->size(), 10u);
+  EXPECT_DOUBLE_EQ(outer->front(), 3.0);
+  EXPECT_LE(cache.resident_bytes(), cache.budget_bytes());
+  EXPECT_GE(cache.eviction_count(), 1u);
+}
+
+TEST(StageCacheLifecycle, ClearDuringBuildDoesNotRepublishStaleArtifact) {
+  core::StageCache cache;
+  std::atomic<bool> builder_started{false};
+  std::atomic<bool> release_builder{false};
+
+  std::shared_ptr<const int> stale;
+  std::thread builder([&] {
+    stale = cache.get_or_build<int>("slow", 1, [&] {
+      builder_started.store(true);
+      while (!release_builder.load()) std::this_thread::yield();
+      return 42;
+    });
+  });
+  while (!builder_started.load()) std::this_thread::yield();
+
+  cache.clear();  // the in-flight build's claim is now stale
+  release_builder.store(true);
+  builder.join();
+
+  // The slow builder's caller still gets its (correct) value...
+  ASSERT_TRUE(stale);
+  EXPECT_EQ(*stale, 42);
+  // ...but the post-clear table must rebuild, not serve the stale bits.
+  const auto fresh = cache.get_or_build<int>("slow", 1, [] { return 43; });
+  EXPECT_EQ(*fresh, 43);
+  EXPECT_EQ(cache.stats("slow").hits, 0u);
+}
+
+TEST(StageCacheLifecycle, WaiterSurvivesClearDuringBuild) {
+  // Regression: clear() used to erase the building entry, leaving waiters
+  // parked on build_done_ with nothing to wake them coherently.
+  core::StageCache cache;
+  std::atomic<bool> builder_started{false};
+  std::atomic<bool> release_builder{false};
+
+  std::thread builder([&] {
+    (void)cache.get_or_build<int>("slow", 7, [&] {
+      builder_started.store(true);
+      while (!release_builder.load()) std::this_thread::yield();
+      return 1;
+    });
+  });
+  while (!builder_started.load()) std::this_thread::yield();
+
+  std::shared_ptr<const int> waited;
+  std::thread waiter([&] {
+    waited = cache.get_or_build<int>("slow", 7, [] { return 2; });
+  });
+  // Give the waiter a moment to park, clear, then release the builder.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.clear();
+  release_builder.store(true);
+  builder.join();
+  waiter.join();
+
+  // The waiter either rebuilt post-clear (2) or adopted a fresh publish;
+  // it must never hang and never observe a stale artifact slot.
+  ASSERT_TRUE(waited);
+  EXPECT_EQ(*waited, 2);
+}
+
+TEST(StageCacheLifecycle, ConcurrentRequestThreadsParkOnOneBuild) {
+  // Serve's request threads call get_or_build from OUTSIDE any parallel
+  // region: exactly one build must run, the rest park and adopt the
+  // published artifact (pointer-identical, hence bitwise-equal).
+  constexpr int kThreads = 8;
+  core::StageCache cache;
+  std::atomic<int> builds{0};
+  std::atomic<int> ready{0};
+  std::vector<std::shared_ptr<const std::vector<double>>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      results[t] = cache.get_or_build<std::vector<double>>(
+          "request", 99, [&] {
+            builds.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+            return std::vector<double>{1.0, 2.0, 3.0};
+          });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get()) << "thread " << t;
+  }
+  const auto stats = cache.stats("request");
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::size_t>(kThreads - 1));
+}
+
+TEST(StageCacheLifecycle, CountersMirrorWithConcurrentRecorderTraffic) {
+  // Lock-order regression (TSan-covered in CI): the cache mirrors its
+  // counters into the current obs recorder. With request threads hitting
+  // the cache while other threads pound the recorder directly, any
+  // nesting of the cache mutex inside recorder shard locks (or vice
+  // versa) is a lock-order inversion TSan reports.
+  obs::Recorder recorder;
+  const obs::RecorderScope scope(&recorder);
+  core::StageCache cache(core::CacheBudget{4 * vec_bytes(64)});
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> recorders;
+  recorders.reserve(2);
+  for (int r = 0; r < 2; ++r) {
+    recorders.emplace_back([&] {
+      while (!stop.load()) obs::add_counter("test.external_traffic");
+    });
+  }
+  std::vector<std::thread> cachers;
+  cachers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    cachers.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        (void)cache.get_or_build<std::vector<double>>(
+            "mirrored", static_cast<std::uint64_t>((t + i) % 8),
+            [] { return std::vector<double>(64, 4.0); });
+      }
+    });
+  }
+  for (auto& t : cachers) t.join();
+  stop.store(true);
+  for (auto& t : recorders) t.join();
+
+  const auto totals = cache.totals();
+  EXPECT_EQ(totals.hits + totals.misses, 4u * 200u);
+  if (obs::kCompiledIn) {
+    // The mirror reached the recorder (hit + miss + eviction counters).
+    std::uint64_t mirrored = 0;
+    for (const auto& [name, value] :
+         recorder.metrics().snapshot().counters) {
+      if (name.starts_with("stage_cache.")) mirrored += value;
+    }
+    EXPECT_GE(mirrored, 4u * 200u);
+  }
 }

@@ -6,22 +6,30 @@
 //       [--clusters K] [--order 1|2] [--per-cluster N] [--sweep SEEDS]
 //       [--eigen jacobi|tridiagonal|lanczos|auto] [--graph epsilon|knn]
 //       [--knn K]
+//   auditherm serve --port P [--workers N] [--cache-budget-mb MB]
 //
 // Every subcommand also accepts the shared flags (--threads, --cache,
 // --metrics-out, --trace); see core/cli.hpp. Observability output goes to
 // stderr / the JSON file, so stdout stays byte-identical with the flags
-// off.
+// off — and byte-identical to a daemon response for the same request,
+// because analyze renders through the same serve::AnalysisService.
 //
 // The CSV uses the library's channel conventions: ids < 100 are
 // temperature sensors (40/41 the HVAC thermostats), 101..100+m the VAV
 // flows, 110 occupancy, 111 lighting, 112 ambient, 113 supply temperature.
+// Ids >= 200 are extended-range temperature sensors for synthetic
+// buildings larger than the two-digit id space.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 
 #include "auditherm/auditherm.hpp"
+#include "auditherm/serve/server.hpp"
+#include "auditherm/serve/service.hpp"
 
 using namespace auditherm;
 namespace cli = auditherm::core::cli;
@@ -99,10 +107,25 @@ cli::OptionSet analyze_options() {
   return cli::OptionSet("analyze", std::move(specs));
 }
 
+cli::OptionSet serve_options() {
+  std::vector<cli::OptionSpec> specs = {
+      {"port", true, true, "P",
+       "listen on 127.0.0.1:P (0 = pick an ephemeral port)"},
+      {"workers", true, false, "N", "request worker threads (default 2)"},
+      {"cache-budget-mb", true, false, "MB",
+       "stage-cache memory budget; LRU eviction above it (default 256, "
+       "0 = unlimited)"},
+  };
+  for (auto& spec : cli::common_options()) specs.push_back(std::move(spec));
+  return cli::OptionSet("serve", std::move(specs));
+}
+
 int usage() {
-  std::fprintf(stderr, "usage: auditherm <simulate|analyze> [flags]\n\n%s\n%s",
+  std::fprintf(stderr,
+               "usage: auditherm <simulate|analyze|serve> [flags]\n\n%s\n%s\n%s",
                simulate_options().usage().c_str(),
-               analyze_options().usage().c_str());
+               analyze_options().usage().c_str(),
+               serve_options().usage().c_str());
   return 2;
 }
 
@@ -133,48 +156,21 @@ int cmd_simulate(const cli::ParsedOptions& args,
   return 0;
 }
 
-/// Partition a loaded trace's channels by the library conventions.
-struct ChannelSets {
-  std::vector<timeseries::ChannelId> sensors;      // wireless, < 100, not 40/41
-  std::vector<timeseries::ChannelId> thermostats;  // 40 / 41
-  std::vector<timeseries::ChannelId> inputs;       // [flows, occ, light, amb]
-};
-
-const char* strategy_name(core::SelectionStrategy strategy) {
-  switch (strategy) {
-    case core::SelectionStrategy::kStratifiedNearMean: return "near-mean";
-    case core::SelectionStrategy::kStratifiedRandom: return "stratified-random";
-    case core::SelectionStrategy::kSimpleRandom: return "simple-random";
-    case core::SelectionStrategy::kThermostats: return "thermostats";
-    case core::SelectionStrategy::kGaussianProcess: return "gaussian-process";
-  }
-  return "?";
-}
-
-ChannelSets classify_channels(const timeseries::MultiTrace& trace) {
-  ChannelSets sets;
-  std::vector<timeseries::ChannelId> flows;
-  for (auto id : trace.channels()) {
-    if (id == 40 || id == 41) {
-      sets.thermostats.push_back(id);
-    } else if (id < 100) {
-      sets.sensors.push_back(id);
-    } else if (id >= sim::DatasetChannels::kVavBase &&
-               id < sim::DatasetChannels::kOccupancy) {
-      flows.push_back(id);
-    }
-  }
-  sets.inputs = flows;
-  for (auto id : {sim::DatasetChannels::kOccupancy,
-                  sim::DatasetChannels::kLighting,
-                  sim::DatasetChannels::kAmbient}) {
-    if (trace.channel_index(id)) sets.inputs.push_back(id);
-  }
-  if (sets.sensors.size() < 2 || sets.inputs.size() < 2) {
-    throw std::runtime_error(
-        "analyze: trace lacks sensor (<100) or input (>=101) channels");
-  }
-  return sets;
+/// Decode the analyze flags into the transport-independent request shape
+/// shared with the daemon.
+serve::AnalyzeRequest analyze_request_from_args(
+    const cli::ParsedOptions& args) {
+  serve::AnalyzeRequest request;
+  request.data = args.require("data");
+  if (const auto metric = args.get("metric")) request.metric = *metric;
+  request.clusters = args.get_long("clusters", 0);
+  request.order = args.get_long("order", 2);
+  request.per_cluster = args.get_long("per-cluster", 1);
+  request.sweep = args.get_long("sweep", 0);
+  if (const auto eigen = args.get("eigen")) request.eigen = *eigen;
+  if (const auto graph = args.get("graph")) request.graph = *graph;
+  request.knn = args.get_long("knn", 0);
+  return request;
 }
 
 int cmd_analyze(const cli::ParsedOptions& args,
@@ -182,129 +178,76 @@ int cmd_analyze(const cli::ParsedOptions& args,
   const ObsRun obs_run(common);
   obs::TraceSpan span("cli.analyze");
 
-  const auto path = args.require("data");
-  std::printf("loading %s...\n", path.c_str());
-  const auto trace = timeseries::read_csv_file(path);
-  const auto sets = classify_channels(trace);
-  std::printf("channels: %zu sensors, %zu thermostats, %zu inputs; %zu "
-              "samples at %lld-minute steps\n",
-              sets.sensors.size(), sets.thermostats.size(),
-              sets.inputs.size(), trace.size(),
-              static_cast<long long>(trace.grid().step()));
+  serve::ServiceConfig service_config;
+  service_config.cache_enabled = common.cache;
+  serve::AnalysisService service(service_config);
+  const auto report = service.analyze(analyze_request_from_args(args));
+  std::fputs(report.c_str(), stdout);
 
-  // Split.
-  hvac::Schedule schedule;
-  auto required = sets.sensors;
-  required.insert(required.end(), sets.thermostats.begin(),
-                  sets.thermostats.end());
-  required.insert(required.end(), sets.inputs.begin(), sets.inputs.end());
-  const auto split = core::split_dataset(trace, required, schedule,
-                                         hvac::Mode::kOccupied);
-  std::printf("usable days: %zu (train %zu / validate %zu)\n",
-              split.usable_days.size(), split.train_days.size(),
-              split.validation_days.size());
+  // Cache bookkeeping is diagnostics, not analysis output: it goes to
+  // stderr so stdout stays byte-identical to a daemon response (whose
+  // long-lived shared cache would report different totals).
+  if (common.cache) {
+    const auto totals = service.cache().totals();
+    std::fprintf(stderr, "stage cache: %zu hits / %zu misses (%zu artifacts)\n",
+                 totals.hits, totals.misses, service.cache().size());
+  }
+  return 0;
+}
 
-  // Pipeline.
-  core::PipelineConfig config;
-  if (const auto metric = args.get("metric")) {
-    config.similarity.metric = *metric == "euclidean"
-                                   ? clustering::SimilarityMetric::kEuclidean
-                                   : clustering::SimilarityMetric::kCorrelation;
-  }
-  config.spectral.cluster_count =
-      static_cast<std::size_t>(args.get_long("clusters", 0));
-  if (const auto eigen = args.get("eigen")) {
-    if (*eigen == "jacobi") {
-      config.spectral.eigen_method = linalg::EigenMethod::kJacobi;
-    } else if (*eigen == "tridiagonal") {
-      config.spectral.eigen_method = linalg::EigenMethod::kTridiagonal;
-    } else if (*eigen == "lanczos") {
-      config.spectral.eigen_method = linalg::EigenMethod::kLanczos;
-    } else if (*eigen == "auto") {
-      config.spectral.eigen_method = linalg::EigenMethod::kAuto;
-    } else {
-      std::fprintf(stderr, "analyze: unknown --eigen value '%s'\n",
-                   eigen->c_str());
-      return 2;
-    }
-  }
-  if (const auto graph = args.get("graph")) {
-    if (*graph == "epsilon") {
-      config.similarity.sparsification =
-          clustering::GraphSparsification::kEpsilon;
-    } else if (*graph == "knn") {
-      config.similarity.sparsification = clustering::GraphSparsification::kKnn;
-    } else {
-      std::fprintf(stderr, "analyze: unknown --graph value '%s'\n",
-                   graph->c_str());
-      return 2;
-    }
-  }
-  if (const long knn = args.get_long("knn", 0); knn > 0) {
-    config.similarity.knn_k = static_cast<std::size_t>(knn);
-  }
-  config.order = args.get_long("order", 2) == 1 ? sysid::ModelOrder::kFirst
-                                                : sysid::ModelOrder::kSecond;
-  config.sensors_per_cluster =
-      static_cast<std::size_t>(args.get_long("per-cluster", 1));
-  config.threads = common.threads;
+/// The running server, for the signal handler; request_stop() only
+/// stores an atomic flag, so calling it from a handler is safe.
+std::atomic<serve::Server*> g_server{nullptr};
 
-  // All Step-1 artifacts (similarity graph, eigendecomposition, windows)
-  // are shared through the cache; the sweep below reuses them for free.
-  core::StageCache cache;
-  const core::ThermalModelingPipeline pipeline(config);
-  core::RunOptions run_options;
-  run_options.thermostat_ids = sets.thermostats;
-  if (common.cache) run_options.cache = &cache;
-  const auto result = pipeline.run(trace, schedule, split, sets.sensors,
-                                   sets.inputs, run_options);
+void handle_stop_signal(int) {
+  if (auto* server = g_server.load()) server->request_stop();
+}
 
-  std::printf("\nclusters (%zu):\n", result.clustering.cluster_count);
-  const auto clusters = result.clustering.clusters();
-  for (std::size_t c = 0; c < clusters.size(); ++c) {
-    std::printf("  cluster %zu:", c + 1);
-    for (auto id : clusters[c]) std::printf(" %d", id);
-    std::printf("   -> keep:");
-    for (auto id : result.selection.per_cluster[c]) std::printf(" %d", id);
-    std::printf("\n");
+int cmd_serve(const cli::ParsedOptions& args,
+              const cli::CommonOptions& common) {
+  const long port = args.get_long("port", 0);
+  if (port < 0 || port > 65535) {
+    throw cli::UsageError("--port must be in [0, 65535]");
   }
-  std::printf("\nreduced %s-order model over %zu sensors:\n",
-              config.order == sysid::ModelOrder::kFirst ? "first" : "second",
-              result.reduced_model.state_count());
-  std::printf("  spectral radius: %.4f\n",
-              result.reduced_model.spectral_radius_bound());
-  std::printf("  validation pooled RMS (own sensors): %.3f degC\n",
-              result.reduced_eval.pooled_rms);
-  std::printf("  cluster-mean 99th-pct error: %.3f degC\n",
-              result.cluster_mean_errors.percentile(99.0));
+  const long workers = args.get_long("workers", 2);
+  if (workers < 1) throw cli::UsageError("--workers must be >= 1");
+  const long budget_mb = args.get_long("cache-budget-mb", 256);
+  if (budget_mb < 0) throw cli::UsageError("--cache-budget-mb must be >= 0");
 
-  const auto seeds = args.get_long("sweep", 0);
-  if (seeds > 0) {
-    std::vector<core::SweepCase> cases;
-    for (long s = 1; s <= seeds; ++s) {
-      const auto seed = static_cast<std::uint64_t>(s);
-      cases.push_back({core::SelectionStrategy::kStratifiedNearMean, seed});
-      cases.push_back({core::SelectionStrategy::kStratifiedRandom, seed});
-      cases.push_back({core::SelectionStrategy::kSimpleRandom, seed});
-    }
-    if (!sets.thermostats.empty()) {
-      cases.push_back({core::SelectionStrategy::kThermostats, 1});
-    }
-    const auto sweep = core::run_strategy_sweep(
-        config, cases, trace, schedule, split, sets.sensors, sets.inputs,
-        run_options);
-    std::printf("\nstrategy sweep (%zu cases, %ld seeds):\n", cases.size(),
-                seeds);
-    for (std::size_t i = 0; i < cases.size(); ++i) {
-      std::printf("  %-22s seed %-3llu  pooled RMS %.3f  p99 %.3f\n",
-                  strategy_name(cases[i].strategy),
-                  static_cast<unsigned long long>(cases[i].seed),
-                  sweep[i].reduced_eval.pooled_rms,
-                  sweep[i].cluster_mean_errors.percentile(99.0));
-    }
-    const auto totals = cache.totals();
-    std::printf("stage cache: %zu hits / %zu misses (%zu artifacts)\n",
-                totals.hits, totals.misses, cache.size());
+  serve::ServiceConfig service_config;
+  service_config.cache_enabled = common.cache;
+  service_config.cache_budget.bytes =
+      static_cast<std::size_t>(budget_mb) * 1024 * 1024;
+  serve::AnalysisService service(service_config);
+
+  // Server-lifetime recorder: every request thread records into it and
+  // GET /metrics exports it. Written to --metrics-out on shutdown too.
+  obs::Recorder recorder;
+  const obs::RecorderScope scope(&recorder);
+
+  serve::ServerConfig server_config;
+  server_config.port = static_cast<std::uint16_t>(port);
+  server_config.workers = static_cast<std::size_t>(workers);
+  serve::Server server(server_config, service, &recorder);
+  server.start();
+
+  g_server.store(&server);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  std::fprintf(stderr,
+               "auditherm serve: listening on 127.0.0.1:%u "
+               "(%ld workers, cache budget %ld MB)\n",
+               static_cast<unsigned>(server.port()), workers, budget_mb);
+  server.run();
+  g_server.store(nullptr);
+  std::fprintf(stderr, "auditherm serve: shutdown complete\n");
+
+  if (common.trace) obs::write_summary(stderr, recorder);
+  if (!common.metrics_out.empty() &&
+      !obs::write_json_file(common.metrics_out, recorder)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 common.metrics_out.c_str());
   }
   return 0;
 }
@@ -347,6 +290,9 @@ int main(int argc, char** argv) {
   }
   if (command == "analyze") {
     return run_command(analyze_options(), argc, argv, cmd_analyze);
+  }
+  if (command == "serve") {
+    return run_command(serve_options(), argc, argv, cmd_serve);
   }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return usage();
