@@ -35,6 +35,21 @@ long ParsedOptions::get_long(std::string_view name, long fallback) const {
   }
 }
 
+double ParsedOptions::get_double(std::string_view name,
+                                 double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*v, &consumed);
+    if (consumed != v->size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw UsageError("--" + std::string(name) + " expects a number, got '" +
+                     *v + "'");
+  }
+}
+
 OptionSet::OptionSet(std::string command, std::vector<OptionSpec> specs)
     : command_(std::move(command)), specs_(std::move(specs)) {
   for (std::size_t i = 0; i < specs_.size(); ++i) {

@@ -31,11 +31,12 @@
 #include "auditherm/hvac/thermostat.hpp"
 #include "auditherm/hvac/vav.hpp"
 
-// The simulated auditorium testbed.
+// The simulated auditorium testbed and fleet scenario generation.
 #include "auditherm/sim/dataset.hpp"
 #include "auditherm/sim/floorplan.hpp"
 #include "auditherm/sim/occupancy.hpp"
 #include "auditherm/sim/plant.hpp"
+#include "auditherm/sim/scenario.hpp"
 #include "auditherm/sim/sensor_model.hpp"
 #include "auditherm/sim/weather.hpp"
 

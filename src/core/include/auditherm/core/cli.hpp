@@ -50,6 +50,10 @@ class ParsedOptions {
   [[nodiscard]] std::string require(std::string_view name) const;
   /// Integer value with a fallback; throws UsageError on a non-integer.
   [[nodiscard]] long get_long(std::string_view name, long fallback) const;
+  /// Floating-point value with a fallback; throws UsageError on a
+  /// non-number.
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const;
 
  private:
   friend class OptionSet;

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file scenario_codec.hpp
+/// JSON decoding for fleet scenario generation — the inverse of
+/// sim::scenario_to_json, in the same strict style as request_from_json:
+/// unknown keys and wrongly typed values throw std::invalid_argument
+/// naming the offending key path, because a typo'd knob silently falling
+/// back to a default would simulate a *valid-looking but wrong* corpus.
+///
+/// Two body shapes feed the same SimulateRequest (both accepted by
+/// `auditherm simulate` spec files and by the daemon's POST /simulate):
+///
+///   {"name": "hall", "days": 28, ...}                 one scenario
+///
+///   {"base_seed": 7, "out_dir": "fleet",              a fleet
+///    "scenarios": [{"name": "a", ...}, ...]}
+///
+/// In the fleet form, scenarios that omit "seed" get
+/// sim::derive_entity_seed(base_seed, index) — one base seed reproduces
+/// the whole corpus while every building still draws an independent,
+/// well-mixed 64-bit entity seed. Seeds are accepted as JSON integers up
+/// to 2^53 (exact in a double) or as decimal strings for the full 64-bit
+/// range, matching what scenario_to_json emits.
+
+#include <string>
+#include <vector>
+
+#include "auditherm/serve/json.hpp"
+#include "auditherm/sim/scenario.hpp"
+
+namespace auditherm::serve {
+
+/// Decode one scenario object. `where` prefixes every error message (the
+/// fleet decoder passes "scenarios[i]"). Runs ScenarioSpec::validate()
+/// before returning, so a decoded spec is always runnable.
+[[nodiscard]] sim::ScenarioSpec scenario_from_json(
+    const json::Value& body, const std::string& where = "scenario spec");
+
+/// A decoded simulate request: the resolved specs (entity seeds filled
+/// in) plus the optional output directory.
+struct SimulateRequest {
+  std::vector<sim::ScenarioSpec> specs;
+  std::string out_dir;
+};
+
+/// Decode a POST /simulate body (or a --spec/--fleet file): either a
+/// single scenario object or the {"base_seed", "out_dir", "scenarios"}
+/// fleet envelope described in the header comment.
+[[nodiscard]] SimulateRequest simulate_request_from_json(
+    const json::Value& body);
+
+}  // namespace auditherm::serve

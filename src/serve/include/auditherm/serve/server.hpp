@@ -6,6 +6,11 @@
 /// Endpoints:
 ///   POST /analyze   body: JSON AnalyzeRequest -> 200 text/plain report
 ///                   (byte-identical to `auditherm analyze` stdout)
+///   POST /simulate  body: one scenario object or a fleet envelope (see
+///                   scenario_codec.hpp) -> 200 application/json, the
+///                   fleet manifest; with "out_dir" the traces land on
+///                   the server's filesystem (it is a loopback-only
+///                   local daemon, so the client and server share a disk)
 ///   GET  /metrics   -> 200 application/json, the server recorder's
 ///                   obs::to_json (schema "auditherm.metrics" v1)
 ///   GET  /healthz   -> 200 "ok\n"

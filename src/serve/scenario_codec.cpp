@@ -1,0 +1,201 @@
+#include "auditherm/serve/scenario_codec.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace auditherm::serve {
+
+namespace {
+
+using sim::BuildingKind;
+using sim::HvacRegime;
+using sim::OccupancyRegime;
+using sim::ScenarioSpec;
+using sim::Season;
+
+/// Integers above 2^53 do not survive the parser's double representation,
+/// so they must arrive as decimal strings.
+constexpr double kMaxExactJsonInteger = 9007199254740992.0;  // 2^53
+
+[[noreturn]] void fail(const std::string& where, const std::string& what) {
+  throw std::invalid_argument(where + ": " + what);
+}
+
+std::string string_field(const json::Value& v, const std::string& where,
+                         const std::string& key) {
+  if (!v.is_string()) fail(where, "'" + key + "' must be a string");
+  return v.string;
+}
+
+std::size_t count_field(const json::Value& v, const std::string& where,
+                        const std::string& key) {
+  if (!v.is_number() || v.number != std::floor(v.number) || v.number < 0.0) {
+    fail(where, "'" + key + "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v.number);
+}
+
+double number_field(const json::Value& v, const std::string& where,
+                    const std::string& key) {
+  if (!v.is_number()) fail(where, "'" + key + "' must be a number");
+  return v.number;
+}
+
+/// A 64-bit seed: a JSON integer when it fits a double exactly, else a
+/// decimal string (the form scenario_to_json emits for huge seeds).
+std::uint64_t seed_field(const json::Value& v, const std::string& where,
+                         const std::string& key) {
+  if (v.is_number()) {
+    if (v.number != std::floor(v.number) || v.number < 0.0 ||
+        v.number > kMaxExactJsonInteger) {
+      fail(where, "'" + key +
+                      "' must be a non-negative integer <= 2^53 "
+                      "(use a decimal string for larger seeds)");
+    }
+    return static_cast<std::uint64_t>(v.number);
+  }
+  if (v.is_string()) {
+    std::uint64_t seed = 0;
+    const char* begin = v.string.data();
+    const char* end = begin + v.string.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, seed);
+    if (ec != std::errc() || ptr != end || v.string.empty()) {
+      fail(where, "'" + key + "' string must be a decimal 64-bit integer");
+    }
+    return seed;
+  }
+  fail(where, "'" + key + "' must be an integer or a decimal string");
+}
+
+BuildingKind building_field(const json::Value& v, const std::string& where,
+                            const std::string& key) {
+  const std::string s = string_field(v, where, key);
+  if (s == "paper") return BuildingKind::kPaperHall;
+  if (s == "grid") return BuildingKind::kGrid;
+  if (s == "campus") return BuildingKind::kCampus;
+  fail(where, "'" + key + "' must be one of paper|grid|campus, got '" + s +
+                  "'");
+}
+
+Season season_field(const json::Value& v, const std::string& where,
+                    const std::string& key) {
+  const std::string s = string_field(v, where, key);
+  if (s == "paper") return Season::kPaper;
+  if (s == "winter") return Season::kWinter;
+  if (s == "summer") return Season::kSummer;
+  if (s == "shoulder") return Season::kShoulder;
+  fail(where, "'" + key + "' must be one of paper|winter|summer|shoulder, " +
+                  "got '" + s + "'");
+}
+
+OccupancyRegime occupancy_field(const json::Value& v, const std::string& where,
+                                const std::string& key) {
+  const std::string s = string_field(v, where, key);
+  if (s == "paper") return OccupancyRegime::kPaper;
+  if (s == "quiet") return OccupancyRegime::kQuiet;
+  if (s == "busy") return OccupancyRegime::kBusy;
+  fail(where, "'" + key + "' must be one of paper|quiet|busy, got '" + s +
+                  "'");
+}
+
+HvacRegime hvac_field(const json::Value& v, const std::string& where,
+                      const std::string& key) {
+  const std::string s = string_field(v, where, key);
+  if (s == "paper") return HvacRegime::kPaper;
+  if (s == "fixed-supply") return HvacRegime::kFixedSupply;
+  if (s == "eco") return HvacRegime::kEco;
+  fail(where, "'" + key + "' must be one of paper|fixed-supply|eco, got '" +
+                  s + "'");
+}
+
+/// Shared by the public decoder and the fleet loop; reports through
+/// `had_seed` whether the object carried an explicit "seed" so the fleet
+/// decoder knows when to derive one.
+ScenarioSpec decode_scenario(const json::Value& body, const std::string& where,
+                             bool& had_seed) {
+  if (!body.is_object()) fail(where, "must be a JSON object");
+  ScenarioSpec spec;
+  had_seed = false;
+  for (const auto& [key, value] : body.object) {
+    if (key == "name") {
+      spec.name = string_field(value, where, key);
+    } else if (key == "building") {
+      spec.building = building_field(value, where, key);
+    } else if (key == "sensors") {
+      spec.sensors = count_field(value, where, key);
+    } else if (key == "halls") {
+      spec.halls = count_field(value, where, key);
+    } else if (key == "sensors_per_hall") {
+      spec.sensors_per_hall = count_field(value, where, key);
+    } else if (key == "season") {
+      spec.season = season_field(value, where, key);
+    } else if (key == "occupancy") {
+      spec.occupancy = occupancy_field(value, where, key);
+    } else if (key == "hvac") {
+      spec.hvac = hvac_field(value, where, key);
+    } else if (key == "days") {
+      spec.days = count_field(value, where, key);
+    } else if (key == "failure_days") {
+      spec.failure_days = count_field(value, where, key);
+    } else if (key == "dropout") {
+      spec.dropout = number_field(value, where, key);
+    } else if (key == "seed") {
+      spec.seed = seed_field(value, where, key);
+      had_seed = true;
+    } else {
+      fail(where, "unknown key '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace
+
+sim::ScenarioSpec scenario_from_json(const json::Value& body,
+                                     const std::string& where) {
+  bool had_seed = false;
+  return decode_scenario(body, where, had_seed);
+}
+
+SimulateRequest simulate_request_from_json(const json::Value& body) {
+  static const std::string kWhere = "simulate request";
+  if (!body.is_object()) fail(kWhere, "body must be a JSON object");
+
+  SimulateRequest request;
+  if (body.find("scenarios") == nullptr) {
+    // Single-scenario shorthand: the body *is* the spec.
+    request.specs.push_back(scenario_from_json(body, kWhere));
+    return request;
+  }
+
+  std::uint64_t base_seed = ScenarioSpec{}.seed;
+  const json::Value* scenarios = nullptr;
+  for (const auto& [key, value] : body.object) {
+    if (key == "scenarios") {
+      if (!value.is_array()) fail(kWhere, "'scenarios' must be an array");
+      scenarios = &value;
+    } else if (key == "base_seed") {
+      base_seed = seed_field(value, kWhere, key);
+    } else if (key == "out_dir") {
+      request.out_dir = string_field(value, kWhere, key);
+    } else {
+      fail(kWhere, "unknown key '" + key + "'");
+    }
+  }
+  if (scenarios->array.empty()) {
+    fail(kWhere, "'scenarios' must not be empty");
+  }
+  for (std::size_t i = 0; i < scenarios->array.size(); ++i) {
+    const std::string where = kWhere + ": scenarios[" + std::to_string(i) +
+                              "]";
+    bool had_seed = false;
+    ScenarioSpec spec = decode_scenario(scenarios->array[i], where, had_seed);
+    if (!had_seed) spec.seed = sim::derive_entity_seed(base_seed, i);
+    request.specs.push_back(std::move(spec));
+  }
+  return request;
+}
+
+}  // namespace auditherm::serve

@@ -14,6 +14,7 @@
 
 #include "auditherm/core/cli.hpp"
 #include "auditherm/obs/export.hpp"
+#include "auditherm/serve/scenario_codec.hpp"
 
 namespace auditherm::serve {
 
@@ -266,6 +267,30 @@ std::string Server::respond(const HttpRequest& request) {
     }
     request_stop();
     return http_response(200, "text/plain", "shutting down\n");
+  }
+  if (request.path == "/simulate") {
+    if (request.method != "POST") {
+      return http_response(405, "text/plain", "error: use POST\n");
+    }
+    try {
+      const auto body = json::parse(request.body);
+      const SimulateRequest simulate_request =
+          simulate_request_from_json(body);
+      sim::FleetOptions options;
+      options.out_dir = simulate_request.out_dir;
+      const auto outcomes = sim::run_fleet(simulate_request.specs, options);
+      return http_response(200, "application/json",
+                           sim::fleet_manifest_json(outcomes));
+    } catch (const json::ParseError& e) {
+      return http_response(400, "text/plain",
+                           std::string("error: ") + e.what() + "\n");
+    } catch (const std::invalid_argument& e) {
+      return http_response(400, "text/plain",
+                           std::string("error: ") + e.what() + "\n");
+    } catch (const std::exception& e) {
+      return http_response(500, "text/plain",
+                           std::string("error: ") + e.what() + "\n");
+    }
   }
   if (request.path == "/analyze") {
     if (request.method != "POST") {

@@ -55,8 +55,23 @@ std::vector<ChannelId> AuditoriumDataset::extended_input_ids() const {
 }
 
 AuditoriumDataset generate_dataset(const DatasetConfig& config) {
+  return generate_dataset(FloorPlan::brauer_auditorium(), config);
+}
+
+AuditoriumDataset generate_dataset(const FloorPlan& plan,
+                                   const DatasetConfig& config) {
   if (config.days == 0) {
     throw std::invalid_argument("generate_dataset: days == 0");
+  }
+  // The flow channels live at 101..109; kOccupancy (110) starts the next
+  // modality, so a plan with more VAVs would silently alias channels.
+  if (plan.vav_count() >
+      static_cast<std::size_t>(DatasetChannels::kOccupancy -
+                               DatasetChannels::kVavBase)) {
+    throw std::invalid_argument(
+        "generate_dataset: plan has " + std::to_string(plan.vav_count()) +
+        " VAVs but the flow-channel band 101..109 holds at most 9 "
+        "(synthetic plans up to 288 sensors)");
   }
   if (config.sample_step <= 0 || config.hvac_log_step <= 0 ||
       config.control_dt_s <= 0.0) {
@@ -72,7 +87,7 @@ AuditoriumDataset generate_dataset(const DatasetConfig& config) {
   }
 
   AuditoriumDataset ds;
-  ds.plan = FloorPlan::brauer_auditorium();
+  ds.plan = plan;
   ds.schedule = hvac::Schedule();
 
   const auto sensor_ids = ds.plan.sensor_ids();

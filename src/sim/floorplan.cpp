@@ -149,6 +149,11 @@ FloorPlan FloorPlan::synthetic_campus(std::size_t hall_count,
     const double x0 = static_cast<double>(h) * (hall_width + kCorridor);
     for (std::size_t s = 0; s < sensors_per_hall; ++s) {
       while (next_id == 40 || next_id == 41) ++next_id;  // thermostat ids
+      // The 100..199 band is reserved for the non-temperature modalities
+      // (VAV flows, occupancy, lighting, ambient, supply, CO2); campus-scale
+      // sensor counts continue in the extended range >= 200, matching the
+      // CLI channel conventions and serve::classify_channels.
+      if (next_id >= 100 && next_id < 200) next_id = 200;
       const std::size_t r = s / cols;
       const std::size_t c = s % cols;
       sensors.push_back({next_id++,

@@ -124,10 +124,20 @@ struct AuditoriumDataset {
   [[nodiscard]] std::vector<timeseries::ChannelId> extended_input_ids() const;
 };
 
-/// Run the closed-loop simulation and assemble the dataset.
+/// Run the closed-loop simulation of the paper's auditorium and assemble
+/// the dataset.
 /// Throws std::invalid_argument on inconsistent configuration (zero days,
 /// sample step not a multiple of the control step, failure_days > days).
 [[nodiscard]] AuditoriumDataset generate_dataset(const DatasetConfig& config);
+
+/// Same closed-loop simulation over an arbitrary floor plan (the paper
+/// hall, a synthetic_grid hall, or a synthetic_campus). The plan's VAV
+/// count must fit the reserved flow-channel band 101..109 (at most 9
+/// VAVs — synthetic plans up to 288 sensors); throws std::invalid_argument
+/// otherwise. generate_dataset(config) is exactly
+/// generate_dataset(FloorPlan::brauer_auditorium(), config).
+[[nodiscard]] AuditoriumDataset generate_dataset(const FloorPlan& plan,
+                                                 const DatasetConfig& config);
 
 /// A spatial snapshot (Fig. 2): per-sensor reported temperature at the
 /// sample nearest to `t`, NaN for sensors in dropout.

@@ -69,8 +69,10 @@ class FloorPlan {
   /// its own thermal zone (SensorSite::zone = hall index) with its own
   /// grid of `sensors_per_hall` wireless sensors and its own pair of
   /// diffusers; ids count up across halls skipping the thermostat ids
-  /// 40/41, which sit at the campus's front corners (zones 0 and
-  /// hall_count - 1). synthetic_grid(n) is exactly
+  /// 40/41 and the reserved 100..199 modality band (campus-scale counts
+  /// continue in the extended range >= 200, per the CLI channel
+  /// conventions), with the thermostats at the campus's front corners
+  /// (zones 0 and hall_count - 1). synthetic_grid(n) is exactly
   /// synthetic_campus(1, n). Throws std::invalid_argument when either
   /// count is 0.
   [[nodiscard]] static FloorPlan synthetic_campus(std::size_t hall_count,

@@ -1,6 +1,7 @@
 #include "auditherm/timeseries/csv_io.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -109,10 +110,21 @@ void write_csv(std::ostream& os, const MultiTrace& trace) {
 }
 
 void write_csv_file(const std::string& path, const MultiTrace& trace) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("write_csv_file: cannot open " + path);
-  write_csv(f, trace);
-  if (!f) throw std::runtime_error("write_csv_file: write failed for " + path);
+  bool ok = false;
+  {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("write_csv_file: cannot open " + path);
+    write_csv(f, trace);
+    f.flush();
+    ok = static_cast<bool>(f);
+  }
+  if (!ok) {
+    // A failed write leaves a truncated CSV that a later read would accept
+    // as a (wrong) shorter trace — remove it so the failure is loud.
+    std::remove(path.c_str());
+    throw std::runtime_error("write_csv_file: write failed for " + path +
+                             " (partial file removed)");
+  }
 }
 
 MultiTrace read_csv(std::istream& is) {

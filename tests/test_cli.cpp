@@ -200,3 +200,12 @@ TEST(CliCommonOptions, RejectsBadCacheAndNegativeThreads) {
 }
 
 }  // namespace
+
+TEST(CliOptionSet, GetDoubleParsesAndRejects) {
+  const auto set = test_set();
+  const auto parsed = parse(set, {"--data", "t.csv", "--clusters", "0.25"});
+  EXPECT_DOUBLE_EQ(parsed.get_double("clusters", 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(parsed.get_double("missing", 0.5), 0.5);
+  const auto bad = parse(set, {"--data", "t.csv", "--clusters", "0.2x"});
+  EXPECT_THROW((void)bad.get_double("clusters", 0.0), cli::UsageError);
+}

@@ -176,3 +176,47 @@ TEST(Dataset, ConfigValidation) {
   bad.control_dt_s = 540.0;  // 9 min does not divide the 30-min sample step
   EXPECT_THROW((void)sim::generate_dataset(bad), std::invalid_argument);
 }
+
+TEST(Dataset, PlanOverloadSimulatesSyntheticBuildings) {
+  sim::DatasetConfig config;
+  config.days = 2;
+  config.failure_days = 0;
+  const auto plan = sim::FloorPlan::synthetic_grid(8);
+  const auto ds = sim::generate_dataset(plan, config);
+  // 8 wireless + 2 thermostats sensors, 4 VAVs, 5 extra modalities.
+  EXPECT_EQ(ds.truth.channel_count(), 10u);
+  EXPECT_EQ(ds.trace.channel_count(), 10u + 4u + 5u);
+  EXPECT_EQ(ds.plan.sensors().size(), plan.sensors().size());
+}
+
+TEST(Dataset, PlanOverloadWithPaperHallMatchesDefaultOverload) {
+  sim::DatasetConfig config;
+  config.days = 2;
+  config.failure_days = 1;
+  const auto a = sim::generate_dataset(config);
+  const auto b =
+      sim::generate_dataset(sim::FloorPlan::brauer_auditorium(), config);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  ASSERT_EQ(a.trace.channel_count(), b.trace.channel_count());
+  for (std::size_t k = 0; k < a.trace.size(); ++k) {
+    for (std::size_t c = 0; c < a.trace.channel_count(); ++c) {
+      const double va = a.trace.value(k, c);
+      const double vb = b.trace.value(k, c);
+      if (std::isnan(va)) {
+        ASSERT_TRUE(std::isnan(vb)) << k << "," << c;
+      } else {
+        ASSERT_EQ(va, vb) << k << "," << c;
+      }
+    }
+  }
+}
+
+TEST(Dataset, PlanOverloadRejectsMoreVavsThanTheChannelBandHolds) {
+  sim::DatasetConfig config;
+  config.days = 1;
+  config.failure_days = 0;
+  // 320 sensors -> max(4, 320/32) = 10 VAVs > the 9-wide band 101..109.
+  const auto plan = sim::FloorPlan::synthetic_grid(320);
+  EXPECT_THROW((void)sim::generate_dataset(plan, config),
+               std::invalid_argument);
+}

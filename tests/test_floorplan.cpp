@@ -243,3 +243,21 @@ TEST(FloorPlan, CampusValidation) {
   EXPECT_THROW((void)sim::FloorPlan::synthetic_campus(3, 0),
                std::invalid_argument);
 }
+
+TEST(FloorPlan, SyntheticIdsSkipTheReservedModalityBand) {
+  // 150 wireless sensors would naively use ids 1..152 (skipping 40/41),
+  // colliding with the reserved 100..199 dataset-channel band; instead
+  // the ids jump to the extended range >= 200.
+  for (const auto& plan : {sim::FloorPlan::synthetic_grid(150),
+                           sim::FloorPlan::synthetic_campus(5, 30)}) {
+    for (const auto id : plan.wireless_ids()) {
+      EXPECT_TRUE(id < 100 || id >= 200) << "id " << id;
+      EXPECT_NE(id, 40);
+      EXPECT_NE(id, 41);
+    }
+    // Ids stay unique and ordered after the jump.
+    auto ids = plan.wireless_ids();
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  }
+}

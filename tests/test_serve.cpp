@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "auditherm/serve/json.hpp"
+#include "auditherm/serve/scenario_codec.hpp"
 #include "auditherm/serve/service.hpp"
 #include "auditherm/sim/dataset.hpp"
+#include "auditherm/sim/scenario.hpp"
 #include "auditherm/timeseries/csv_io.hpp"
 
 namespace core = auditherm::core;
@@ -351,6 +353,56 @@ TEST(ServeServer, EndToEndOverLoopbackSockets) {
   EXPECT_NE(shutdown.find("HTTP/1.1 200"), std::string::npos);
   runner.join();  // run() drains and exits after /shutdown
   EXPECT_TRUE(server.stopping());
+}
+
+TEST(ServeServer, SimulateEndpointReturnsTheFleetManifest) {
+  serve::AnalysisService service;
+  serve::ServerConfig config;
+  config.port = 0;
+  config.workers = 2;
+  serve::Server server(config, service, nullptr);
+  server.start();
+  std::thread runner([&] { server.run(); });
+
+  const std::string body = R"({"base_seed": 5, "scenarios": [
+    {"name": "e2e-a", "days": 2, "failure_days": 0},
+    {"name": "e2e-b", "days": 2, "failure_days": 1,
+     "building": "grid", "sensors": 12}
+  ]})";
+  const auto ok = http_exchange(server.port(), "POST", "/simulate", body);
+  EXPECT_NE(ok.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(ok.find("application/json"), std::string::npos);
+  const auto manifest = json::parse(response_body(ok));
+  EXPECT_EQ(manifest.find("schema")->string, "auditherm.fleet-manifest");
+  EXPECT_EQ(manifest.find("buildings")->number, 2.0);
+  const auto& scenarios = manifest.find("scenarios")->array;
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].find("name")->string, "e2e-a");
+
+  // The daemon's manifest must match an in-process run of the same
+  // decoded request — one code path from spec to fingerprint.
+  const auto request = serve::simulate_request_from_json(json::parse(body));
+  const auto outcomes = sim::run_fleet(request.specs);
+  char expected[24];
+  std::snprintf(expected, sizeof(expected), "0x%016llx",
+                static_cast<unsigned long long>(outcomes[0].trace_fingerprint));
+  EXPECT_EQ(scenarios[0].find("trace_fingerprint")->string, expected);
+
+  const auto bad =
+      http_exchange(server.port(), "POST", "/simulate", R"({"dayz": 1})");
+  EXPECT_NE(bad.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(response_body(bad).find("dayz"), std::string::npos);
+  const auto unparsable =
+      http_exchange(server.port(), "POST", "/simulate", "{nope");
+  EXPECT_NE(unparsable.find("HTTP/1.1 400"), std::string::npos);
+  const auto wrong_method =
+      http_exchange(server.port(), "GET", "/simulate", "");
+  EXPECT_NE(wrong_method.find("HTTP/1.1 405"), std::string::npos);
+
+  const auto shutdown =
+      http_exchange(server.port(), "POST", "/shutdown", "");
+  EXPECT_NE(shutdown.find("HTTP/1.1 200"), std::string::npos);
+  runner.join();
 }
 
 }  // namespace

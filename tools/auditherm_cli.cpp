@@ -1,7 +1,8 @@
 // auditherm command-line tool.
 //
-//   auditherm simulate --out trace.csv [--days N] [--failure-days N]
-//       [--seed S] [--truth truth.csv]
+//   auditherm simulate --out trace.csv [--spec spec.json] [--days N]
+//       [--failure-days N] [--dropout P] [--seed S] [--truth truth.csv]
+//   auditherm simulate --fleet specs.json [--out-dir DIR]
 //   auditherm analyze --data trace.csv [--metric correlation|euclidean]
 //       [--clusters K] [--order 1|2] [--per-cluster N] [--sweep SEEDS]
 //       [--eigen jacobi|tridiagonal|lanczos|auto] [--graph epsilon|knn]
@@ -23,11 +24,14 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "auditherm/auditherm.hpp"
+#include "auditherm/serve/scenario_codec.hpp"
 #include "auditherm/serve/server.hpp"
 #include "auditherm/serve/service.hpp"
 
@@ -72,12 +76,23 @@ class ObsRun {
 
 cli::OptionSet simulate_options() {
   std::vector<cli::OptionSpec> specs = {
-      {"out", true, true, "FILE", "write the simulated trace CSV here"},
+      {"out", true, false, "FILE", "write the simulated trace CSV here"},
+      {"spec", true, false, "FILE",
+       "scenario spec JSON (see scenario_codec.hpp); other flags override "
+       "its fields"},
+      {"fleet", true, false, "FILE",
+       "fleet spec JSON; simulate every scenario in parallel and write "
+       "per-building CSVs + manifest.json"},
+      {"out-dir", true, false, "DIR",
+       "fleet output directory (overrides the fleet file's out_dir)"},
       {"days", true, false, "N", "days to simulate (default 98)"},
       {"failure-days", true, false, "N",
        "days with injected sensor failures (default 34)"},
+      {"dropout", true, false, "P",
+       "per sensor-day wireless dropout probability (default 0.04)"},
       {"seed", true, false, "S", "simulation seed (default 1234)"},
-      {"truth", true, false, "FILE", "also write the noise-free truth CSV"},
+      {"truth", true, false, "FILE",
+       "noise-free truth CSV path (default <out stem>.truth.csv)"},
   };
   for (auto& spec : cli::common_options()) specs.push_back(std::move(spec));
   return cli::OptionSet("simulate", std::move(specs));
@@ -129,30 +144,135 @@ int usage() {
   return 2;
 }
 
+/// Read a whole text file (a --spec / --fleet JSON document).
+std::string read_text_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("simulate: cannot read " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  if (f.bad()) throw std::runtime_error("simulate: read failed for " + path);
+  return std::move(os).str();
+}
+
+/// Fail fast when an output path cannot be written (probing in append
+/// mode creates the file without truncating an existing one), so a bad
+/// --out reports a clear error *before* the simulation burns minutes
+/// instead of dying on a silent partial file afterwards.
+void require_writable(const std::string& path) {
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) throw std::runtime_error("simulate: cannot write " + path);
+}
+
+/// trace.csv -> trace<suffix>; paths without the .csv extension get the
+/// suffix appended.
+std::string sidecar_path(const std::string& out, const std::string& suffix) {
+  if (out.size() > 4 && out.ends_with(".csv")) {
+    return out.substr(0, out.size() - 4) + suffix;
+  }
+  return out + suffix;
+}
+
+/// One scenario resolved from --spec (or defaults) with the individual
+/// flags layered on top — a flag always overrides the spec file.
+sim::ScenarioSpec scenario_from_args(const cli::ParsedOptions& args) {
+  sim::ScenarioSpec spec;
+  if (args.has("spec")) {
+    spec = serve::scenario_from_json(
+        serve::json::parse(read_text_file(args.require("spec"))));
+  }
+  if (args.has("days")) {
+    spec.days = static_cast<std::size_t>(args.get_long("days", 0));
+  }
+  if (args.has("failure-days")) {
+    spec.failure_days =
+        static_cast<std::size_t>(args.get_long("failure-days", 0));
+  }
+  if (args.has("dropout")) {
+    spec.dropout = args.get_double("dropout", spec.dropout);
+  }
+  if (args.has("seed")) {
+    spec.seed = static_cast<std::uint64_t>(args.get_long("seed", 0));
+  }
+  spec.validate();
+  return spec;
+}
+
+int cmd_simulate_fleet(const cli::ParsedOptions& args) {
+  for (const char* flag :
+       {"out", "spec", "days", "failure-days", "dropout", "seed", "truth"}) {
+    if (args.has(flag)) {
+      throw cli::UsageError(std::string("--fleet cannot be combined with --") +
+                            flag + " (put it in the fleet file's scenarios)");
+    }
+  }
+  const serve::SimulateRequest request = serve::simulate_request_from_json(
+      serve::json::parse(read_text_file(args.require("fleet"))));
+
+  sim::FleetOptions options;
+  options.out_dir = args.get("out-dir").value_or(request.out_dir);
+  if (options.out_dir.empty()) {
+    throw cli::UsageError(
+        "--fleet needs an output directory: pass --out-dir or put "
+        "\"out_dir\" in the fleet file");
+  }
+
+  std::printf("simulating fleet of %zu buildings...\n", request.specs.size());
+  const auto outcomes = sim::run_fleet(request.specs, options);
+  std::size_t total_steps = 0;
+  for (const auto& outcome : outcomes) {
+    total_steps += outcome.control_steps;
+    std::printf("  %s: %zu samples x %zu channels, coverage %.1f%%\n",
+                outcome.spec.name.c_str(), outcome.samples, outcome.channels,
+                100.0 * outcome.coverage);
+  }
+  std::printf("wrote %s/manifest.json (%zu buildings, %zu control steps)\n",
+              options.out_dir.c_str(), outcomes.size(), total_steps);
+  return 0;
+}
+
 int cmd_simulate(const cli::ParsedOptions& args,
                  const cli::CommonOptions& common) {
   const ObsRun obs_run(common);
   obs::TraceSpan span("cli.simulate");
 
-  sim::DatasetConfig config;
-  config.days = static_cast<std::size_t>(args.get_long("days", 98));
-  config.failure_days =
-      static_cast<std::size_t>(args.get_long("failure-days", 34));
-  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 1234));
-  const auto out = args.require("out");
+  if (args.has("fleet")) return cmd_simulate_fleet(args);
 
-  std::printf("simulating %zu days (seed %llu)...\n", config.days,
-              static_cast<unsigned long long>(config.seed));
-  const auto dataset = sim::generate_dataset(config);
+  const sim::ScenarioSpec spec = scenario_from_args(args);
+  const auto out = args.require("out");
+  const std::string truth_path =
+      args.get("truth").value_or(sidecar_path(out, ".truth.csv"));
+  const std::string meta_path = sidecar_path(out, ".meta.json");
+  require_writable(out);
+  require_writable(truth_path);
+  require_writable(meta_path);
+
+  std::printf("simulating %zu days (seed %llu)...\n", spec.days,
+              static_cast<unsigned long long>(spec.seed));
+  // A fleet of one: the CLI shares run_fleet's code path (and therefore
+  // its fingerprints), which is what the bench's bitwise cross-check
+  // between `simulate` and fleet runs rests on.
+  auto outcomes = sim::run_fleet({spec});
+  auto& outcome = outcomes.front();
+  const auto& dataset = *outcome.dataset;
   timeseries::write_csv_file(out, dataset.trace);
   std::printf("wrote %s: %zu samples x %zu channels, coverage %.1f%%\n",
               out.c_str(), dataset.trace.size(),
               dataset.trace.channel_count(),
               100.0 * dataset.trace.coverage());
-  if (const auto truth = args.get("truth")) {
-    timeseries::write_csv_file(*truth, dataset.truth);
-    std::printf("wrote %s (noise-free ground truth)\n", truth->c_str());
+  timeseries::write_csv_file(truth_path, dataset.truth);
+  std::printf("wrote %s (noise-free ground truth)\n", truth_path.c_str());
+
+  outcome.trace_file = out;
+  outcome.truth_file = truth_path;
+  {
+    std::ofstream meta(meta_path);
+    meta << sim::fleet_manifest_json(outcomes);
+    meta.flush();
+    if (!meta) {
+      throw std::runtime_error("simulate: cannot write " + meta_path);
+    }
   }
+  std::printf("wrote %s (run metadata)\n", meta_path.c_str());
   return 0;
 }
 
