@@ -23,6 +23,7 @@
 #include "auditherm/selection/strategies.hpp"
 #include "auditherm/sysid/estimator.hpp"
 #include "auditherm/sysid/evaluation.hpp"
+#include "auditherm/sysid/streaming.hpp"
 
 namespace auditherm::core {
 
@@ -205,6 +206,43 @@ struct SweepCase {
     const std::vector<timeseries::ChannelId>& sensor_ids,
     const std::vector<timeseries::ChannelId>& input_ids,
     const RunOptions& options);
+
+/// Configuration for the streaming-identification entry point.
+struct StreamingRunConfig {
+  sysid::ModelOrder order = sysid::ModelOrder::kSecond;
+  /// Window / re-anchoring / drift-detector knobs. The default
+  /// EstimationOptions inside match the batch pipeline's.
+  sysid::StreamingOptions streaming;
+  /// Observability sink for this call, RunOptions::metrics semantics.
+  obs::Recorder* metrics = nullptr;
+};
+
+/// What one streaming pass produced.
+struct StreamingRunResult {
+  sysid::StreamingStats stats;
+  /// Transitions inside the window when the stream ended.
+  std::size_t window_transitions = 0;
+  std::vector<sysid::DriftEvent> drift_events;
+  /// Largest one-sided CUSUM statistic at end of stream (sigma units).
+  double cusum = 0.0;
+  bool has_model = false;
+  /// Final-window model + its pooled AIC; meaningful when has_model.
+  sysid::ThermalModel model;
+  double aic = 0.0;
+};
+
+/// Run streaming identification over `trace` row by row (ROADMAP item 4:
+/// the online counterpart of the batch Step-3 fit). `state_ids` are the
+/// temperature channels to model, `input_ids` the [h; o; l; w] block;
+/// `row_filter`, when non-empty, must match trace.size() and excluded rows
+/// count as gaps. Deterministic at any thread count: the pass is one
+/// serial sweep whose result depends only on the trace and config.
+[[nodiscard]] StreamingRunResult run_streaming_identification(
+    const timeseries::TraceView& trace,
+    const std::vector<timeseries::ChannelId>& state_ids,
+    const std::vector<timeseries::ChannelId>& input_ids,
+    const StreamingRunConfig& config,
+    const std::vector<bool>& row_filter = {});
 
 /// Evaluate a reduced model's cluster-mean predictions (Fig. 11 metric):
 /// simulate the model over each window, average the predicted selected

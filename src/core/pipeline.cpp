@@ -444,4 +444,27 @@ std::vector<PipelineResult> run_strategy_sweep(
   return results;
 }
 
+StreamingRunResult run_streaming_identification(
+    const timeseries::TraceView& trace,
+    const std::vector<timeseries::ChannelId>& state_ids,
+    const std::vector<timeseries::ChannelId>& input_ids,
+    const StreamingRunConfig& config, const std::vector<bool>& row_filter) {
+  const obs::RecorderScope obs_scope(config.metrics);
+  obs::TraceSpan span("pipeline.streaming");
+  sysid::StreamingEstimator estimator(state_ids, input_ids, config.order,
+                                      config.streaming);
+  estimator.push_trace(trace, row_filter);
+  StreamingRunResult result;
+  result.stats = estimator.stats();
+  result.window_transitions = estimator.window_transitions();
+  result.drift_events = estimator.drift_events();
+  result.cusum = estimator.cusum_statistic();
+  result.has_model = estimator.has_model();
+  if (result.has_model) {
+    result.model = estimator.model();
+    result.aic = estimator.aic();
+  }
+  return result;
+}
+
 }  // namespace auditherm::core

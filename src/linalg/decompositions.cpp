@@ -100,6 +100,19 @@ Matrix QrDecomposition::r() const {
   return r;
 }
 
+Matrix QrDecomposition::qt_times(const Matrix& b) const {
+  if (b.rows() != m_) {
+    throw std::invalid_argument("QrDecomposition::qt_times: rows mismatch");
+  }
+  Matrix qtb(m_, b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    Vector col = b.col_vector(j);
+    apply_reflectors(col);
+    qtb.set_col(j, col);
+  }
+  return qtb;
+}
+
 Matrix QrDecomposition::thin_q() const {
   Matrix q(m_, n_);
   for (std::size_t col = n_; col-- > 0;) {
@@ -116,6 +129,218 @@ Matrix QrDecomposition::thin_q() const {
     q.set_col(col, e);
   }
   return q;
+}
+
+// ---------------------------------------------------------------------------
+// UpdatableQr
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Fold one row [z | y] into the upper-triangular system [r | u] with a
+/// sequence of Givens rotations, one per column. Keeps r's diagonal >= 0
+/// (std::hypot never returns a negative). On exit z is zero to working
+/// precision and y holds the row's residual component.
+void givens_fold_row(Matrix& r, Matrix& u, Vector& z, Vector& y) {
+  const std::size_t n = r.rows();
+  const std::size_t k = u.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double zi = z[i];
+    if (zi == 0.0) continue;
+    const double rii = r(i, i);
+    const double rho = std::hypot(rii, zi);
+    const double c = rii / rho;
+    const double s = zi / rho;
+    r(i, i) = rho;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double t = r(i, j);
+      r(i, j) = c * t + s * z[j];
+      z[j] = c * z[j] - s * t;
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      const double t = u(i, j);
+      u(i, j) = c * t + s * y[j];
+      y[j] = c * y[j] - s * t;
+    }
+  }
+}
+
+/// Back-substitute R X = U for upper-triangular r with the UpdatableQr
+/// diagonal convention (diagonal stored in r itself).
+Matrix upper_back_substitute(const Matrix& r, const Matrix& u) {
+  const std::size_t n = r.rows();
+  const std::size_t k = u.cols();
+  Matrix x(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t ii = n; ii-- > 0;) {
+      double s = u(ii, j);
+      for (std::size_t jj = ii + 1; jj < n; ++jj) s -= r(ii, jj) * x(jj, j);
+      x(ii, j) = s / r(ii, ii);
+    }
+  }
+  return x;
+}
+
+bool upper_rank_deficient(const Matrix& r, double tol) {
+  double dmax = 0.0;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    dmax = std::max(dmax, std::abs(r(i, i)));
+  }
+  if (dmax == 0.0) return true;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    if (std::abs(r(i, i)) <= tol * dmax) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+UpdatableQr::UpdatableQr(std::size_t cols, std::size_t rhs_cols)
+    : n_(cols),
+      k_(rhs_cols),
+      r_(cols, cols),
+      u_(cols, rhs_cols),
+      rss_(rhs_cols, 0.0),
+      z_(cols, 0.0),
+      y_(rhs_cols, 0.0) {
+  if (n_ == 0 || k_ == 0) {
+    throw std::invalid_argument("UpdatableQr: zero-sized system");
+  }
+}
+
+UpdatableQr::UpdatableQr(const Matrix& a, const Matrix& b)
+    : UpdatableQr(a.cols(), b.cols()) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("UpdatableQr: row count mismatch");
+  }
+  const QrDecomposition qr(a);
+  const Matrix rfull = qr.r();
+  const Matrix qtb = qr.qt_times(b);
+  for (std::size_t i = 0; i < n_; ++i) {
+    // Canonicalize to R_ii >= 0 (Q absorbs the sign; R^T R is unchanged),
+    // the convention the Givens append path maintains.
+    const double sign = rfull(i, i) < 0.0 ? -1.0 : 1.0;
+    for (std::size_t j = i; j < n_; ++j) r_(i, j) = sign * rfull(i, j);
+    for (std::size_t j = 0; j < k_; ++j) u_(i, j) = sign * qtb(i, j);
+  }
+  for (std::size_t j = 0; j < k_; ++j) {
+    double ss = 0.0;
+    for (std::size_t i = n_; i < a.rows(); ++i) ss += qtb(i, j) * qtb(i, j);
+    rss_[j] = ss;
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < n_; ++j) gram_trace_ += a(i, j) * a(i, j);
+  }
+  rows_ = a.rows();
+}
+
+void UpdatableQr::append(const double* a_row, const double* b_row) {
+  static const obs::MetricId kUpdateCalls =
+      obs::counter_id("linalg.qr_update_calls");
+  obs::add_counter(kUpdateCalls);
+  for (std::size_t j = 0; j < n_; ++j) {
+    z_[j] = a_row[j];
+    gram_trace_ += a_row[j] * a_row[j];
+  }
+  for (std::size_t j = 0; j < k_; ++j) y_[j] = b_row[j];
+  givens_fold_row(r_, u_, z_, y_);
+  for (std::size_t j = 0; j < k_; ++j) rss_[j] += y_[j] * y_[j];
+  ++rows_;
+}
+
+void UpdatableQr::append(const Vector& a_row, const Vector& b_row) {
+  if (a_row.size() != n_ || b_row.size() != k_) {
+    throw std::invalid_argument("UpdatableQr::append: row size mismatch");
+  }
+  append(a_row.data(), b_row.data());
+}
+
+bool UpdatableQr::downdate(const double* a_row, const double* b_row) {
+  static const obs::MetricId kDowndateCalls =
+      obs::counter_id("linalg.qr_downdate_calls");
+  obs::add_counter(kDowndateCalls);
+  if (rows_ == 0) return false;
+  // Work on copies and commit on success: a guard rejection mid-sweep must
+  // leave the factorization untouched. The copy is O(n (n + k)) — the same
+  // order as the rotations themselves.
+  r_scratch_ = r_;
+  u_scratch_ = u_;
+  for (std::size_t j = 0; j < n_; ++j) z_[j] = a_row[j];
+  for (std::size_t j = 0; j < k_; ++j) y_[j] = b_row[j];
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double zi = z_[i];
+    if (zi == 0.0) continue;
+    const double rii = r_scratch_(i, i);
+    const double d = (rii - zi) * (rii + zi);
+    // Refuse when the downdated diagonal loses nearly all of its
+    // magnitude (also catches rii == 0 and NaN rows).
+    if (!(d > kDowndateGuard * rii * rii)) return false;
+    const double rho = std::sqrt(d);
+    const double ch = rii / rho;
+    const double sh = zi / rho;
+    r_scratch_(i, i) = rho;
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const double t = r_scratch_(i, j);
+      r_scratch_(i, j) = ch * t - sh * z_[j];
+      z_[j] = ch * z_[j] - sh * t;
+    }
+    for (std::size_t j = 0; j < k_; ++j) {
+      const double t = u_scratch_(i, j);
+      u_scratch_(i, j) = ch * t - sh * y_[j];
+      y_[j] = ch * y_[j] - sh * t;
+    }
+  }
+  r_ = r_scratch_;
+  u_ = u_scratch_;
+  for (std::size_t j = 0; j < k_; ++j) {
+    rss_[j] = std::max(0.0, rss_[j] - y_[j] * y_[j]);
+  }
+  double row_ss = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) row_ss += a_row[j] * a_row[j];
+  gram_trace_ = std::max(0.0, gram_trace_ - row_ss);
+  --rows_;
+  return true;
+}
+
+bool UpdatableQr::downdate(const Vector& a_row, const Vector& b_row) {
+  if (a_row.size() != n_ || b_row.size() != k_) {
+    throw std::invalid_argument("UpdatableQr::downdate: row size mismatch");
+  }
+  return downdate(a_row.data(), b_row.data());
+}
+
+Matrix UpdatableQr::solve() const {
+  if (rank_deficient()) {
+    throw std::domain_error("UpdatableQr::solve: rank-deficient system");
+  }
+  return upper_back_substitute(r_, u_);
+}
+
+Matrix UpdatableQr::solve_ridge(double lambda) const {
+  if (!(lambda > 0.0)) {
+    throw std::invalid_argument("UpdatableQr::solve_ridge: lambda <= 0");
+  }
+  // Fold the n rows of sqrt(lambda) I into a copy of [R | U]; ridge row i
+  // is sqrt(lambda) e_i with a zero right-hand side. The copy lives in the
+  // downdate scratch so the per-refit solve allocates nothing but the
+  // result.
+  r_scratch_ = r_;
+  u_scratch_ = u_;
+  const double s = std::sqrt(lambda);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::fill(z_.begin(), z_.end(), 0.0);
+    std::fill(y_.begin(), y_.end(), 0.0);
+    z_[i] = s;
+    givens_fold_row(r_scratch_, u_scratch_, z_, y_);
+  }
+  if (upper_rank_deficient(r_scratch_, 1e-12)) {
+    throw std::domain_error("UpdatableQr::solve_ridge: rank-deficient system");
+  }
+  return upper_back_substitute(r_scratch_, u_scratch_);
+}
+
+bool UpdatableQr::rank_deficient(double tol) const noexcept {
+  return upper_rank_deficient(r_, tol);
 }
 
 // ---------------------------------------------------------------------------

@@ -25,17 +25,23 @@ struct LeastSquaresOptions {
   /// matters for thermal regressors dominated by a ~20 degC DC component.
   bool relative_ridge = false;
 
-  /// Force the QR path even when ridge == 0 would allow normal equations.
+  /// Take the QR path. With ridge == 0 this is a plain Householder solve;
+  /// with ridge > 0 the factorization runs on the augmented system
+  /// [A; sqrt(lambda) I], which reaches the same minimizer as the
+  /// regularized normal equations without squaring the condition number.
+  /// When false, ridge > 0 uses the Cholesky normal-equations path (the
+  /// historical solver; the paper-pipeline golden pins are tied to its
+  /// bits).
   bool prefer_qr = true;
 };
 
 /// Solve argmin_X ||A X - B||_F^2 (+ ridge * ||X||_F^2).
 ///
 /// A is m x n with m >= n, B is m x k; the result is n x k. With
-/// ridge == 0 and prefer_qr, uses Householder QR; otherwise solves the
-/// (regularized) normal equations by Cholesky. Throws std::invalid_argument
-/// on shape mismatch and std::domain_error when the system is singular and
-/// unregularized.
+/// prefer_qr, uses Householder QR (on the ridge-augmented system when
+/// ridge > 0); otherwise solves the (regularized) normal equations by
+/// Cholesky. Throws std::invalid_argument on shape mismatch and
+/// std::domain_error when the system is singular and unregularized.
 [[nodiscard]] Matrix solve_least_squares(const Matrix& a, const Matrix& b,
                                          const LeastSquaresOptions& opts = {});
 

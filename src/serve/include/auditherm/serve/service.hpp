@@ -47,6 +47,9 @@ struct AnalyzeRequest {
   std::string eigen;    ///< "" = auto | jacobi | tridiagonal | lanczos
   std::string graph;    ///< "" = epsilon | knn
   long knn = 0;         ///< neighbors for --graph knn (0 = default)
+  /// Sliding-window length in rows for the streaming-identification
+  /// section (`analyze --stream`); 0 = off, -1 = growing window.
+  long stream = 0;
 };
 
 /// Decode a JSON object body ({"data": "...", "clusters": 3, ...}) into a

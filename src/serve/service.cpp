@@ -92,6 +92,8 @@ AnalyzeRequest request_from_json(const json::Value& body) {
       request.graph = string_field(value, key);
     } else if (key == "knn") {
       request.knn = integer_field(value, key);
+    } else if (key == "stream") {
+      request.stream = integer_field(value, key);
     } else {
       throw std::invalid_argument("analyze request: unknown key '" + key +
                                   "'");
@@ -354,6 +356,48 @@ std::string AnalysisService::analyze(const AnalyzeRequest& request) {
                 result.reduced_eval.pooled_rms);
   report.append("  cluster-mean 99th-pct error: %.3f degC\n",
                 result.cluster_mean_errors.percentile(99.0));
+
+  if (request.stream != 0) {
+    if (request.stream < -1) {
+      throw core::cli::UsageError(
+          "analyze: --stream expects a window length in rows, 0 (off), or "
+          "-1 (growing window)");
+    }
+    core::StreamingRunConfig stream_config;
+    stream_config.order = config.order;
+    stream_config.streaming.estimation = config.estimation;
+    stream_config.streaming.window_rows =
+        request.stream > 0 ? static_cast<std::size_t>(request.stream) : 0;
+    // Stream the reduced model's own channels over the full trace: the
+    // online counterpart of the batch Step-3 fit above.
+    const auto streamed = core::run_streaming_identification(
+        *ctx->trace, result.reduced_model.state_channels(),
+        result.reduced_model.input_channels(), stream_config);
+    if (request.stream > 0) {
+      report.append("\nstreaming identification (window %ld rows):\n",
+                    request.stream);
+    } else {
+      report.append("\nstreaming identification (growing window):\n");
+    }
+    report.append(
+        "  rows %zu, window transitions %zu, qr updates %zu, "
+        "downdates %zu, re-anchors %zu\n",
+        streamed.stats.rows_pushed, streamed.window_transitions,
+        streamed.stats.transitions, streamed.stats.downdates,
+        streamed.stats.reanchors);
+    if (streamed.has_model) {
+      report.append("  final-window spectral radius: %.4f, AIC %.1f\n",
+                    streamed.model.spectral_radius_bound(), streamed.aic);
+    } else {
+      report.append("  final window below the minimum transition count\n");
+    }
+    report.append("  drift events: %zu", streamed.drift_events.size());
+    for (const auto& event : streamed.drift_events) {
+      report.append("  [row %zu, %+.0f sigma]", event.row,
+                    event.direction * event.statistic);
+    }
+    report.append("\n");
+  }
 
   if (request.sweep > 0) {
     std::vector<core::SweepCase> cases;

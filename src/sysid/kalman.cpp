@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "auditherm/linalg/decompositions.hpp"
+#include "auditherm/obs/trace_span.hpp"
 
 namespace auditherm::sysid {
 
@@ -67,6 +68,10 @@ void KalmanFilter::reset(const linalg::Vector& initial_temps) {
 }
 
 void KalmanFilter::predict(const linalg::Vector& inputs) {
+  obs::TraceSpan span("sysid.kalman.predict");
+  static const obs::MetricId kPredicts =
+      obs::counter_id("sysid.kalman.predicts");
+  obs::add_counter(kPredicts);
   if (!initialized_) {
     throw std::invalid_argument("KalmanFilter::predict: reset() first");
   }
@@ -92,6 +97,10 @@ void KalmanFilter::predict(const linalg::Vector& inputs) {
 
 void KalmanFilter::update(const std::vector<std::size_t>& measured_states,
                           const linalg::Vector& measurements) {
+  obs::TraceSpan span("sysid.kalman.update");
+  static const obs::MetricId kUpdates =
+      obs::counter_id("sysid.kalman.updates");
+  obs::add_counter(kUpdates);
   if (!initialized_) {
     throw std::invalid_argument("KalmanFilter::update: reset() first");
   }

@@ -1,0 +1,359 @@
+#include "auditherm/sysid/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "auditherm/obs/trace_span.hpp"
+
+namespace auditherm::sysid {
+
+namespace {
+
+/// Rows of history a transition needs before its target (same rule as the
+/// batch estimator): 1 for first order, 2 for second (dT(k) needs T(k-1)).
+std::size_t history_rows(ModelOrder order) {
+  return order == ModelOrder::kSecond ? 2 : 1;
+}
+
+bool all_finite(const linalg::Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StreamingEstimator::StreamingEstimator(
+    std::vector<timeseries::ChannelId> state_ids,
+    std::vector<timeseries::ChannelId> input_ids, ModelOrder order,
+    StreamingOptions options)
+    : state_ids_(std::move(state_ids)),
+      input_ids_(std::move(input_ids)),
+      order_(order),
+      options_(options),
+      history_(history_rows(order)),
+      n_params_((order == ModelOrder::kSecond ? 2 * state_ids_.size()
+                                              : state_ids_.size()) +
+                input_ids_.size()),
+      qr_(n_params_ == 0 ? 1 : n_params_,
+          state_ids_.empty() ? 1 : state_ids_.size()) {
+  if (state_ids_.empty()) {
+    throw std::invalid_argument("StreamingEstimator: no state channels");
+  }
+  if (input_ids_.empty()) {
+    throw std::invalid_argument("StreamingEstimator: no input channels");
+  }
+  if (options_.estimation.ridge < 0.0) {
+    throw std::invalid_argument("StreamingEstimator: negative ridge");
+  }
+  if (options_.window_rows != 0 && options_.window_rows < history_ + 2) {
+    throw std::invalid_argument(
+        "StreamingEstimator: window_rows " +
+        std::to_string(options_.window_rows) + " cannot hold a transition (" +
+        std::to_string(history_ + 2) + " rows needed)");
+  }
+}
+
+std::size_t StreamingEstimator::min_transitions_needed() const noexcept {
+  if (options_.estimation.min_transitions != 0) {
+    return options_.estimation.min_transitions;
+  }
+  return std::max<std::size_t>(4 * n_params_, 8);
+}
+
+bool StreamingEstimator::has_model() const noexcept {
+  return window_.size() >= min_transitions_needed();
+}
+
+linalg::Matrix StreamingEstimator::solve_theta() const {
+  const double ridge = options_.estimation.ridge;
+  if (ridge == 0.0) return qr_.solve();
+  double lambda = ridge;
+  if (options_.estimation.relative_ridge) {
+    lambda *= qr_.gram_trace() / static_cast<double>(n_params_);
+  }
+  if (!(lambda > 0.0)) return qr_.solve();
+  return qr_.solve_ridge(lambda);
+}
+
+const ThermalModel& StreamingEstimator::model() const {
+  if (!has_model()) {
+    throw std::runtime_error(
+        "StreamingEstimator::model: only " +
+        std::to_string(window_.size()) + " window transitions, need " +
+        std::to_string(min_transitions_needed()));
+  }
+  if (!cached_model_) {
+    const linalg::Matrix theta = solve_theta();
+    const std::size_t p = state_ids_.size();
+    const std::size_t q = input_ids_.size();
+    linalg::Matrix a(p, p);
+    linalg::Matrix a2;
+    linalg::Matrix b(p, q);
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < p; ++j) a(i, j) = theta(j, i);
+    }
+    std::size_t offset = p;
+    if (order_ == ModelOrder::kSecond) {
+      a2 = linalg::Matrix(p, p);
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < p; ++j) a2(i, j) = theta(offset + j, i);
+      }
+      offset += p;
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < q; ++j) b(i, j) = theta(offset + j, i);
+    }
+    cached_model_.emplace(order_, std::move(a), std::move(a2), std::move(b),
+                          state_ids_, input_ids_);
+  }
+  return *cached_model_;
+}
+
+double StreamingEstimator::aic() const {
+  if (!has_model()) {
+    throw std::runtime_error("StreamingEstimator::aic: no model yet");
+  }
+  const std::size_t p = state_ids_.size();
+  const double samples = static_cast<double>(window_.size() * p);
+  double rss = 0.0;
+  for (double s : qr_.residual_sumsq()) rss += s;
+  rss = std::max(rss, 1e-300);
+  return samples * std::log(rss / samples) +
+         2.0 * static_cast<double>(n_params_ * p);
+}
+
+double StreamingEstimator::cusum_statistic() const noexcept {
+  return std::max(cusum_pos_, cusum_neg_);
+}
+
+void StreamingEstimator::observe_residual(const TransitionRow& row) {
+  const DriftDetectorOptions& d = options_.drift;
+  if (!d.enabled || !drift_theta_) return;
+  // The first warmup_refits references have seen too little excitation to
+  // score against (their residual spikes would inflate the calibration).
+  if (drift_refits_ <= d.warmup_refits) return;
+  const std::size_t p = state_ids_.size();
+  double ss = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    double pred = 0.0;
+    for (std::size_t j = 0; j < n_params_; ++j) {
+      pred += (*drift_theta_)(j, i) * row.z[j];
+    }
+    const double e = row.y[i] - pred;
+    ss += e * e;
+  }
+  const double s = std::sqrt(ss / static_cast<double>(p));
+
+  if (!armed_) {
+    // Welford pass over the (re-)calibration stretch.
+    ++calib_count_;
+    const double delta = s - calib_mean_;
+    calib_mean_ += delta / static_cast<double>(calib_count_);
+    calib_m2_ += delta * (s - calib_mean_);
+    if (calib_count_ >= std::max<std::size_t>(d.calibration_transitions, 2)) {
+      base_mean_ = calib_mean_;
+      base_std_ = std::max(
+          std::sqrt(calib_m2_ / static_cast<double>(calib_count_ - 1)),
+          1e-12);
+      armed_ = true;
+      cusum_pos_ = 0.0;
+      cusum_neg_ = 0.0;
+    }
+    return;
+  }
+
+  const double z = (s - base_mean_) / base_std_;
+  cusum_pos_ = std::max(0.0, cusum_pos_ + z - d.slack_sigmas);
+  cusum_neg_ = std::max(0.0, cusum_neg_ - z - d.slack_sigmas);
+  const double g = std::max(cusum_pos_, cusum_neg_);
+  if (g > d.threshold_sigmas) {
+    static const obs::MetricId kDriftEvents =
+        obs::counter_id("sysid.stream.drift_events");
+    obs::add_counter(kDriftEvents);
+    DriftEvent event;
+    event.row = row.target;
+    event.statistic = g;
+    event.direction = cusum_pos_ >= cusum_neg_ ? 1.0 : -1.0;
+    drift_events_.push_back(event);
+    // Re-calibrate against the new regime; a persistent change fires once.
+    armed_ = false;
+    calib_count_ = 0;
+    calib_mean_ = 0.0;
+    calib_m2_ = 0.0;
+    cusum_pos_ = 0.0;
+    cusum_neg_ = 0.0;
+    return;
+  }
+  if (g < 0.25 * d.threshold_sigmas) {
+    // Quiet: let the baseline track slow benign drift.
+    const double dm = s - base_mean_;
+    base_mean_ += d.baseline_alpha * dm;
+    double var = base_std_ * base_std_;
+    var += d.baseline_alpha * (dm * dm - var);
+    base_std_ = std::max(std::sqrt(var), 1e-12);
+  }
+}
+
+void StreamingEstimator::fold_transition(TransitionRow row) {
+  static const obs::MetricId kTransitions =
+      obs::counter_id("sysid.stream.transitions");
+  obs::add_counter(kTransitions);
+  qr_.append(row.z.data(), row.y.data());
+  window_.push_back(std::move(row));
+  ++stats_.transitions;
+  ++since_anchor_;
+  ++since_drift_refit_;
+  cached_model_.reset();
+}
+
+void StreamingEstimator::evict_aged(std::size_t newest_row) {
+  if (options_.window_rows == 0) return;
+  const std::size_t w = options_.window_rows;
+  // A transition with target row tau spans rows tau-history..tau; it stays
+  // while tau-history >= newest-w+1, i.e. tau + w >= newest + history + 1.
+  while (!window_.empty() &&
+         window_.front().target + w < newest_row + history_ + 1) {
+    TransitionRow aged = std::move(window_.front());
+    window_.pop_front();
+    cached_model_.reset();
+    if (qr_.downdate(aged.z.data(), aged.y.data())) {
+      ++stats_.downdates;
+    } else {
+      // Guard trip: the hyperbolic rotation would amplify roundoff, so
+      // fall back to the deterministic from-scratch refactorization.
+      ++stats_.downdate_refactors;
+      reanchor();
+    }
+  }
+}
+
+void StreamingEstimator::reanchor() {
+  obs::TraceSpan span("sysid.stream.reanchor");
+  static const obs::MetricId kReanchors =
+      obs::counter_id("sysid.stream.reanchors");
+  obs::add_counter(kReanchors);
+  const std::size_t p = state_ids_.size();
+  const std::size_t m = window_.size();
+  if (m >= n_params_) {
+    linalg::Matrix z(m, n_params_);
+    linalg::Matrix y(m, p);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t j = 0; j < n_params_; ++j) z(r, j) = window_[r].z[j];
+      for (std::size_t j = 0; j < p; ++j) y(r, j) = window_[r].y[j];
+    }
+    qr_ = linalg::UpdatableQr(z, y);
+  } else {
+    qr_ = linalg::UpdatableQr(n_params_, p);
+    for (const TransitionRow& row : window_) {
+      qr_.append(row.z.data(), row.y.data());
+    }
+  }
+  ++stats_.reanchors;
+  since_anchor_ = 0;
+  cached_model_.reset();
+}
+
+void StreamingEstimator::push(const linalg::Vector& states,
+                              const linalg::Vector& inputs) {
+  const std::size_t p = state_ids_.size();
+  const std::size_t q = input_ids_.size();
+  if (states.size() != p || inputs.size() != q) {
+    throw std::invalid_argument("StreamingEstimator::push: size mismatch");
+  }
+  static const obs::MetricId kRows = obs::counter_id("sysid.stream.rows");
+  obs::add_counter(kRows);
+
+  const std::size_t t = stats_.rows_pushed;
+  const bool valid = all_finite(states) && all_finite(inputs);
+
+  // A transition targets this row when it and the preceding `history_`
+  // rows are all valid — identical to the batch estimator's segment rule.
+  if (valid && consec_valid_ >= history_) {
+    TransitionRow row;
+    row.target = t;
+    row.z.resize(n_params_);
+    row.y.assign(states.begin(), states.end());
+    const std::vector<double>& prev = recent_states_.back();
+    for (std::size_t i = 0; i < p; ++i) row.z[i] = prev[i];
+    std::size_t offset = p;
+    if (order_ == ModelOrder::kSecond) {
+      const std::vector<double>& prev2 =
+          recent_states_[recent_states_.size() - 2];
+      for (std::size_t i = 0; i < p; ++i) {
+        row.z[offset + i] = prev[i] - prev2[i];
+      }
+      offset += p;
+    }
+    const std::vector<double>& prev_u = recent_inputs_.back();
+    for (std::size_t i = 0; i < q; ++i) row.z[offset + i] = prev_u[i];
+
+    // Score the one-step residual against the reference model BEFORE the
+    // row enters the fit (a genuine out-of-sample prediction).
+    observe_residual(row);
+    fold_transition(std::move(row));
+
+    // Refresh the drift reference on its own append-count cadence so
+    // detection never depends on which accessors the caller invokes.
+    if (options_.drift.enabled && has_model() &&
+        (!drift_theta_ ||
+         since_drift_refit_ >= options_.drift.refit_transitions)) {
+      drift_theta_ = solve_theta();
+      since_drift_refit_ = 0;
+      ++drift_refits_;
+    }
+  }
+
+  evict_aged(t);
+  if (options_.reanchor_interval != 0 &&
+      since_anchor_ >= options_.reanchor_interval) {
+    reanchor();
+  }
+
+  recent_states_.emplace_back(states.begin(), states.end());
+  recent_inputs_.emplace_back(inputs.begin(), inputs.end());
+  while (recent_states_.size() > history_) {
+    recent_states_.pop_front();
+    recent_inputs_.pop_front();
+  }
+  consec_valid_ = valid ? consec_valid_ + 1 : 0;
+  ++stats_.rows_pushed;
+}
+
+void StreamingEstimator::push_trace(const timeseries::TraceView& trace,
+                                    const std::vector<bool>& row_filter) {
+  obs::TraceSpan span("sysid.stream.push_trace");
+  if (!row_filter.empty() && row_filter.size() != trace.size()) {
+    throw std::invalid_argument(
+        "StreamingEstimator::push_trace: row_filter size mismatch");
+  }
+  const std::size_t p = state_ids_.size();
+  const std::size_t q = input_ids_.size();
+  std::vector<std::size_t> state_cols(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    state_cols[i] = trace.require_channel(state_ids_[i]);
+  }
+  std::vector<std::size_t> input_cols(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    input_cols[i] = trace.require_channel(input_ids_[i]);
+  }
+  linalg::Vector states(p);
+  linalg::Vector inputs(q);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const bool keep = row_filter.empty() || row_filter[k];
+    for (std::size_t i = 0; i < p; ++i) {
+      states[i] = keep ? trace.value(k, state_cols[i]) : nan;
+    }
+    for (std::size_t i = 0; i < q; ++i) {
+      inputs[i] = keep ? trace.value(k, input_cols[i]) : nan;
+    }
+    push(states, inputs);
+  }
+}
+
+}  // namespace auditherm::sysid

@@ -6,7 +6,7 @@
 //   auditherm analyze --data trace.csv [--metric correlation|euclidean]
 //       [--clusters K] [--order 1|2] [--per-cluster N] [--sweep SEEDS]
 //       [--eigen jacobi|tridiagonal|lanczos|auto] [--graph epsilon|knn]
-//       [--knn K]
+//       [--knn K] [--stream ROWS]
 //   auditherm serve --port P [--workers N] [--cache-budget-mb MB]
 //
 // Every subcommand also accepts the shared flags (--threads, --cache,
@@ -117,6 +117,10 @@ cli::OptionSet analyze_options() {
        "quantile threshold; knn keeps each sensor's K strongest edges)"},
       {"knn", true, false, "K",
        "neighbors per sensor for --graph knn (default 8)"},
+      {"stream", true, false, "ROWS",
+       "append a streaming-identification section: sliding-window online "
+       "refit of the reduced model over ROWS rows with drift detection "
+       "(-1 = growing window, 0 = off)"},
   };
   for (auto& spec : cli::common_options()) specs.push_back(std::move(spec));
   return cli::OptionSet("analyze", std::move(specs));
@@ -290,6 +294,7 @@ serve::AnalyzeRequest analyze_request_from_args(
   if (const auto eigen = args.get("eigen")) request.eigen = *eigen;
   if (const auto graph = args.get("graph")) request.graph = *graph;
   request.knn = args.get_long("knn", 0);
+  request.stream = args.get_long("stream", 0);
   return request;
 }
 
