@@ -1,0 +1,184 @@
+#include "auditherm/control/fleet_control.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "auditherm/clustering/similarity.hpp"
+#include "auditherm/clustering/spectral.hpp"
+#include "auditherm/hvac/comfort.hpp"
+#include "auditherm/obs/metrics.hpp"
+#include "auditherm/obs/trace_span.hpp"
+#include "auditherm/selection/strategies.hpp"
+#include "auditherm/sysid/estimator.hpp"
+#include "auditherm/sysid/occupancy_estimation.hpp"
+
+namespace auditherm::control {
+
+namespace {
+
+/// Chronological half split over the run: rows in the first half of the
+/// days train the identification (and calibrate the CO2 estimator). Rows
+/// lost to outages carry NaNs and drop out of the regressions naturally,
+/// so the usable-day bookkeeping of core::split_dataset is not needed
+/// here — and control sits below core in the library graph.
+std::vector<bool> train_half_mask(const timeseries::TimeGrid& grid,
+                                  std::size_t total_days) {
+  const auto half_end = static_cast<timeseries::Minutes>(total_days / 2) *
+                        timeseries::kMinutesPerDay;
+  std::vector<bool> mask(grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    mask[k] = grid[k] < half_end;
+  }
+  return mask;
+}
+
+std::vector<bool> and_rows(const std::vector<bool>& a,
+                           const std::vector<bool>& b) {
+  std::vector<bool> out(a.size());
+  for (std::size_t k = 0; k < a.size(); ++k) out[k] = a[k] && b[k];
+  return out;
+}
+
+/// Occupant level of the schedule prior when the hall is in session; the
+/// same crude two-level stand-in the serve front-end uses for
+/// `--occupancy schedule`.
+constexpr double kSchedulePriorOccupied = 100.0;
+
+}  // namespace
+
+sysid::InputPlan fleet_input_plan(const sim::AuditoriumDataset& dataset,
+                                  OccupancySource source) {
+  sysid::InputPlan plan;
+  for (const auto id : dataset.extended_input_ids()) {
+    if (id != sim::DatasetChannels::kOccupancy ||
+        source == OccupancySource::kGroundTruth) {
+      plan.slots.push_back(sysid::InputSlot::ground_truth(id));
+      continue;
+    }
+    if (source == OccupancySource::kCo2Estimated) {
+      sysid::Co2Channels co2;
+      co2.co2 = sim::DatasetChannels::kCo2;
+      co2.vav_flows = dataset.vav_ids();
+      co2.occupancy = sim::DatasetChannels::kOccupancy;
+      plan.slots.push_back(sysid::InputSlot::co2_estimated(co2));
+    } else {
+      plan.slots.push_back(sysid::InputSlot::schedule_prior(
+          dataset.schedule, kSchedulePriorOccupied, 0.0));
+    }
+  }
+  return plan;
+}
+
+ClosedLoopConfig fleet_loop_config(const sim::ScenarioSpec& spec,
+                                   std::uint64_t base_seed, std::size_t index,
+                                   std::size_t days) {
+  const sim::DatasetConfig config = sim::scenario_config(spec);
+  ClosedLoopConfig loop;
+  loop.days = days;
+  loop.step = config.sample_step;
+  loop.control_dt_s = config.control_dt_s;
+  loop.weather = config.weather;
+  loop.occupancy = config.occupancy;
+  loop.plant = config.plant;
+  loop.turbulence_std_w = config.turbulence_std_w;
+  loop.turbulence_tau_min = config.turbulence_tau_min;
+  loop.turbulence_night_factor = config.turbulence_night_factor;
+  // The PR-8 entity-seed contract: the loop seed is position `index` of
+  // the base_seed stream; the sub-model seeds branch off the loop seed so
+  // the scoring season never replays the identification trace.
+  loop.seed = sim::derive_entity_seed(base_seed, index);
+  loop.weather.seed = sim::derive_entity_seed(loop.seed, 1);
+  loop.occupancy.seed = sim::derive_entity_seed(loop.seed, 2);
+  return loop;
+}
+
+std::vector<FleetControlCase> score_fleet_control(
+    const std::vector<sim::ScenarioSpec>& specs,
+    const FleetControlOptions& options) {
+  obs::TraceSpan span("control.fleet.score");
+  for (const auto& spec : specs) {
+    if (spec.building != sim::BuildingKind::kPaperHall) {
+      throw std::invalid_argument(
+          "score_fleet_control: scenario '" + spec.name +
+          "': only paper-hall buildings can be scored (the closed-loop "
+          "plant is the Brauer auditorium)");
+    }
+  }
+
+  const auto outcomes = sim::run_fleet(specs);
+
+  std::vector<FleetControlCase> cases;
+  cases.reserve(outcomes.size());
+  for (std::size_t index = 0; index < outcomes.size(); ++index) {
+    obs::TraceSpan building_span("control.fleet.building");
+    const sim::AuditoriumDataset& dataset = *outcomes[index].dataset;
+    FleetControlCase scorecard;
+    scorecard.spec = outcomes[index].spec;
+
+    const auto& grid = dataset.trace.grid();
+    const auto train = train_half_mask(grid, scorecard.spec.days);
+    const auto occupied =
+        dataset.schedule.mode_mask(grid, hvac::Mode::kOccupied);
+    const auto fit_mask = and_rows(train, occupied);
+
+    // The pipeline's Step 1-2 on this building: thermal zones from
+    // spectral clustering, SMS sensors as the reduced state.
+    const auto training = dataset.trace.filter_rows(fit_mask);
+    const auto graph = clustering::build_similarity_graph(
+        training, dataset.wireless_ids(), {});
+    const auto clusters = clustering::spectral_cluster(graph).clusters();
+    const auto selection = selection::stratified_near_mean(training, clusters);
+    scorecard.zones = clusters.size();
+
+    // Step 3 with the planned occupancy input: resolve against the
+    // training half (calibration never sees scoring data), fit eq. 2 on
+    // the augmented view.
+    const auto plan = fleet_input_plan(dataset, options.occupancy);
+    const auto resolved =
+        sysid::resolve_input_plan(plan, dataset.trace, train);
+    const auto full = resolved.augment(dataset.trace);
+    for (const auto& derived : resolved.derived) {
+      if (derived.id == sysid::kEstimatedOccupancyChannel) {
+        scorecard.occupancy_mae = sysid::occupancy_mae(
+            dataset.trace, sim::DatasetChannels::kOccupancy, *derived.column);
+      }
+    }
+    sysid::EstimationOptions estimation;
+    estimation.ridge = options.ridge;
+    sysid::ModelEstimator estimator(selection.flattened(),
+                                    resolved.channel_ids,
+                                    sysid::ModelOrder::kSecond, estimation);
+    const auto model = estimator.fit(full, fit_mask);
+
+    ClosedLoopConfig loop =
+        fleet_loop_config(scorecard.spec, options.base_seed, index,
+                          options.days);
+    loop.schedule = dataset.schedule;
+    loop.comfort_zones = clusters;
+    scorecard.loop_seed = loop.seed;
+
+    // Comfort-aware setpoint: the PMV-neutral temperature of the
+    // audience, shared by the MPC objective and the scorer.
+    const double t_neutral = hvac::neutral_temperature(loop.comfort_model);
+    MpcOptions mpc_options = options.mpc;
+    mpc_options.objective.setpoint_c = t_neutral;
+
+    const sim::DatasetConfig config = sim::scenario_config(scorecard.spec);
+    RuleBasedController rule(config.thermostat, loop.schedule,
+                             dataset.thermostat_ids());
+    ModelPredictiveController mpc(model, dataset.plan.vav_count(),
+                                  loop.schedule, mpc_options);
+
+    scorecard.thermostat = run_closed_loop(loop, rule, t_neutral);
+    scorecard.mpc = run_closed_loop(loop, mpc, t_neutral);
+    cases.push_back(std::move(scorecard));
+  }
+
+  static const obs::MetricId kBuildingsScored =
+      obs::counter_id("control.fleet.buildings_scored");
+  obs::add_counter(kBuildingsScored, cases.size());
+  return cases;
+}
+
+}  // namespace auditherm::control

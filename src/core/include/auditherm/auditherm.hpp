@@ -44,6 +44,7 @@
 #include "auditherm/sysid/diagnostics.hpp"
 #include "auditherm/sysid/estimator.hpp"
 #include "auditherm/sysid/evaluation.hpp"
+#include "auditherm/sysid/input_plan.hpp"
 #include "auditherm/sysid/kalman.hpp"
 #include "auditherm/sysid/occupancy_estimation.hpp"
 #include "auditherm/sysid/model.hpp"
@@ -63,6 +64,7 @@
 // Model-based HVAC control (the paper's motivating application).
 #include "auditherm/control/closed_loop.hpp"
 #include "auditherm/control/controllers.hpp"
+#include "auditherm/control/fleet_control.hpp"
 
 // Observability: metrics registry, tracing spans, exporters.
 #include "auditherm/obs/export.hpp"

@@ -23,6 +23,7 @@
 #include "auditherm/selection/strategies.hpp"
 #include "auditherm/sysid/estimator.hpp"
 #include "auditherm/sysid/evaluation.hpp"
+#include "auditherm/sysid/input_plan.hpp"
 #include "auditherm/sysid/streaming.hpp"
 
 namespace auditherm::core {
@@ -92,6 +93,10 @@ struct StageArtifacts {
   std::shared_ptr<const std::vector<linalg::Vector>> cluster_means;
   /// Train-day AND mode rows on the source trace (cheap, never cached).
   std::vector<bool> train_mode_mask;
+  /// Resolved input plan (null when the run uses raw input_ids — the
+  /// ground-truth default). Owns the derived columns, so augmented views
+  /// built from it stay valid as long as the artifacts are.
+  std::shared_ptr<const sysid::ResolvedInputPlan> inputs;
 };
 
 /// Per-call knobs for the unified run() / run_strategy_sweep() entry
@@ -115,6 +120,13 @@ struct RunOptions {
   /// Instrumentation only observes — results are bitwise identical with
   /// or without a sink (pinned by test_obs).
   obs::Recorder* metrics = nullptr;
+  /// Input-source plan for the identification input block. Null (the
+  /// default) reads the passed input_ids literally — the pre-plan
+  /// behavior, bit for bit. When set, the plan's resolved channel ids
+  /// replace input_ids and its fingerprint enters the stage keys, so
+  /// cached artifacts never alias across input sources. Ignored when
+  /// `artifacts` is set (the artifacts carry their own resolved plan).
+  const sysid::InputPlan* input_plan = nullptr;
 };
 
 /// Everything the pipeline produces.
@@ -154,16 +166,19 @@ class ThermalModelingPipeline {
       const RunOptions& options) const;
 
   /// Build (or fetch, when `cache` is non-null) the Step-1 artifacts:
-  /// training view, similarity graph, spectrum, clustering, cluster sets,
-  /// evaluation windows, and measured cluster means. Strategy and seed do
-  /// not enter the cache keys, so every case of a sweep resolves to the
-  /// same entries.
+  /// resolved input plan, training view, similarity graph, spectrum,
+  /// clustering, cluster sets, evaluation windows, and measured cluster
+  /// means. Strategy and seed do not enter the cache keys, so every case
+  /// of a sweep resolves to the same entries. A non-null `input_plan` is
+  /// resolved against the training split and its fingerprint folded into
+  /// every stage key; null keeps the raw input_ids path bit for bit.
   [[nodiscard]] StageArtifacts prepare(
       const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
       const DataSplit& split,
       const std::vector<timeseries::ChannelId>& sensor_ids,
       const std::vector<timeseries::ChannelId>& input_ids,
-      StageCache* cache = nullptr) const;
+      StageCache* cache = nullptr,
+      const sysid::InputPlan* input_plan = nullptr) const;
 
  private:
   /// Steps 2 + 3 + evaluation on prepared Step-1 artifacts.

@@ -84,7 +84,8 @@ ThermalModelingPipeline::ThermalModelingPipeline(PipelineConfig config)
 StageArtifacts ThermalModelingPipeline::prepare(
     const timeseries::MultiTrace& trace, const hvac::Schedule& schedule,
     const DataSplit& split, const std::vector<ChannelId>& sensor_ids,
-    const std::vector<ChannelId>& input_ids, StageCache* cache) const {
+    const std::vector<ChannelId>& input_ids, StageCache* cache,
+    const sysid::InputPlan* input_plan) const {
   obs::TraceSpan prepare_span("pipeline.prepare");
   obs::add_counter(pipeline_metrics().prepares);
   const ThreadCountScope thread_scope(config_.threads);
@@ -92,6 +93,20 @@ StageArtifacts ThermalModelingPipeline::prepare(
 
   StageArtifacts art;
   art.train_mode_mask = and_masks(split.train_mask, mode_mask);
+
+  // --- Input-plan resolution (not cached: calibration is cheap and its
+  // result is what the fingerprint below keys everything else on). -------
+  if (input_plan != nullptr) {
+    art.inputs = std::make_shared<const sysid::ResolvedInputPlan>(
+        sysid::resolve_input_plan(*input_plan, trace, split.train_mask));
+  }
+  const std::vector<ChannelId>& effective_inputs =
+      art.inputs != nullptr ? art.inputs->channel_ids : input_ids;
+  // 0 with no plan or a pure ground-truth one — folded unconditionally so
+  // ground-truth runs all key identically while any non-trivial plan (or
+  // recalibration) re-keys the whole chain.
+  const std::uint64_t inputs_fp =
+      art.inputs != nullptr ? art.inputs->fingerprint : 0;
 
   // Runs a stage through the cache, or builds it inline when uncached;
   // both paths execute the same builder, which is what makes cached and
@@ -118,6 +133,7 @@ StageArtifacts ThermalModelingPipeline::prepare(
   // the view reads that.
   StageKeyHasher train_h;
   train_h.add(fp);
+  train_h.add(inputs_fp);
   train_h.add(split.train_mask);
   train_h.add(mode_mask);
   const std::uint64_t train_key = train_h.value();
@@ -195,16 +211,23 @@ StageArtifacts ThermalModelingPipeline::prepare(
   });
 
   // --- Evaluation windows on the validation days. ------------------------
+  // Input validity is checked on the plan-augmented view: a derived input
+  // (estimated occupancy) has its own gaps, so the windows — like every
+  // downstream fit — see exactly the columns the model will consume.
   StageKeyHasher windows_h;
   windows_h.add(fp);
+  windows_h.add(inputs_fp);
   windows_h.add(split.validation_mask);
   windows_h.add(mode_mask);
-  windows_h.add(input_ids);
+  windows_h.add(effective_inputs);
   windows_h.add(static_cast<std::uint64_t>(config_.evaluation.min_steps));
   art.windows = run_stage(stage::kWindows, windows_h.value(), [&] {
+    const timeseries::TraceView full =
+        art.inputs != nullptr ? art.inputs->augment(trace)
+                              : timeseries::TraceView(trace);
     auto window_mask = and_masks(split.validation_mask, mode_mask);
     window_mask = and_masks(
-        window_mask, timeseries::rows_with_all_valid(trace, input_ids));
+        window_mask, timeseries::rows_with_all_valid(full, effective_inputs));
     return timeseries::find_segments(
         window_mask, std::max<std::size_t>(config_.evaluation.min_steps, 2));
   });
@@ -220,6 +243,17 @@ PipelineResult ThermalModelingPipeline::run_from(
   const ThreadCountScope thread_scope(config_.threads);
   const timeseries::TraceView& training = artifacts.training;
   const auto& clusters = *artifacts.clusters;
+
+  // Resolved input plan (when present) supersedes the raw input ids: the
+  // fit and every evaluation read the plan-augmented view, whose derived
+  // columns the artifacts keep alive. Without a plan `full` is the plain
+  // whole-trace view — the exact object the implicit conversions below
+  // used to build.
+  const std::vector<ChannelId>& effective_inputs =
+      artifacts.inputs != nullptr ? artifacts.inputs->channel_ids : input_ids;
+  const timeseries::TraceView full = artifacts.inputs != nullptr
+                                         ? artifacts.inputs->augment(trace)
+                                         : timeseries::TraceView(trace);
 
   PipelineResult result;
   result.clustering = *artifacts.clustering;
@@ -261,18 +295,18 @@ PipelineResult ThermalModelingPipeline::run_from(
   {
     obs::TraceSpan identify_span("pipeline.identify");
     const auto states = unique_ordered(result.selection.flattened());
-    const sysid::ModelEstimator estimator(states, input_ids, config_.order,
-                                          config_.estimation);
-    result.reduced_model = estimator.fit(trace, artifacts.train_mode_mask);
+    const sysid::ModelEstimator estimator(states, effective_inputs,
+                                          config_.order, config_.estimation);
+    result.reduced_model = estimator.fit(full, artifacts.train_mode_mask);
   }
 
   // --- Evaluation on the validation days. --------------------------------
   {
     obs::TraceSpan evaluate_span("pipeline.evaluate");
     result.reduced_eval = sysid::evaluate_prediction(
-        result.reduced_model, trace, *artifacts.windows, config_.evaluation);
+        result.reduced_model, full, *artifacts.windows, config_.evaluation);
     result.cluster_mean_errors = evaluate_reduced_model_cluster_mean(
-        result.reduced_model, trace, clusters, result.selection,
+        result.reduced_model, full, clusters, result.selection,
         *artifacts.windows, *artifacts.cluster_means, config_.evaluation);
   }
   return result;
@@ -297,8 +331,9 @@ PipelineResult ThermalModelingPipeline::run(
     result = run_from(*options.artifacts, trace, sensor_ids, input_ids,
                       options.thermostat_ids);
   } else {
-    const auto artifacts =
-        prepare(trace, schedule, split, sensor_ids, input_ids, options.cache);
+    const auto artifacts = prepare(trace, schedule, split, sensor_ids,
+                                   input_ids, options.cache,
+                                   options.input_plan);
     result = run_from(artifacts, trace, sensor_ids, input_ids,
                       options.thermostat_ids);
   }
@@ -418,7 +453,7 @@ std::vector<PipelineResult> run_strategy_sweep(
   if (options.artifacts == nullptr) {
     const ThermalModelingPipeline prefix(base);
     (void)prefix.prepare(trace, schedule, split, sensor_ids, input_ids,
-                         &shared);
+                         &shared, options.input_plan);
   }
 
   std::vector<PipelineResult> results(cases.size());
@@ -437,6 +472,7 @@ std::vector<PipelineResult> run_strategy_sweep(
     RunOptions case_options;
     case_options.thermostat_ids = options.thermostat_ids;
     case_options.artifacts = options.artifacts;
+    case_options.input_plan = options.input_plan;
     if (options.artifacts == nullptr) case_options.cache = &shared;
     results[i] = pipeline.run(trace, schedule, split, sensor_ids, input_ids,
                               case_options);

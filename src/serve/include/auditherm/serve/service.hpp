@@ -22,6 +22,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +51,15 @@ struct AnalyzeRequest {
   /// Sliding-window length in rows for the streaming-identification
   /// section (`analyze --stream`); 0 = off, -1 = growing window.
   long stream = 0;
+  /// Occupancy input source (`--occupancy` / JSON "inputs" object):
+  /// "" or "truth" = the ground-truth channel, "estimated" = CO2
+  /// mass-balance estimate calibrated on the training split, "schedule" =
+  /// two-level HVAC-schedule prior.
+  std::string occupancy;
+  /// Round the estimated occupancy to whole occupants (inputs.round).
+  bool occupancy_round = false;
+  /// Upper clamp on the estimate (inputs.clamp_max; NaN = none).
+  double occupancy_clamp = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Decode a JSON object body ({"data": "...", "clusters": 3, ...}) into a
@@ -74,6 +84,15 @@ struct ChannelSets {
 /// 2 sensors or 2 inputs are present (the pipeline needs both).
 [[nodiscard]] ChannelSets classify_channels(
     const timeseries::MultiTrace& trace);
+
+/// Build the identification input plan a request asks for over the
+/// classified inputs: every slot ground truth except the occupancy
+/// channel, which follows request.occupancy ("estimated" swaps in a CO2
+/// mass-balance slot fed by the trace's VAV flows, "schedule" a two-level
+/// schedule prior). Throws core::cli::UsageError for unknown occupancy
+/// values; "" / "truth" return a pure ground-truth plan.
+[[nodiscard]] sysid::InputPlan input_plan_for(const AnalyzeRequest& request,
+                                              const ChannelSets& sets);
 
 /// Human-readable strategy name used in sweep tables.
 [[nodiscard]] const char* strategy_name(core::SelectionStrategy strategy);

@@ -66,6 +66,45 @@ std::string string_field(const json::Value& v, const std::string& key) {
   return v.string;
 }
 
+/// Decode the nested "inputs" object. Errors carry the full key path
+/// (inputs.<key>) so a client sees exactly which field is wrong.
+void decode_inputs(const json::Value& v, AnalyzeRequest& request) {
+  if (!v.is_object()) {
+    throw std::invalid_argument(
+        "analyze request: 'inputs' must be an object");
+  }
+  for (const auto& [key, value] : v.object) {
+    if (key == "occupancy") {
+      if (!value.is_string()) {
+        throw std::invalid_argument(
+            "analyze request: inputs.occupancy: must be a string");
+      }
+      if (value.string != "truth" && value.string != "estimated" &&
+          value.string != "schedule") {
+        throw std::invalid_argument(
+            "analyze request: inputs.occupancy: unknown source '" +
+            value.string + "'");
+      }
+      request.occupancy = value.string;
+    } else if (key == "round") {
+      if (!value.is_bool()) {
+        throw std::invalid_argument(
+            "analyze request: inputs.round: must be a boolean");
+      }
+      request.occupancy_round = value.boolean;
+    } else if (key == "clamp_max") {
+      if (!value.is_number()) {
+        throw std::invalid_argument(
+            "analyze request: inputs.clamp_max: must be a number");
+      }
+      request.occupancy_clamp = value.number;
+    } else {
+      throw std::invalid_argument("analyze request: unknown key 'inputs." +
+                                  key + "'");
+    }
+  }
+}
+
 }  // namespace
 
 AnalyzeRequest request_from_json(const json::Value& body) {
@@ -94,6 +133,8 @@ AnalyzeRequest request_from_json(const json::Value& body) {
       request.knn = integer_field(value, key);
     } else if (key == "stream") {
       request.stream = integer_field(value, key);
+    } else if (key == "inputs") {
+      decode_inputs(value, request);
     } else {
       throw std::invalid_argument("analyze request: unknown key '" + key +
                                   "'");
@@ -140,6 +181,51 @@ ChannelSets classify_channels(const timeseries::MultiTrace& trace) {
         "analyze: trace lacks sensor (<100) or input (>=101) channels");
   }
   return sets;
+}
+
+sysid::InputPlan input_plan_for(const AnalyzeRequest& request,
+                                const ChannelSets& sets) {
+  if (!request.occupancy.empty() && request.occupancy != "truth" &&
+      request.occupancy != "estimated" && request.occupancy != "schedule") {
+    throw core::cli::UsageError("analyze: unknown --occupancy value '" +
+                                request.occupancy + "'");
+  }
+  sysid::InputPlan plan;
+  plan.slots.reserve(sets.inputs.size());
+  bool replaced = false;
+  for (auto id : sets.inputs) {
+    if (id == sim::DatasetChannels::kOccupancy &&
+        request.occupancy == "estimated") {
+      replaced = true;
+      sysid::Co2Channels co2;
+      co2.vav_flows.clear();
+      for (auto flow : sets.inputs) {
+        if (flow >= sim::DatasetChannels::kVavBase &&
+            flow < sim::DatasetChannels::kOccupancy) {
+          co2.vav_flows.push_back(flow);
+        }
+      }
+      auto slot = sysid::InputSlot::co2_estimated(std::move(co2));
+      slot.round_to_integer = request.occupancy_round;
+      slot.clamp_max = request.occupancy_clamp;
+      plan.slots.push_back(std::move(slot));
+    } else if (id == sim::DatasetChannels::kOccupancy &&
+               request.occupancy == "schedule") {
+      // Two-level prior scaled to a nominal full house; identification
+      // absorbs the scale, the schedule carries the timing.
+      replaced = true;
+      plan.slots.push_back(sysid::InputSlot::schedule_prior(
+          hvac::Schedule{}, 100.0, 0.0));
+    } else {
+      plan.slots.push_back(sysid::InputSlot::ground_truth(id));
+    }
+  }
+  if (!replaced && !request.occupancy.empty() && request.occupancy != "truth") {
+    throw std::runtime_error(
+        "analyze: trace has no occupancy channel to replace with --occupancy " +
+        request.occupancy);
+  }
+  return plan;
 }
 
 AnalysisService::AnalysisService(ServiceConfig config)
@@ -230,6 +316,17 @@ std::uint64_t AnalysisService::prefix_key_for(std::uint64_t raw_hash,
   h.add(static_cast<std::uint64_t>(config.similarity.knn_k));
   h.add(static_cast<std::uint64_t>(config.spectral.cluster_count));
   h.add(static_cast<std::uint64_t>(config.spectral.eigen_method));
+  // Input plan: "" and "truth" hash identically (both the ground-truth
+  // path); estimated/schedule split off their own prepared contexts so a
+  // truth joiner can never receive plan-derived artifacts.
+  const std::uint64_t source = request.occupancy == "estimated" ? 1
+                               : request.occupancy == "schedule" ? 2
+                                                                 : 0;
+  h.add(source);
+  if (source != 0) {
+    h.add(request.occupancy_round);
+    h.add(request.occupancy_clamp);
+  }
   return h.value();
 }
 
@@ -288,9 +385,16 @@ AnalysisService::prepare_context(
     ctx->split = core::split_dataset(*ctx->trace, required, schedule,
                                      hvac::Mode::kOccupied);
     const core::ThermalModelingPipeline pipeline(make_config(request));
+    // A non-truth occupancy source rides in as an input plan; the
+    // ground-truth default passes none, keeping that path bit for bit.
+    const bool planned =
+        request.occupancy == "estimated" || request.occupancy == "schedule";
+    sysid::InputPlan plan;
+    if (planned) plan = input_plan_for(request, ctx->sets);
     ctx->artifacts = pipeline.prepare(
         *ctx->trace, schedule, ctx->split, ctx->sets.sensors,
-        ctx->sets.inputs, config_.cache_enabled ? &cache_ : nullptr);
+        ctx->sets.inputs, config_.cache_enabled ? &cache_ : nullptr,
+        planned ? &plan : nullptr);
   } catch (...) {
     {
       const std::lock_guard<std::mutex> lock(batch_mutex_);
@@ -313,6 +417,11 @@ AnalysisService::prepare_context(
 
 std::string AnalysisService::analyze(const AnalyzeRequest& request) {
   obs::add_counter("serve.request");
+  if (!request.occupancy.empty() && request.occupancy != "truth" &&
+      request.occupancy != "estimated" && request.occupancy != "schedule") {
+    throw core::cli::UsageError("analyze: unknown --occupancy value '" +
+                                request.occupancy + "'");
+  }
   Report report;
   report.append("loading %s...\n", request.data.c_str());
   auto [trace, raw_hash] = load_trace(request.data);
@@ -326,6 +435,13 @@ std::string AnalysisService::analyze(const AnalyzeRequest& request) {
   report.append("usable days: %zu (train %zu / validate %zu)\n",
                 ctx->split.usable_days.size(), ctx->split.train_days.size(),
                 ctx->split.validation_days.size());
+  if (request.occupancy == "estimated") {
+    report.append(
+        "occupancy input: estimated from CO2 mass balance "
+        "(calibrated on the training split)\n");
+  } else if (request.occupancy == "schedule") {
+    report.append("occupancy input: two-level schedule prior\n");
+  }
 
   const core::PipelineConfig config = make_config(request);
   const core::ThermalModelingPipeline pipeline(config);
@@ -368,10 +484,16 @@ std::string AnalysisService::analyze(const AnalyzeRequest& request) {
     stream_config.streaming.estimation = config.estimation;
     stream_config.streaming.window_rows =
         request.stream > 0 ? static_cast<std::size_t>(request.stream) : 0;
-    // Stream the reduced model's own channels over the full trace: the
-    // online counterpart of the batch Step-3 fit above.
+    // Stream the reduced model's own channels over the full trace (the
+    // plan-augmented view when an input plan is in play — estimated
+    // inputs are pushed row-at-a-time like any other column): the online
+    // counterpart of the batch Step-3 fit above.
+    const timeseries::TraceView stream_view =
+        ctx->artifacts.inputs != nullptr
+            ? ctx->artifacts.inputs->augment(*ctx->trace)
+            : timeseries::TraceView(*ctx->trace);
     const auto streamed = core::run_streaming_identification(
-        *ctx->trace, result.reduced_model.state_channels(),
+        stream_view, result.reduced_model.state_channels(),
         result.reduced_model.input_channels(), stream_config);
     if (request.stream > 0) {
       report.append("\nstreaming identification (window %ld rows):\n",

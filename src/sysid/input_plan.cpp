@@ -1,0 +1,229 @@
+#include "auditherm/sysid/input_plan.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "auditherm/obs/trace_span.hpp"
+
+namespace auditherm::sysid {
+
+namespace {
+
+/// Local FNV-1a so the fingerprint needs no dependency on core's
+/// StageKeyHasher (sysid sits below core). Same bit-pattern conventions:
+/// doubles hash by bits with every NaN collapsed to one sentinel.
+class PlanHasher {
+ public:
+  void add(std::uint64_t v) noexcept {
+    unsigned char bytes[sizeof(v)];
+    std::memcpy(bytes, &v, sizeof(v));
+    for (unsigned char b : bytes) {
+      state_ ^= b;
+      state_ *= 0x100000001b3ull;  // FNV prime
+    }
+  }
+  void add(double v) noexcept {
+    std::uint64_t bits;
+    if (std::isnan(v)) {
+      bits = 0x7ff8000000000000ull;
+    } else {
+      std::memcpy(&bits, &v, sizeof(bits));
+    }
+    add(bits);
+  }
+  void add(std::int64_t v) noexcept { add(static_cast<std::uint64_t>(v)); }
+  void add(int v) noexcept { add(static_cast<std::uint64_t>(v)); }
+  void add(bool v) noexcept { add(static_cast<std::uint64_t>(v ? 1 : 2)); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis
+};
+
+void count_source(InputSource source) {
+  static const obs::MetricId kGroundTruth =
+      obs::counter_id("sysid.input_plan.ground_truth");
+  static const obs::MetricId kCo2Estimated =
+      obs::counter_id("sysid.input_plan.co2_estimated");
+  static const obs::MetricId kSchedulePrior =
+      obs::counter_id("sysid.input_plan.schedule_prior");
+  switch (source) {
+    case InputSource::kGroundTruth: obs::add_counter(kGroundTruth); break;
+    case InputSource::kCo2Estimated: obs::add_counter(kCo2Estimated); break;
+    case InputSource::kSchedulePrior: obs::add_counter(kSchedulePrior); break;
+  }
+}
+
+std::shared_ptr<const linalg::Vector> materialize_co2(
+    const InputSlot& slot, const timeseries::TraceView& trace,
+    const std::vector<bool>& train_mask, PlanHasher& hasher) {
+  Co2OccupancyEstimator estimator(slot.co2);
+  estimator.calibrate(trace.filter_rows(train_mask));
+  linalg::Vector column = estimator.estimate(trace);
+  for (double& v : column) {
+    if (std::isnan(v)) continue;
+    if (!std::isnan(slot.clamp_max) && v > slot.clamp_max) v = slot.clamp_max;
+    if (slot.round_to_integer) v = std::round(v);
+  }
+  // The calibration fingerprint: re-calibrating (different training rows,
+  // different sensor noise) re-keys every downstream stage.
+  hasher.add(estimator.volume_over_generation());
+  hasher.add(estimator.flow_gain());
+  hasher.add(estimator.outdoor_ppm());
+  return std::make_shared<const linalg::Vector>(std::move(column));
+}
+
+std::shared_ptr<const linalg::Vector> materialize_schedule(
+    const InputSlot& slot, const timeseries::TraceView& trace) {
+  linalg::Vector column(trace.size());
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    column[k] = slot.schedule.occupied_at(trace.grid()[k])
+                    ? slot.occupied_level
+                    : slot.unoccupied_level;
+  }
+  return std::make_shared<const linalg::Vector>(std::move(column));
+}
+
+}  // namespace
+
+InputSlot InputSlot::ground_truth(timeseries::ChannelId channel) {
+  InputSlot slot;
+  slot.source = InputSource::kGroundTruth;
+  slot.channel = channel;
+  return slot;
+}
+
+InputSlot InputSlot::co2_estimated(Co2Channels co2,
+                                   timeseries::ChannelId channel) {
+  InputSlot slot;
+  slot.source = InputSource::kCo2Estimated;
+  slot.channel = channel;
+  slot.co2 = std::move(co2);
+  return slot;
+}
+
+InputSlot InputSlot::schedule_prior(hvac::Schedule schedule,
+                                    double occupied_level,
+                                    double unoccupied_level,
+                                    timeseries::ChannelId channel) {
+  InputSlot slot;
+  slot.source = InputSource::kSchedulePrior;
+  slot.channel = channel;
+  slot.schedule = schedule;
+  slot.occupied_level = occupied_level;
+  slot.unoccupied_level = unoccupied_level;
+  return slot;
+}
+
+InputPlan InputPlan::ground_truth(
+    const std::vector<timeseries::ChannelId>& ids) {
+  InputPlan plan;
+  plan.slots.reserve(ids.size());
+  for (auto id : ids) plan.slots.push_back(InputSlot::ground_truth(id));
+  return plan;
+}
+
+bool InputPlan::pure_ground_truth() const noexcept {
+  for (const auto& slot : slots) {
+    if (slot.source != InputSource::kGroundTruth) return false;
+  }
+  return true;
+}
+
+std::vector<timeseries::ChannelId> InputPlan::channel_ids() const {
+  std::vector<timeseries::ChannelId> ids;
+  ids.reserve(slots.size());
+  for (const auto& slot : slots) ids.push_back(slot.channel);
+  return ids;
+}
+
+timeseries::TraceView ResolvedInputPlan::augment(
+    const timeseries::TraceView& base) const {
+  timeseries::TraceView out = base;
+  for (const auto& d : derived) out = out.with_channel(d.id, d.column);
+  return out;
+}
+
+ResolvedInputPlan resolve_input_plan(const InputPlan& plan,
+                                     const timeseries::TraceView& trace,
+                                     const std::vector<bool>& train_mask) {
+  if (plan.slots.empty()) {
+    throw std::invalid_argument("resolve_input_plan: empty plan");
+  }
+  if (train_mask.size() != trace.size()) {
+    throw std::invalid_argument(
+        "resolve_input_plan: train_mask size mismatch");
+  }
+  obs::TraceSpan span("sysid.input_plan.resolve");
+
+  std::unordered_set<timeseries::ChannelId> seen;
+  for (const auto& slot : plan.slots) {
+    if (!seen.insert(slot.channel).second) {
+      throw std::invalid_argument(
+          "resolve_input_plan: duplicate input channel id " +
+          std::to_string(slot.channel));
+    }
+  }
+
+  ResolvedInputPlan resolved;
+  resolved.channel_ids.reserve(plan.slots.size());
+
+  // Fingerprint: stays 0 for pure ground-truth plans (the bitwise no-op
+  // contract); otherwise folds the whole plan structure plus — inside the
+  // materializers — the calibrated parameters.
+  PlanHasher hasher;
+  const bool pure = plan.pure_ground_truth();
+  if (!pure) hasher.add(std::uint64_t{plan.slots.size()});
+
+  for (const auto& slot : plan.slots) {
+    count_source(slot.source);
+    if (!pure) {
+      hasher.add(static_cast<std::uint64_t>(slot.source));
+      hasher.add(slot.channel);
+    }
+    switch (slot.source) {
+      case InputSource::kGroundTruth:
+        (void)trace.require_channel(slot.channel);
+        break;
+      case InputSource::kCo2Estimated: {
+        if (trace.channel_index(slot.channel)) {
+          throw std::invalid_argument(
+              "resolve_input_plan: derived channel id " +
+              std::to_string(slot.channel) + " collides with a trace channel");
+        }
+        hasher.add(slot.co2.co2);
+        for (auto id : slot.co2.vav_flows) hasher.add(id);
+        hasher.add(slot.co2.occupancy);
+        hasher.add(slot.round_to_integer);
+        hasher.add(slot.clamp_max);
+        resolved.derived.push_back(
+            {slot.channel, materialize_co2(slot, trace, train_mask, hasher)});
+        break;
+      }
+      case InputSource::kSchedulePrior: {
+        if (trace.channel_index(slot.channel)) {
+          throw std::invalid_argument(
+              "resolve_input_plan: derived channel id " +
+              std::to_string(slot.channel) + " collides with a trace channel");
+        }
+        hasher.add(slot.schedule.on_minute());
+        hasher.add(slot.schedule.off_minute());
+        hasher.add(slot.occupied_level);
+        hasher.add(slot.unoccupied_level);
+        resolved.derived.push_back(
+            {slot.channel, materialize_schedule(slot, trace)});
+        break;
+      }
+    }
+    resolved.channel_ids.push_back(slot.channel);
+  }
+
+  resolved.fingerprint = pure ? 0 : hasher.value();
+  return resolved;
+}
+
+}  // namespace auditherm::sysid

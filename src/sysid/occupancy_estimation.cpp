@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "auditherm/linalg/least_squares.hpp"
+#include "auditherm/obs/trace_span.hpp"
 
 namespace auditherm::sysid {
 
@@ -57,6 +58,7 @@ Co2OccupancyEstimator::Co2OccupancyEstimator(Co2Channels channels)
     : channels_(std::move(channels)) {}
 
 void Co2OccupancyEstimator::calibrate(const timeseries::TraceView& training) {
+  obs::TraceSpan span("sysid.occupancy.calibrate");
   const auto rows = build_rows(training, channels_);
   const auto occ_col = training.require_channel(channels_.occupancy);
 
@@ -68,6 +70,9 @@ void Co2OccupancyEstimator::calibrate(const timeseries::TraceView& training) {
     throw std::runtime_error(
         "Co2OccupancyEstimator::calibrate: too few usable transitions");
   }
+  static const obs::MetricId kTransitionsUsed =
+      obs::counter_id("sysid.occupancy.transitions_used");
+  obs::add_counter(kTransitionsUsed, usable.size());
 
   // o = a dC/dt + b (Q C) + d Q  with  d = -b * C_out.
   linalg::Matrix z(usable.size(), 3);
@@ -95,6 +100,10 @@ linalg::Vector Co2OccupancyEstimator::estimate(
   if (!calibrated_) {
     throw std::logic_error("Co2OccupancyEstimator: calibrate() first");
   }
+  obs::TraceSpan span("sysid.occupancy.estimate");
+  static const obs::MetricId kRowsEstimated =
+      obs::counter_id("sysid.occupancy.rows_estimated");
+  obs::add_counter(kRowsEstimated, trace.size());
   const auto rows = build_rows(trace, channels_);
   linalg::Vector raw(trace.size(), kNaN);
   for (std::size_t k = 0; k < rows.size(); ++k) {

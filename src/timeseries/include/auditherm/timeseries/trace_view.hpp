@@ -18,8 +18,17 @@
 /// MultiTrace it was built from is alive and unmodified in shape; anything
 /// that must outlive the source (a cache entry, a stored artifact) calls
 /// materialize(). See DESIGN.md §"View ownership and lifetime".
+///
+/// Derived channels (with_channel) are the one exception to "never owns":
+/// an input-plan resolution materializes a column once (e.g. estimated
+/// occupancy) and attaches it to the view as a shared_ptr column indexed
+/// by *source* row, so every composition (select/slice/filter) keeps
+/// reading it through the same row mapping as the base matrix. Views
+/// without derived channels are bit-for-bit unchanged in behavior.
 
 #include <cstddef>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -68,7 +77,11 @@ class TraceView {
   /// Sample of view channel `c` at view row `k` (NaN when missing,
   /// unchecked).
   [[nodiscard]] double value(std::size_t k, std::size_t c) const noexcept {
-    return base_(source_row(k), cols_[c]);
+    const std::size_t col = cols_[c];
+    if (col & kDerivedColumn) {
+      return (*derived_[col & ~kDerivedColumn])[source_row(k)];
+    }
+    return base_(source_row(k), col);
   }
 
   /// True when the sample is present (not NaN).
@@ -97,6 +110,19 @@ class TraceView {
   /// keep.size() != size().
   [[nodiscard]] TraceView filter_rows(const std::vector<bool>& keep) const;
 
+  /// View with an extra derived channel appended. `column` is indexed by
+  /// *source* row (one sample per row of the trace the view was built
+  /// from, NaN for gaps), so row subsets taken before or after attachment
+  /// read identical samples. The view shares ownership of the column.
+  /// Throws std::invalid_argument when the id already exists, the column
+  /// is null, or its size differs from the source trace's row count.
+  [[nodiscard]] TraceView with_channel(
+      ChannelId id, std::shared_ptr<const linalg::Vector> column) const;
+
+  /// True when any channel of this view is a derived (attached) column
+  /// rather than a column of the source matrix.
+  [[nodiscard]] bool has_derived_channels() const noexcept;
+
   /// Fraction of present (non-NaN) samples over all view channels and
   /// rows; 0.0 for degenerate views (0 rows and/or 0 channels).
   [[nodiscard]] double coverage() const noexcept;
@@ -109,13 +135,23 @@ class TraceView {
   [[nodiscard]] MultiTrace materialize() const;
 
  private:
+  /// High bit of a cols_ entry marking a derived column; the low bits then
+  /// index derived_ instead of the source matrix.
+  static constexpr std::size_t kDerivedColumn =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+
   linalg::MatrixView base_;          ///< the source trace's value matrix
   TimeGrid grid_;                    ///< the view's (reindexed) grid
   std::vector<ChannelId> channels_;  ///< view channel ids, in view order
-  std::vector<std::size_t> cols_;    ///< view column -> source column
+  std::vector<std::size_t> cols_;    ///< view column -> source column, or
+                                     ///< kDerivedColumn | derived_ index
   std::size_t row_first_ = 0;        ///< contiguous-row offset
   std::vector<std::size_t> rows_;    ///< view row -> source row; empty =
                                      ///< contiguous [row_first_, +size())
+  /// Attached derived columns, each sized to the source trace's rows and
+  /// shared with whoever materialized them (alive as long as any copy of
+  /// the view is).
+  std::vector<std::shared_ptr<const linalg::Vector>> derived_;
 };
 
 /// Row mask that is true where *all* listed channels are valid.

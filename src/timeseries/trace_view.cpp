@@ -95,6 +95,35 @@ TraceView TraceView::filter_rows(const std::vector<bool>& keep) const {
   return out;
 }
 
+TraceView TraceView::with_channel(
+    ChannelId id, std::shared_ptr<const linalg::Vector> column) const {
+  if (channel_index(id)) {
+    throw std::invalid_argument("TraceView::with_channel: channel id " +
+                                std::to_string(id) + " already present");
+  }
+  if (!column) {
+    throw std::invalid_argument("TraceView::with_channel: null column");
+  }
+  if (column->size() != base_.rows()) {
+    throw std::invalid_argument(
+        "TraceView::with_channel: column has " +
+        std::to_string(column->size()) + " rows, source trace has " +
+        std::to_string(base_.rows()));
+  }
+  TraceView out = *this;
+  out.channels_.push_back(id);
+  out.cols_.push_back(kDerivedColumn | out.derived_.size());
+  out.derived_.push_back(std::move(column));
+  return out;
+}
+
+bool TraceView::has_derived_channels() const noexcept {
+  for (std::size_t col : cols_) {
+    if (col & kDerivedColumn) return true;
+  }
+  return false;
+}
+
 double TraceView::coverage() const noexcept {
   const std::size_t total = size() * channel_count();
   if (total == 0) return 0.0;

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "auditherm/control/closed_loop.hpp"
 #include "auditherm/core/pipeline.hpp"
@@ -237,4 +239,119 @@ TEST(ClosedLoop, MpcOnIdentifiedModelRuns) {
   EXPECT_GT(metrics.scored_samples, 10u);
   EXPECT_LT(metrics.mean_abs_deviation_c, 4.0);
   EXPECT_TRUE(std::isfinite(metrics.total_energy_kwh()));
+}
+
+// --- Fleet-scored control ---------------------------------------------------
+
+#include "auditherm/control/fleet_control.hpp"
+
+TEST(FleetControl, LoopSeedFollowsTheEntitySeedContract) {
+  // The PR-8 contract: building `index` of a fleet based at `base_seed`
+  // scores under derive_entity_seed(base_seed, index), with the weather
+  // and occupancy sub-seeds one derivation deeper. Pinning the derivation
+  // keeps fleet-scored control runs reproducible per building.
+  sim::ScenarioSpec spec;
+  spec.name = "pin";
+  for (const std::uint64_t base : {77ull, 12345ull}) {
+    for (const std::size_t index : {std::size_t{0}, std::size_t{3}}) {
+      const auto loop = control::fleet_loop_config(spec, base, index);
+      EXPECT_EQ(loop.seed, sim::derive_entity_seed(base, index));
+      EXPECT_EQ(loop.weather.seed, sim::derive_entity_seed(loop.seed, 1));
+      EXPECT_EQ(loop.occupancy.seed, sim::derive_entity_seed(loop.seed, 2));
+    }
+  }
+  // Distinct buildings never share a seed.
+  EXPECT_NE(control::fleet_loop_config(spec, 77, 0).seed,
+            control::fleet_loop_config(spec, 77, 1).seed);
+}
+
+TEST(FleetControl, LoopConfigComposesFromTheScenario) {
+  sim::ScenarioSpec spec;
+  spec.name = "winter";
+  spec.season = sim::Season::kWinter;
+  const auto loop = control::fleet_loop_config(spec, 77, 0, 5);
+  const auto config = sim::scenario_config(spec);
+  EXPECT_EQ(loop.days, 5u);
+  EXPECT_EQ(loop.step, config.sample_step);
+  EXPECT_EQ(loop.control_dt_s, config.control_dt_s);
+  EXPECT_EQ(loop.weather.end_mean_c, config.weather.end_mean_c);
+  // Sub-seeds are re-derived, not copied from the identification config.
+  EXPECT_NE(loop.weather.seed, config.weather.seed);
+  EXPECT_NE(loop.occupancy.seed, config.occupancy.seed);
+}
+
+TEST(FleetControl, InputPlanSwapsOnlyTheOccupancySlot) {
+  sim::DatasetConfig config;
+  config.days = 2;
+  config.failure_days = 0;
+  const auto dataset = sim::generate_dataset(config);
+  const auto ids = dataset.extended_input_ids();
+
+  const auto truth = control::fleet_input_plan(
+      dataset, control::OccupancySource::kGroundTruth);
+  EXPECT_TRUE(truth.pure_ground_truth());
+  EXPECT_EQ(truth.channel_ids(), ids);
+
+  const auto estimated = control::fleet_input_plan(
+      dataset, control::OccupancySource::kCo2Estimated);
+  ASSERT_EQ(estimated.slots.size(), ids.size());
+  for (std::size_t s = 0; s < ids.size(); ++s) {
+    if (ids[s] == sim::DatasetChannels::kOccupancy) {
+      EXPECT_EQ(estimated.slots[s].source, sysid::InputSource::kCo2Estimated);
+      EXPECT_EQ(estimated.slots[s].co2.vav_flows, dataset.vav_ids());
+    } else {
+      EXPECT_EQ(estimated.slots[s].source, sysid::InputSource::kGroundTruth);
+      EXPECT_EQ(estimated.slots[s].channel, ids[s]);
+    }
+  }
+
+  const auto prior = control::fleet_input_plan(
+      dataset, control::OccupancySource::kSchedulePrior);
+  const auto occ_slot = std::find_if(
+      prior.slots.begin(), prior.slots.end(), [](const auto& slot) {
+        return slot.source == sysid::InputSource::kSchedulePrior;
+      });
+  ASSERT_NE(occ_slot, prior.slots.end());
+  EXPECT_GT(occ_slot->occupied_level, occ_slot->unoccupied_level);
+}
+
+TEST(FleetControl, RejectsNonPaperHallSpecs) {
+  sim::ScenarioSpec spec;
+  spec.name = "tower";
+  spec.building = sim::BuildingKind::kGrid;
+  try {
+    (void)control::score_fleet_control({spec});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("tower"), std::string::npos);
+  }
+}
+
+TEST(FleetControl, ScoringIsReproducibleAndGroundTruthHasZeroMae) {
+  // Small spec + ground-truth occupancy keeps this fast; the estimated
+  // path is exercised end-to-end by bench_occupancy_loop.
+  sim::ScenarioSpec spec;
+  spec.name = "small";
+  spec.days = 12;
+  spec.failure_days = 0;
+  control::FleetControlOptions options;
+  options.days = 2;
+  options.occupancy = control::OccupancySource::kGroundTruth;
+
+  const auto first = control::score_fleet_control({spec}, options);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].loop_seed, sim::derive_entity_seed(options.base_seed, 0));
+  EXPECT_EQ(first[0].occupancy_mae, 0.0);
+  EXPECT_GE(first[0].zones, 2u);
+  EXPECT_GT(first[0].thermostat.scored_samples, 0u);
+  EXPECT_GT(first[0].mpc.scored_samples, 0u);
+  EXPECT_TRUE(std::isfinite(first[0].mpc.total_energy_kwh()));
+
+  const auto second = control::score_fleet_control({spec}, options);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(first[0].mpc.mean_abs_deviation_c,
+            second[0].mpc.mean_abs_deviation_c);
+  EXPECT_EQ(first[0].mpc.total_energy_kwh(), second[0].mpc.total_energy_kwh());
+  EXPECT_EQ(first[0].thermostat.comfort_violation_fraction,
+            second[0].thermostat.comfort_violation_fraction);
 }

@@ -13,6 +13,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -404,5 +405,129 @@ TEST(ServeServer, SimulateEndpointReturnsTheFleetManifest) {
   EXPECT_NE(shutdown.find("HTTP/1.1 200"), std::string::npos);
   runner.join();
 }
+
+
+// --- Input plans over the wire --------------------------------------------
+
+TEST(ServeRequest, DecodesTheInputsObject) {
+  const auto request = serve::request_from_json(json::parse(
+      R"({"data": "t.csv", "inputs": {"occupancy": "estimated",)"
+      R"( "round": true, "clamp_max": 120}})"));
+  EXPECT_EQ(request.occupancy, "estimated");
+  EXPECT_TRUE(request.occupancy_round);
+  EXPECT_EQ(request.occupancy_clamp, 120.0);
+
+  // Defaults when the object is absent: the ground-truth path.
+  const auto plain =
+      serve::request_from_json(json::parse(R"({"data": "t.csv"})"));
+  EXPECT_TRUE(plain.occupancy.empty());
+  EXPECT_FALSE(plain.occupancy_round);
+  EXPECT_TRUE(std::isnan(plain.occupancy_clamp));
+}
+
+/// The decode error for `body` names the full key path `path`.
+void expect_key_path_error(const std::string& body, const std::string& path) {
+  try {
+    (void)serve::request_from_json(json::parse(body));
+    FAIL() << "expected std::invalid_argument for " << body;
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find(path), std::string::npos)
+        << "message '" << error.what() << "' lacks key path '" << path << "'";
+  }
+}
+
+TEST(ServeRequest, InputsErrorsCarryTheFullKeyPath) {
+  expect_key_path_error(R"({"data": "t.csv", "inputs": 3})", "'inputs'");
+  expect_key_path_error(
+      R"({"data": "t.csv", "inputs": {"occupancy": 1}})", "inputs.occupancy");
+  expect_key_path_error(
+      R"({"data": "t.csv", "inputs": {"occupancy": "psychic"}})",
+      "inputs.occupancy");
+  expect_key_path_error(
+      R"({"data": "t.csv", "inputs": {"round": "yes"}})", "inputs.round");
+  expect_key_path_error(
+      R"({"data": "t.csv", "inputs": {"clamp_max": "120"}})",
+      "inputs.clamp_max");
+  expect_key_path_error(
+      R"({"data": "t.csv", "inputs": {"clammp_max": 120}})",
+      "inputs.clammp_max");  // typo'd key must not be ignored
+}
+
+serve::AnalyzeRequest estimated_request() {
+  auto request = small_request();
+  request.occupancy = "estimated";
+  return request;
+}
+
+TEST(ServeService, OccupancySourcesNeverAliasInTheCache) {
+  serve::AnalysisService service;
+  (void)service.analyze(small_request());  // warm the ground-truth stages
+  const auto misses_truth = service.cache().totals().misses;
+
+  // The estimated plan folds its fingerprint into every stage key, so the
+  // warmed ground-truth artifacts must NOT satisfy it...
+  const auto estimated = service.analyze(estimated_request());
+  EXPECT_NE(estimated.find("occupancy input: estimated from CO2 mass balance"),
+            std::string::npos);
+  EXPECT_GT(service.cache().totals().misses, misses_truth);
+
+  // ...while repeating either source is pure cache hits, byte-identical.
+  const auto misses_both = service.cache().totals().misses;
+  EXPECT_EQ(service.analyze(estimated_request()), estimated);
+  EXPECT_EQ(service.analyze(small_request()),
+            service.analyze(small_request()));
+  EXPECT_EQ(service.cache().totals().misses, misses_both);
+
+  // Clamp/round options key separately from the plain estimate too.
+  auto clamped = estimated_request();
+  clamped.occupancy_round = true;
+  (void)service.analyze(clamped);
+  EXPECT_GT(service.cache().totals().misses, misses_both);
+}
+
+TEST(ServeService, UnknownOccupancySourceThrows) {
+  serve::AnalysisService service;
+  auto bad = small_request();
+  bad.occupancy = "psychic";
+  EXPECT_THROW((void)service.analyze(bad), std::exception);
+}
+
+TEST(ServeServer, EstimatedOccupancyMatchesTheInProcessServiceBytewise) {
+  serve::AnalysisService service;
+  serve::ServerConfig config;
+  config.port = 0;
+  config.workers = 2;
+  serve::Server server(config, service, nullptr);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+  std::thread runner([&] { server.run(); });
+
+  const std::string body =
+      R"({"data": ")" + json::escape(trace_csv_path()) +
+      R"(", "clusters": 2, "inputs": {"occupancy": "estimated"}})";
+  const auto analyzed =
+      http_exchange(server.port(), "POST", "/analyze", body);
+  EXPECT_NE(analyzed.find("HTTP/1.1 200"), std::string::npos);
+
+  // One code path from request to text: the daemon report equals the
+  // in-process call bytewise, and both name the estimated source.
+  serve::AnalysisService reference;
+  const auto expected = reference.analyze(estimated_request());
+  EXPECT_EQ(response_body(analyzed), expected);
+  EXPECT_NE(expected.find("occupancy input: estimated from CO2 mass balance"),
+            std::string::npos);
+
+  const auto bad = http_exchange(
+      server.port(), "POST", "/analyze",
+      R"({"data": "t.csv", "inputs": {"occupancy": "psychic"}})");
+  EXPECT_NE(bad.find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_NE(response_body(bad).find("inputs.occupancy"), std::string::npos);
+
+  const auto shutdown =
+      http_exchange(server.port(), "POST", "/shutdown", "");
+  EXPECT_NE(shutdown.find("HTTP/1.1 200"), std::string::npos);
+  runner.join();
+}
+
 
 }  // namespace

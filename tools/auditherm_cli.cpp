@@ -6,7 +6,7 @@
 //   auditherm analyze --data trace.csv [--metric correlation|euclidean]
 //       [--clusters K] [--order 1|2] [--per-cluster N] [--sweep SEEDS]
 //       [--eigen jacobi|tridiagonal|lanczos|auto] [--graph epsilon|knn]
-//       [--knn K] [--stream ROWS]
+//       [--knn K] [--stream ROWS] [--occupancy truth|estimated|schedule]
 //   auditherm serve --port P [--workers N] [--cache-budget-mb MB]
 //
 // Every subcommand also accepts the shared flags (--threads, --cache,
@@ -121,6 +121,10 @@ cli::OptionSet analyze_options() {
        "append a streaming-identification section: sliding-window online "
        "refit of the reduced model over ROWS rows with drift detection "
        "(-1 = growing window, 0 = off)"},
+      {"occupancy", true, false, "truth|estimated|schedule",
+       "occupancy input source for identification (default truth; "
+       "estimated = CO2 mass-balance inversion calibrated on the "
+       "training split, schedule = two-level HVAC-schedule prior)"},
   };
   for (auto& spec : cli::common_options()) specs.push_back(std::move(spec));
   return cli::OptionSet("analyze", std::move(specs));
@@ -295,6 +299,9 @@ serve::AnalyzeRequest analyze_request_from_args(
   if (const auto graph = args.get("graph")) request.graph = *graph;
   request.knn = args.get_long("knn", 0);
   request.stream = args.get_long("stream", 0);
+  if (const auto occupancy = args.get("occupancy")) {
+    request.occupancy = *occupancy;
+  }
   return request;
 }
 
